@@ -1,0 +1,95 @@
+//! Finite-difference gradient checking.
+//!
+//! Used throughout the test suites (autodiff, nn, core) to validate every
+//! backward implementation against a central-difference approximation of
+//! the true derivative.
+
+use crate::{Tape, Var};
+use sagdfn_tensor::Tensor;
+
+/// Default perturbation for central differences in f32.
+pub const DEFAULT_EPS: f32 = 1e-2;
+/// Default tolerance: |analytic − numeric| must be below
+/// `atol + rtol · |numeric|`.
+pub const DEFAULT_ATOL: f32 = 2e-2;
+/// Relative component of the default tolerance.
+pub const DEFAULT_RTOL: f32 = 5e-2;
+
+/// Checks the analytic gradients of `f` at `inputs` against central
+/// finite differences, panicking with a located message on mismatch.
+///
+/// `f` receives the tape and one leaf [`Var`] per input tensor and must
+/// return a scalar loss var recorded on that tape.
+pub fn check_gradients<F>(inputs: &[Tensor], f: F)
+where
+    F: for<'t> Fn(&'t Tape, &[Var<'t>]) -> Var<'t>,
+{
+    check_gradients_with(inputs, DEFAULT_EPS, DEFAULT_ATOL, DEFAULT_RTOL, f)
+}
+
+/// [`check_gradients`] with explicit epsilon and tolerances.
+pub fn check_gradients_with<F>(inputs: &[Tensor], eps: f32, atol: f32, rtol: f32, f: F)
+where
+    F: for<'t> Fn(&'t Tape, &[Var<'t>]) -> Var<'t>,
+{
+    // Analytic gradients.
+    let tape = Tape::new();
+    let vars: Vec<Var<'_>> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let loss = f(&tape, &vars);
+    let grads = loss.backward();
+    let analytic: Vec<Tensor> = vars
+        .iter()
+        .map(|v| {
+            grads
+                .get(*v)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(v.shape()))
+        })
+        .collect();
+
+    // Numeric gradients, one coordinate at a time.
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let tape = Tape::new();
+        let vars: Vec<Var<'_>> = perturbed.iter().map(|t| tape.leaf(t.clone())).collect();
+        f(&tape, &vars).value().item()
+    };
+
+    for (inp_idx, input) in inputs.iter().enumerate() {
+        for elem in 0..input.numel() {
+            let mut plus: Vec<Tensor> = inputs.to_vec();
+            plus[inp_idx].as_mut_slice()[elem] += eps;
+            let mut minus: Vec<Tensor> = inputs.to_vec();
+            minus[inp_idx].as_mut_slice()[elem] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let got = analytic[inp_idx].as_slice()[elem];
+            let tol = atol + rtol * numeric.abs();
+            assert!(
+                (got - numeric).abs() <= tol,
+                "gradient mismatch: input {inp_idx} element {elem}: \
+                 analytic {got} vs numeric {numeric} (tol {tol})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_on_correct_gradient() {
+        check_gradients(&[Tensor::from_vec(vec![0.5, -1.0, 2.0], [3])], |_, v| {
+            v[0].square().sum()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn catches_wrong_gradient() {
+        // detach() deliberately breaks the gradient path: analytic grad is
+        // zero while the numeric one is 2x.
+        check_gradients(&[Tensor::from_vec(vec![1.0, 2.0], [2])], |_, v| {
+            v[0].detach().square().sum()
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! # sagdfn-autodiff
+//!
+//! Tape-based reverse-mode automatic differentiation over
+//! [`sagdfn_tensor::Tensor`] — the substrate that stands in for PyTorch's
+//! autograd in this reproduction.
+//!
+//! ## Model
+//!
+//! A [`Tape`] is an append-only arena of nodes. Every operation on a
+//! [`Var`] (a copyable handle `{tape, node id}`) appends a node holding the
+//! forward value, its parent ids, and a boxed backward closure. Calling
+//! [`Var::backward`] on a scalar output seeds `dL/dout = 1` and walks the
+//! arena in reverse topological order (which is just reverse insertion
+//! order), accumulating gradients into a side table.
+//!
+//! Training loops build a *fresh tape per step*: leaf nodes are created
+//! from the parameter tensors with [`Tape::leaf`], the forward pass runs,
+//! `backward()` fills gradients, and the optimizer reads them back via
+//! `Gradients`. Dropping the tape frees all intermediates.
+//!
+//! ## Correctness
+//!
+//! Every differentiable op is covered by a finite-difference gradient check
+//! in this crate's tests (see [`gradcheck`]); broadcasting backward reduces
+//! gradients back to the operand shape by summing over stretched
+//! dimensions.
+
+pub mod gradcheck;
+pub mod ops;
+pub mod tape;
+
+pub use tape::{Gradients, Tape, TapeStats, Var};

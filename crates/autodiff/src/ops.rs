@@ -1,0 +1,703 @@
+//! Differentiable operations on [`Var`].
+//!
+//! Each method runs the forward computation eagerly with `sagdfn-tensor`
+//! kernels, then records a backward closure on the tape. Closures capture
+//! only the minimal metadata (shapes, indices, constants) — parent and own
+//! forward values are supplied by the tape during the reverse sweep.
+
+use crate::tape::{reduce_grad_to_shape, Var};
+use sagdfn_tensor::ops::{broadcast_binary, map};
+use sagdfn_tensor::{Shape, Tensor};
+
+impl<'t> Var<'t> {
+    fn same_tape(&self, other: &Var<'t>) {
+        assert!(
+            std::ptr::eq(self.tape, other.tape),
+            "vars belong to different tapes"
+        );
+    }
+
+    // ---------------------------------------------------------------------
+    // Broadcast arithmetic
+    // ---------------------------------------------------------------------
+
+    /// Elementwise sum with broadcasting.
+    pub fn add(&self, other: &Var<'t>) -> Var<'t> {
+        self.same_tape(other);
+        let (sa, sb) = (self.shape(), other.shape());
+        let value = self.with_value(|a| other.with_value(|b| a.add(b)));
+        self.tape.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g, _, _| {
+                vec![
+                    reduce_grad_to_shape(g, &sa),
+                    reduce_grad_to_shape(g, &sb),
+                ]
+            })),
+        )
+    }
+
+    /// Elementwise difference with broadcasting.
+    pub fn sub(&self, other: &Var<'t>) -> Var<'t> {
+        self.same_tape(other);
+        let (sa, sb) = (self.shape(), other.shape());
+        let value = self.with_value(|a| other.with_value(|b| a.sub(b)));
+        self.tape.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g, _, _| {
+                vec![
+                    reduce_grad_to_shape(g, &sa),
+                    reduce_grad_to_shape(&g.neg(), &sb),
+                ]
+            })),
+        )
+    }
+
+    /// Elementwise product with broadcasting.
+    pub fn mul(&self, other: &Var<'t>) -> Var<'t> {
+        self.same_tape(other);
+        let (sa, sb) = (self.shape(), other.shape());
+        let value = self.with_value(|a| other.with_value(|b| a.mul(b)));
+        self.tape.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g, parents, _| {
+                let (a, b) = (parents[0], parents[1]);
+                vec![
+                    reduce_grad_to_shape(&broadcast_binary(g, b, |g, b| g * b), &sa),
+                    reduce_grad_to_shape(&broadcast_binary(g, a, |g, a| g * a), &sb),
+                ]
+            })),
+        )
+    }
+
+    /// Elementwise quotient with broadcasting.
+    pub fn div(&self, other: &Var<'t>) -> Var<'t> {
+        self.same_tape(other);
+        let (sa, sb) = (self.shape(), other.shape());
+        let value = self.with_value(|a| other.with_value(|b| a.div(b)));
+        self.tape.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g, parents, _| {
+                let (a, b) = (parents[0], parents[1]);
+                let da = broadcast_binary(g, b, |g, b| g / b);
+                // d/db (a/b) = -a / b^2
+                let gb = broadcast_binary(g, a, |g, a| g * a);
+                let db = broadcast_binary(&gb, b, |x, b| -x / (b * b));
+                vec![
+                    reduce_grad_to_shape(&da, &sa),
+                    reduce_grad_to_shape(&db, &sb),
+                ]
+            })),
+        )
+    }
+
+    /// Adds a constant scalar.
+    pub fn add_scalar(&self, s: f32) -> Var<'t> {
+        let value = self.with_value(|a| a.add_scalar(s));
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(|g, _, _| vec![g.clone()])),
+        )
+    }
+
+    /// Multiplies by a constant scalar.
+    pub fn scale(&self, s: f32) -> Var<'t> {
+        let value = self.with_value(|a| a.scale(s));
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g, _, _| vec![g.scale(s)])),
+        )
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Var<'t> {
+        self.scale(-1.0)
+    }
+
+    // ---------------------------------------------------------------------
+    // Matrix ops
+    // ---------------------------------------------------------------------
+
+    /// Matrix product, with the same rank rules as [`Tensor::matmul`]:
+    /// `(m,k)·(k,n)`, `(..b,m,k)·(k,n)` or `(..b,m,k)·(..b,k,n)`.
+    pub fn matmul(&self, other: &Var<'t>) -> Var<'t> {
+        self.same_tape(other);
+        let value = self.with_value(|a| other.with_value(|b| a.matmul(b)));
+        let (ra, rb) = (self.shape().rank(), other.shape().rank());
+        let shared_rhs = rb == 2 && ra > 2;
+        self.tape.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g, parents, _| {
+                let (a, b) = (parents[0], parents[1]);
+                if shared_rhs {
+                    // A: (..batch, m, k), B: (k, n), G: (..batch, m, n).
+                    let da = g.matmul(&b.t());
+                    // dB = sum over batch of A_b^T G_b = A2^T @ G2 with
+                    // flattened leading dims.
+                    let k = a.dim(a.rank() - 1);
+                    let n = g.dim(g.rank() - 1);
+                    let rows = a.numel() / k;
+                    let a2 = a.reshape([rows, k]);
+                    let g2 = g.reshape([rows, n]);
+                    let db = a2.t().matmul(&g2);
+                    vec![da, db]
+                } else {
+                    let da = g.matmul(&b.transpose_last2());
+                    let db = a.transpose_last2().matmul(g);
+                    vec![da, db]
+                }
+            })),
+        )
+    }
+
+    /// Swaps the last two dimensions.
+    pub fn transpose_last2(&self) -> Var<'t> {
+        let value = self.with_value(|a| a.transpose_last2());
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(|g, _, _| vec![g.transpose_last2()])),
+        )
+    }
+
+    /// Reshape (element count preserved).
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Var<'t> {
+        let shape = shape.into();
+        let orig = self.shape();
+        let value = self.with_value(|a| a.reshape(shape.clone()));
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g, _, _| vec![g.reshape(orig.clone())])),
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Activations / elementwise nonlinearities
+    // ---------------------------------------------------------------------
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var<'t> {
+        let value = self.with_value(|a| a.sigmoid());
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(|g, _, own| {
+                vec![broadcast_binary(g, own, |g, s| g * s * (1.0 - s))]
+            })),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var<'t> {
+        let value = self.with_value(|a| a.tanh());
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(|g, _, own| {
+                vec![broadcast_binary(g, own, |g, t| g * (1.0 - t * t))]
+            })),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var<'t> {
+        let value = self.with_value(|a| a.relu());
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(|g, parents, _| {
+                vec![broadcast_binary(g, parents[0], |g, x| {
+                    if x > 0.0 {
+                        g
+                    } else {
+                        0.0
+                    }
+                })]
+            })),
+        )
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Var<'t> {
+        let value = self.with_value(|a| a.exp());
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(|g, _, own| {
+                vec![broadcast_binary(g, own, |g, e| g * e)]
+            })),
+        )
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Var<'t> {
+        let value = self.with_value(|a| a.sqrt());
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(|g, _, own| {
+                vec![broadcast_binary(g, own, |g, s| g * 0.5 / s)]
+            })),
+        )
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Var<'t> {
+        let value = self.with_value(|a| a.square());
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(|g, parents, _| {
+                vec![broadcast_binary(g, parents[0], |g, x| g * 2.0 * x)]
+            })),
+        )
+    }
+
+    /// Elementwise absolute value; subgradient 0 at the kink (the choice
+    /// PyTorch makes, and what the paper's L1 loss — Eq. 11 — needs).
+    pub fn abs(&self) -> Var<'t> {
+        let value = self.with_value(|a| a.abs());
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(|g, parents, _| {
+                vec![broadcast_binary(g, parents[0], |g, x| {
+                    if x > 0.0 {
+                        g
+                    } else if x < 0.0 {
+                        -g
+                    } else {
+                        0.0
+                    }
+                })]
+            })),
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Reductions
+    // ---------------------------------------------------------------------
+
+    /// Sum of all elements → scalar var.
+    pub fn sum(&self) -> Var<'t> {
+        let orig = self.shape();
+        let value = Tensor::scalar(self.with_value(|a| a.sum()));
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g, _, _| {
+                vec![Tensor::full(orig.clone(), g.item())]
+            })),
+        )
+    }
+
+    /// Mean of all elements → scalar var.
+    pub fn mean(&self) -> Var<'t> {
+        let n = self.with_value(|a| a.numel());
+        self.sum().scale(1.0 / n as f32)
+    }
+
+    /// Sum along `axis`, removing that dimension.
+    pub fn sum_axis(&self, axis: usize) -> Var<'t> {
+        let orig = self.shape();
+        let value = self.with_value(|a| a.sum_axis(axis));
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g, _, _| {
+                // Tile the reduced gradient back along the removed axis.
+                let dims = orig.dims();
+                let outer: usize = dims[..axis].iter().product();
+                let axis_len = dims[axis];
+                let inner: usize = dims[axis + 1..].iter().product();
+                let gsrc = g.as_slice();
+                let mut out = vec![0.0f32; orig.numel()];
+                for o in 0..outer {
+                    for a in 0..axis_len {
+                        let dst = &mut out[(o * axis_len + a) * inner..][..inner];
+                        dst.copy_from_slice(&gsrc[o * inner..(o + 1) * inner]);
+                    }
+                }
+                vec![Tensor::from_vec(out, orig.clone())]
+            })),
+        )
+    }
+
+    /// Mean along `axis`, removing that dimension.
+    pub fn mean_axis(&self, axis: usize) -> Var<'t> {
+        let n = self.shape().dim(axis) as f32;
+        self.sum_axis(axis).scale(1.0 / n)
+    }
+
+    // ---------------------------------------------------------------------
+    // Structural ops
+    // ---------------------------------------------------------------------
+
+    /// Concatenates vars along `axis`.
+    pub fn concat(parts: &[Var<'t>], axis: usize) -> Var<'t> {
+        assert!(!parts.is_empty(), "concat of zero vars");
+        let tape = parts[0].tape;
+        for p in parts {
+            parts[0].same_tape(p);
+        }
+        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let value = Tensor::concat(&refs, axis);
+        let sizes: Vec<usize> = values.iter().map(|v| v.dim(axis)).collect();
+        tape.push(
+            value,
+            parts.iter().map(|p| p.id).collect(),
+            Some(Box::new(move |g, _, _| g.split(axis, &sizes))),
+        )
+    }
+
+    /// Stacks equally-shaped vars along a new axis.
+    pub fn stack(parts: &[Var<'t>], axis: usize) -> Var<'t> {
+        assert!(!parts.is_empty(), "stack of zero vars");
+        let mut dims = parts[0].dims();
+        dims.insert(axis, 1);
+        let reshaped: Vec<Var<'t>> = parts
+            .iter()
+            .map(|p| p.reshape(dims.as_slice()))
+            .collect();
+        Var::concat(&reshaped, axis)
+    }
+
+    /// Gathers slices along `axis` at `indices` (differentiable
+    /// `index_select`; backward scatter-adds).
+    pub fn index_select(&self, axis: usize, indices: &[usize]) -> Var<'t> {
+        let orig = self.shape();
+        let idx = indices.to_vec();
+        let value = self.with_value(|a| a.index_select(axis, indices));
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g, _, _| {
+                let mut acc = Tensor::zeros(orig.clone());
+                acc.scatter_add(axis, &idx, g);
+                vec![acc]
+            })),
+        )
+    }
+
+    /// Copies the half-open range `[start, end)` along `axis`.
+    pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Var<'t> {
+        let indices: Vec<usize> = (start..end).collect();
+        self.index_select(axis, &indices)
+    }
+
+    /// General axis permutation (NumPy `transpose` semantics). Backward
+    /// applies the inverse permutation.
+    pub fn permute(&self, perm: &[usize]) -> Var<'t> {
+        let value = self.with_value(|a| a.permute(perm));
+        let inverse = sagdfn_tensor::index::inverse_permutation(perm);
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g, _, _| vec![g.permute(&inverse)])),
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Sparse normalizers (the paper's Eq. 3 / Eq. 7)
+    // ---------------------------------------------------------------------
+
+    /// Applies α-entmax independently to every row of the last axis.
+    /// α = 1 is softmax, α = 2 is sparsemax. Backward uses the closed-form
+    /// Jacobian-vector product from `sagdfn-entmax`.
+    pub fn entmax_rows(&self, alpha: f32) -> Var<'t> {
+        let value = self.with_value(|a| {
+            let n = a.dim(a.rank() - 1);
+            let mut out = Vec::with_capacity(a.numel());
+            for row in a.as_slice().chunks(n) {
+                out.extend(sagdfn_entmax::entmax(row, alpha));
+            }
+            Tensor::from_vec(out, a.shape().clone())
+        });
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g, _, own| {
+                let n = own.dim(own.rank() - 1);
+                let mut out = Vec::with_capacity(own.numel());
+                for (p_row, g_row) in own.as_slice().chunks(n).zip(g.as_slice().chunks(n)) {
+                    out.extend(sagdfn_entmax::entmax_backward(p_row, g_row, alpha));
+                }
+                vec![Tensor::from_vec(out, own.shape().clone())]
+            })),
+        )
+    }
+
+    /// Softmax over the last axis (α = 1 entmax).
+    pub fn softmax_rows(&self) -> Var<'t> {
+        self.entmax_rows(1.0)
+    }
+
+    /// Multiplies by a constant (non-differentiable) tensor with
+    /// broadcasting — used for dropout masks and loss masks.
+    pub fn mul_const(&self, mask: &Tensor) -> Var<'t> {
+        let sa = self.shape();
+        let value = self.with_value(|a| a.mul(mask));
+        let mask = mask.clone();
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g, _, _| {
+                vec![reduce_grad_to_shape(
+                    &broadcast_binary(g, &mask, |g, m| g * m),
+                    &sa,
+                )]
+            })),
+        )
+    }
+
+    /// `max(self, floor)` elementwise against a constant — a numerically
+    /// convenient clamp used to keep degree normalizers positive.
+    pub fn clamp_min(&self, floor: f32) -> Var<'t> {
+        let value = self.with_value(|a| map(a, |x| x.max(floor)));
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g, parents, _| {
+                vec![broadcast_binary(g, parents[0], move |g, x| {
+                    if x > floor {
+                        g
+                    } else {
+                        0.0
+                    }
+                })]
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck::check_gradients;
+    use crate::Tape;
+    use sagdfn_tensor::{Rng64, Tensor};
+
+    /// Convenience: random tensor.
+    fn randn(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = Rng64::new(seed);
+        Tensor::rand_uniform(shape, -1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn add_forward_and_grad() {
+        check_gradients(&[randn(&[2, 3], 1), randn(&[2, 3], 2)], |t, v| {
+            v[0].add(&v[1]).mul(&v[0]).sum().scale(0.5).add_scalar(0.0).mean();
+            // keep it simple: loss = sum((a+b)*a)
+            let _ = t;
+            v[0].add(&v[1]).mul(&v[0]).sum()
+        });
+    }
+
+    #[test]
+    fn broadcast_add_grad() {
+        check_gradients(&[randn(&[2, 3], 3), randn(&[3], 4)], |_, v| {
+            v[0].add(&v[1]).square().sum()
+        });
+    }
+
+    #[test]
+    fn broadcast_mul_column_grad() {
+        check_gradients(&[randn(&[2, 3], 5), randn(&[2, 1], 6)], |_, v| {
+            v[0].mul(&v[1]).sum()
+        });
+    }
+
+    #[test]
+    fn sub_div_grad() {
+        let mut b = randn(&[2, 2], 8);
+        // keep denominators away from zero
+        for v in b.as_mut_slice() {
+            *v = v.abs() + 0.5;
+        }
+        check_gradients(&[randn(&[2, 2], 7), b], |_, v| v[0].sub(&v[1]).div(&v[1]).sum());
+    }
+
+    #[test]
+    fn matmul_2d_grad() {
+        check_gradients(&[randn(&[3, 4], 9), randn(&[4, 2], 10)], |_, v| {
+            v[0].matmul(&v[1]).sum()
+        });
+    }
+
+    #[test]
+    fn matmul_batched_shared_rhs_grad() {
+        check_gradients(&[randn(&[2, 3, 4], 11), randn(&[4, 2], 12)], |_, v| {
+            v[0].matmul(&v[1]).square().sum()
+        });
+    }
+
+    #[test]
+    fn matmul_batched_per_batch_grad() {
+        check_gradients(&[randn(&[2, 3, 4], 13), randn(&[2, 4, 2], 14)], |_, v| {
+            v[0].matmul(&v[1]).sum()
+        });
+    }
+
+    #[test]
+    fn activations_grad() {
+        check_gradients(&[randn(&[2, 5], 15)], |_, v| {
+            v[0].sigmoid().add(&v[0].tanh()).mul(&v[0].exp()).sum()
+        });
+    }
+
+    #[test]
+    fn relu_grad() {
+        check_gradients(&[randn(&[3, 3], 16)], |_, v| v[0].relu().square().sum());
+    }
+
+    #[test]
+    fn abs_grad() {
+        check_gradients(&[randn(&[4], 17)], |_, v| v[0].abs().sum());
+    }
+
+    #[test]
+    fn sqrt_grad() {
+        let mut x = randn(&[4], 18);
+        for v in x.as_mut_slice() {
+            *v = v.abs() + 0.5;
+        }
+        check_gradients(&[x], |_, v| v[0].sqrt().sum());
+    }
+
+    #[test]
+    fn sum_axis_grad() {
+        check_gradients(&[randn(&[2, 3, 2], 19)], |_, v| {
+            v[0].sum_axis(1).square().sum()
+        });
+    }
+
+    #[test]
+    fn mean_axis_grad() {
+        check_gradients(&[randn(&[3, 4], 20)], |_, v| v[0].mean_axis(0).square().sum());
+    }
+
+    #[test]
+    fn concat_grad() {
+        check_gradients(&[randn(&[2, 2], 21), randn(&[2, 3], 22)], |_, v| {
+            crate::Var::concat(&[v[0], v[1]], 1).square().sum()
+        });
+    }
+
+    #[test]
+    fn stack_grad() {
+        check_gradients(&[randn(&[2, 2], 23), randn(&[2, 2], 24)], |_, v| {
+            crate::Var::stack(&[v[0], v[1]], 0).square().sum()
+        });
+    }
+
+    #[test]
+    fn index_select_grad() {
+        check_gradients(&[randn(&[5, 3], 25)], |_, v| {
+            v[0].index_select(0, &[4, 0, 0, 2]).square().sum()
+        });
+    }
+
+    #[test]
+    fn slice_axis_grad() {
+        check_gradients(&[randn(&[3, 6], 26)], |_, v| {
+            v[0].slice_axis(1, 2, 5).square().sum()
+        });
+    }
+
+    #[test]
+    fn permute_grad() {
+        check_gradients(&[randn(&[2, 3, 2], 30)], |_, v| {
+            v[0].permute(&[2, 0, 1]).square().sum()
+        });
+    }
+
+    #[test]
+    fn permute_matches_transpose_last2() {
+        let tape = Tape::new();
+        let x = tape.leaf(randn(&[3, 4], 31));
+        let a = x.permute(&[1, 0]).value();
+        let b = x.transpose_last2().value();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reshape_transpose_grad() {
+        check_gradients(&[randn(&[2, 6], 27)], |_, v| {
+            v[0].reshape([3, 4]).transpose_last2().square().sum()
+        });
+    }
+
+    #[test]
+    fn softmax_rows_grad() {
+        check_gradients(&[randn(&[3, 4], 28)], |_, v| {
+            // weighted sum of softmax outputs makes the loss sensitive to z
+            let w = v[0].tape_constant_weights();
+            v[0].softmax_rows().mul(&w).sum()
+        });
+    }
+
+    #[test]
+    fn entmax_rows_15_grad() {
+        // α=1.5 is smooth away from support boundaries; random inputs are
+        // almost surely interior points.
+        check_gradients(&[randn(&[2, 5], 29)], |_, v| {
+            let w = v[0].tape_constant_weights();
+            v[0].entmax_rows(1.5).mul(&w).sum()
+        });
+    }
+
+    #[test]
+    fn mul_const_masks_gradient() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]));
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 1.0], [3]);
+        let loss = x.mul_const(&mask).sum();
+        let grads = loss.backward();
+        assert_eq!(grads.expect(x).as_slice(), &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn clamp_min_grad_zero_below_floor() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.5, 2.0], [2]));
+        let loss = x.clamp_min(1.0).sum();
+        let grads = loss.backward();
+        assert_eq!(grads.expect(x).as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn chained_graph_matches_hand_derivative() {
+        // f(x) = sum(sigmoid(2x)) -> f'(x) = 2 s (1 - s).
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.3, -0.7], [2]));
+        let loss = x.scale(2.0).sigmoid().sum();
+        let grads = loss.backward();
+        let g = grads.expect(x);
+        for (i, &xi) in [0.3f32, -0.7].iter().enumerate() {
+            let s = 1.0 / (1.0 + (-2.0 * xi).exp());
+            let expect = 2.0 * s * (1.0 - s);
+            assert!((g.as_slice()[i] - expect).abs() < 1e-5);
+        }
+    }
+}
+
+#[cfg(test)]
+impl<'t> Var<'t> {
+    /// Test helper: a fixed constant weight tensor shaped like `self`,
+    /// placed on the same tape.
+    fn tape_constant_weights(&self) -> Var<'t> {
+        let dims = self.dims();
+        let n: usize = dims.iter().product();
+        let w: Vec<f32> = (0..n).map(|i| ((i % 7) as f32) - 3.0).collect();
+        self.tape
+            .constant(Tensor::from_vec(w, dims.as_slice()))
+    }
+}

@@ -1,0 +1,361 @@
+//! The tape arena and variable handles.
+
+use sagdfn_tensor::{Shape, Tensor};
+use std::cell::RefCell;
+
+/// Backward closure: `(grad_out, parent_values, own_value) -> parent_grads`.
+///
+/// Returns one gradient tensor per parent, each shaped like that parent.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[&Tensor], &Tensor) -> Vec<Tensor>>;
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub parents: Vec<usize>,
+    /// `None` for leaves and explicitly detached nodes.
+    pub backward: Option<BackwardFn>,
+}
+
+/// Append-only computation graph. One tape per training step.
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+}
+
+/// A handle to one node on a tape. Cheap to copy; all tensor ops live on
+/// this type (see the `ops` module).
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    pub(crate) tape: &'t Tape,
+    pub(crate) id: usize,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when no node has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memory/size introspection: `(node count, total forward-value
+    /// bytes)`. Useful for debugging model memory or verifying that a
+    /// forward pass records the expected graph size.
+    pub fn stats(&self) -> TapeStats {
+        let nodes = self.nodes.borrow();
+        TapeStats {
+            nodes: nodes.len(),
+            leaves: nodes.iter().filter(|n| n.backward.is_none()).count(),
+            value_bytes: nodes
+                .iter()
+                .map(|n| n.value.numel() * std::mem::size_of::<f32>())
+                .sum(),
+        }
+    }
+
+    /// Records a leaf (parameter or input). Leaves receive gradients but
+    /// have no backward function.
+    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+        self.push(value, Vec::new(), None)
+    }
+
+    /// Records a constant: identical to a leaf, named separately to signal
+    /// intent (no gradient will be read from it).
+    pub fn constant(&self, value: Tensor) -> Var<'_> {
+        self.leaf(value)
+    }
+
+    pub(crate) fn push(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+    ) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = nodes.len();
+        nodes.push(Node {
+            value,
+            parents,
+            backward,
+        });
+        Var { tape: self, id }
+    }
+
+    /// Runs reverse-mode accumulation seeded at `output` (must be a
+    /// one-element tensor) and returns the full gradient table indexed by
+    /// node id (`None` for nodes the output does not depend on).
+    pub fn backward_from(&self, output: Var<'_>) -> Vec<Option<Tensor>> {
+        let nodes = self.nodes.borrow();
+        assert!(output.id < nodes.len(), "output var not on this tape");
+        assert_eq!(
+            nodes[output.id].value.numel(),
+            1,
+            "backward() requires a scalar output, got {}",
+            nodes[output.id].value.shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = (0..nodes.len()).map(|_| None).collect();
+        grads[output.id] = Some(Tensor::ones(nodes[output.id].value.shape().clone()));
+
+        for id in (0..=output.id).rev() {
+            let Some(grad_out) = grads[id].take() else {
+                continue;
+            };
+            let node = &nodes[id];
+            if let Some(backward) = &node.backward {
+                let parent_vals: Vec<&Tensor> =
+                    node.parents.iter().map(|&p| &nodes[p].value).collect();
+                let parent_grads = backward(&grad_out, &parent_vals, &node.value);
+                assert_eq!(
+                    parent_grads.len(),
+                    node.parents.len(),
+                    "backward fn returned {} grads for {} parents",
+                    parent_grads.len(),
+                    node.parents.len()
+                );
+                for (&pid, pg) in node.parents.iter().zip(parent_grads) {
+                    assert_eq!(
+                        pg.shape(),
+                        nodes[pid].value.shape(),
+                        "gradient shape {} does not match parent value shape {}",
+                        pg.shape(),
+                        nodes[pid].value.shape()
+                    );
+                    match &mut grads[pid] {
+                        Some(acc) => acc.axpy(1.0, &pg),
+                        slot @ None => *slot = Some(pg),
+                    }
+                }
+            }
+            // Keep leaf gradients; interior grads were taken and dropped.
+            if node.backward.is_none() {
+                grads[id] = Some(grad_out);
+            }
+        }
+        grads
+    }
+}
+
+impl<'t> Var<'t> {
+    /// The forward value (cloned out of the tape).
+    pub fn value(&self) -> Tensor {
+        self.tape.nodes.borrow()[self.id].value.clone()
+    }
+
+    /// Applies `f` to the forward value without cloning it.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.tape.nodes.borrow()[self.id].value)
+    }
+
+    /// Shape of the forward value.
+    pub fn shape(&self) -> Shape {
+        self.tape.nodes.borrow()[self.id].value.shape().clone()
+    }
+
+    /// Dimension sizes of the forward value.
+    pub fn dims(&self) -> Vec<usize> {
+        self.tape.nodes.borrow()[self.id].value.dims().to_vec()
+    }
+
+    /// Node id on the tape (used by the optimizer to look up gradients).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The tape this var is recorded on. Lets helpers (e.g. loss functions)
+    /// place constants on the same tape as their operands.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// Runs backward from this scalar and returns the gradient table.
+    pub fn backward(&self) -> Gradients {
+        Gradients {
+            grads: self.tape.backward_from(*self),
+        }
+    }
+
+    /// Cuts the graph: the returned var has the same value but gradients
+    /// stop here (PyTorch `detach`).
+    pub fn detach(&self) -> Var<'t> {
+        let v = self.value();
+        self.tape.push(v, Vec::new(), None)
+    }
+}
+
+/// Size snapshot of a tape (see [`Tape::stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TapeStats {
+    /// Total recorded nodes.
+    pub nodes: usize,
+    /// Nodes without a backward function (leaves/constants/detached).
+    pub leaves: usize,
+    /// Bytes held by forward values.
+    pub value_bytes: usize,
+}
+
+/// Result of a backward pass: gradient per node id.
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient of the loss w.r.t. `var`, or `None` if the loss does
+    /// not depend on it.
+    pub fn get(&self, var: Var<'_>) -> Option<&Tensor> {
+        self.grads.get(var.id).and_then(|g| g.as_ref())
+    }
+
+    /// Like [`get`](Self::get) but panics with the node id when missing —
+    /// convenient for parameters that must always receive gradients.
+    pub fn expect(&self, var: Var<'_>) -> &Tensor {
+        self.get(var)
+            .unwrap_or_else(|| panic!("no gradient for node {}", var.id))
+    }
+
+    /// Gradient lookup by raw node id.
+    pub fn by_id(&self, id: usize) -> Option<&Tensor> {
+        self.grads.get(id).and_then(|g| g.as_ref())
+    }
+
+    /// Global gradient L2 norm over the given vars (for clipping).
+    pub fn global_norm(&self, vars: &[Var<'_>]) -> f32 {
+        let mut acc = 0.0f64;
+        for v in vars {
+            if let Some(g) = self.get(*v) {
+                let n = g.norm_l2() as f64;
+                acc += n * n;
+            }
+        }
+        acc.sqrt() as f32
+    }
+}
+
+/// Reduces `grad` (shaped like the broadcast output) back to `target`
+/// (an operand's shape) by summing over stretched dimensions.
+pub(crate) fn reduce_grad_to_shape(grad: &Tensor, target: &Shape) -> Tensor {
+    if grad.shape() == target {
+        return grad.clone();
+    }
+    let mut g = grad.clone();
+    // Sum away leading dims the operand did not have.
+    while g.rank() > target.rank() {
+        g = g.sum_axis(0);
+    }
+    // Sum over dims where the operand had size 1.
+    for axis in 0..target.rank() {
+        if target.dim(axis) == 1 && g.dim(axis) != 1 {
+            let summed = g.sum_axis(axis);
+            // Re-insert the size-1 axis.
+            let mut dims = summed.dims().to_vec();
+            dims.insert(axis, 1);
+            g = summed.into_reshape(dims.as_slice());
+        }
+    }
+    assert_eq!(
+        g.shape(),
+        target,
+        "reduce_grad_to_shape produced {} for target {}",
+        g.shape(),
+        target
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_value_roundtrip() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        assert_eq!(x.value().as_slice(), &[1.0, 2.0]);
+        assert_eq!(x.dims(), vec![2]);
+    }
+
+    #[test]
+    fn backward_of_identity_sum() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]));
+        let loss = x.sum();
+        let grads = loss.backward();
+        assert_eq!(grads.expect(x).as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gradient_accumulates_over_reuse() {
+        // y = sum(x) + sum(x) -> dy/dx = 2.
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let loss = x.sum().add(&x.sum());
+        let grads = loss.backward();
+        assert_eq!(grads.expect(x).as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![3.0], [1]));
+        let d = x.detach();
+        let loss = d.mul(&x).sum();
+        let grads = loss.backward();
+        // d treated as constant 3.0 -> dL/dx = 3.0 only via the direct path.
+        assert_eq!(grads.expect(x).as_slice(), &[3.0]);
+        assert!(grads.get(x).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar output")]
+    fn backward_rejects_non_scalar() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        x.backward();
+    }
+
+    #[test]
+    fn unrelated_nodes_have_no_gradient() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0], [1]));
+        let y = tape.leaf(Tensor::from_vec(vec![5.0], [1]));
+        let loss = x.sum();
+        let grads = loss.backward();
+        assert!(grads.get(y).is_none());
+    }
+
+    #[test]
+    fn reduce_grad_handles_leading_and_inner_broadcast() {
+        let g = Tensor::ones([2, 3, 4]);
+        let r = reduce_grad_to_shape(&g, &Shape::new(&[3, 1]));
+        assert_eq!(r.dims(), &[3, 1]);
+        assert_eq!(r.as_slice(), &[8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn tape_stats_count_nodes_and_bytes() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros([4])); // 16 bytes
+        let _y = x.scale(2.0).add(&x); // two more nodes, 16 bytes each
+        let stats = tape.stats();
+        assert_eq!(stats.nodes, 3);
+        assert_eq!(stats.leaves, 1);
+        assert_eq!(stats.value_bytes, 3 * 16);
+    }
+
+    #[test]
+    fn global_norm_combines_params() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![3.0], [1]));
+        let y = tape.leaf(Tensor::from_vec(vec![4.0], [1]));
+        // loss = 3x + 4y -> grads (3, 4) -> global norm 5.
+        let loss = x.scale(3.0).add(&y.scale(4.0)).sum();
+        let grads = loss.backward();
+        assert!((grads.global_norm(&[x, y]) - 5.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based gradient checks: random composite graphs over random
+//! inputs must match finite differences.
+
+use proptest::prelude::*;
+use sagdfn_autodiff::gradcheck::check_gradients;
+use sagdfn_tensor::{Rng64, Tensor};
+
+fn tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    Tensor::rand_uniform(shape, -1.0, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chains of unary ops keep correct gradients.
+    #[test]
+    fn unary_chains(seed in 0u64..10_000, which in 0usize..5) {
+        let x = tensor(&[2, 3], seed);
+        check_gradients(&[x], |_, v| {
+            // Keep non-smooth ops (relu/abs) away from their kinks: inputs
+            // are in [-1, 1], so shifting by 2 keeps them strictly one-sided
+            // (finite differences are invalid within eps of a kink).
+            let y = match which {
+                0 => v[0].sigmoid().tanh(),
+                1 => v[0].tanh().square(),
+                2 => v[0].add_scalar(2.0).relu().sqrt(),
+                3 => v[0].square().exp().scale(0.1),
+                _ => v[0].add_scalar(-2.0).abs().scale(2.0),
+            };
+            y.sum()
+        });
+    }
+
+    /// Binary broadcast combinations keep correct gradients.
+    #[test]
+    fn binary_broadcasts(seed in 0u64..10_000, rows in 1usize..4, cols in 1usize..4) {
+        let a = tensor(&[rows, cols], seed);
+        let b = tensor(&[cols], seed ^ 0xABCD);
+        check_gradients(&[a, b], |_, v| {
+            v[0].mul(&v[1]).add(&v[0]).square().sum()
+        });
+    }
+
+    /// matmul chains with reshapes keep correct gradients.
+    #[test]
+    fn matmul_chains(seed in 0u64..10_000, m in 1usize..4, k in 1usize..4, n in 1usize..4) {
+        let a = tensor(&[m, k], seed);
+        let b = tensor(&[k, n], seed ^ 0x1111);
+        check_gradients(&[a, b], |_, v| {
+            v[0].matmul(&v[1]).tanh().sum()
+        });
+    }
+
+    /// Structural ops (concat / slice / select) keep correct gradients.
+    #[test]
+    fn structural_ops(seed in 0u64..10_000, rows in 2usize..5) {
+        let a = tensor(&[rows, 3], seed);
+        check_gradients(&[a], |_, v| {
+            let first = v[0].slice_axis(0, 0, 1);
+            let picked = v[0].index_select(0, &[rows - 1, 0]);
+            let cat = sagdfn_autodiff::Var::concat(&[first, picked], 0);
+            cat.square().sum()
+        });
+    }
+
+    /// entmax rows keep correct gradients across alphas (away from the
+    /// non-smooth support boundaries, which random inputs avoid a.s.).
+    #[test]
+    fn entmax_rows_grad(seed in 0u64..2_000, alpha_i in 0usize..3) {
+        let alpha = [1.0f32, 1.5, 1.25][alpha_i];
+        let x = tensor(&[2, 4], seed);
+        let w = tensor(&[2, 4], seed ^ 0x7777);
+        check_gradients(&[x], move |tape, v| {
+            let wv = tape.constant(w.clone());
+            v[0].entmax_rows(alpha).mul_const(&wv.value()).sum()
+        });
+    }
+
+    /// Gradient accumulation over fan-out is exact: f(x) used twice.
+    #[test]
+    fn fanout_accumulation(seed in 0u64..10_000) {
+        let x = tensor(&[3], seed);
+        check_gradients(&[x], |_, v| {
+            let s = v[0].sigmoid();
+            s.mul(&s).add(&s.scale(0.5)).sum()
+        });
+    }
+}

@@ -1,0 +1,90 @@
+//! Historical Average: predict each node's future as the mean of its
+//! input window. The weakest sane baseline; used as a floor in the tables
+//! and as a sanity anchor in tests (every deep model must beat it on
+//! seasonal data with horizon-dependent trends).
+
+use crate::{FitSummary, Forecaster};
+use sagdfn_data::{SlidingWindows, ThreeWaySplit};
+use sagdfn_memsim::ModelFamily;
+use sagdfn_tensor::Tensor;
+
+/// Window-mean forecaster.
+#[derive(Default)]
+pub struct HistoricalAverage;
+
+impl Forecaster for HistoricalAverage {
+    fn name(&self) -> &'static str {
+        "HA"
+    }
+
+    fn family(&self) -> ModelFamily {
+        // Zero-memory; report under VAR's classical bucket.
+        ModelFamily::Var
+    }
+
+    fn fit(&mut self, _split: &ThreeWaySplit) -> FitSummary {
+        FitSummary::default()
+    }
+
+    fn predict(&self, windows: &SlidingWindows) -> (Tensor, Tensor) {
+        let (f, n) = (windows.f(), windows.nodes());
+        let num = windows.len();
+        let mut preds = vec![0.0f32; f * num * n];
+        let mut targets = vec![0.0f32; f * num * n];
+        for w in 0..num {
+            let (input, target) = windows.raw_window(w);
+            // Per-node mean over the h input steps, ignoring zeros
+            // (missing readings) so they don't drag the average down.
+            let h = input.dim(0);
+            for node in 0..n {
+                let mut sum = 0.0f32;
+                let mut cnt = 0usize;
+                for t in 0..h {
+                    let v = input.as_slice()[t * n + node];
+                    if v != 0.0 {
+                        sum += v;
+                        cnt += 1;
+                    }
+                }
+                let mean = if cnt > 0 { sum / cnt as f32 } else { 0.0 };
+                for t in 0..f {
+                    preds[(t * num + w) * n + node] = mean;
+                    targets[(t * num + w) * n + node] = target.as_slice()[t * n + node];
+                }
+            }
+        }
+        (
+            Tensor::from_vec(preds, [f, num, n]),
+            Tensor::from_vec(targets, [f, num, n]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_data::{ForecastDataset, SplitSpec};
+
+    #[test]
+    fn predicts_window_mean() {
+        // Constant series -> perfect forecast.
+        let data = ForecastDataset::new("c", Tensor::full([60, 2], 5.0), 5, 0);
+        let split = ThreeWaySplit::new(data, SplitSpec::paper(4, 4));
+        let mut ha = HistoricalAverage;
+        ha.fit(&split);
+        let m = ha.evaluate(&split.test);
+        assert!(m.iter().all(|m| m.mae < 1e-5));
+    }
+
+    #[test]
+    fn errors_grow_on_trending_series() {
+        // Linear growth: HA lags further behind at longer horizons.
+        let vals: Vec<f32> = (0..200).flat_map(|t| [t as f32 + 1.0; 1]).collect();
+        let data = ForecastDataset::new("t", Tensor::from_vec(vals, [200, 1]), 5, 0);
+        let split = ThreeWaySplit::new(data, SplitSpec::paper(6, 6));
+        let mut ha = HistoricalAverage;
+        ha.fit(&split);
+        let m = ha.evaluate(&split.test);
+        assert!(m[5].mae > m[0].mae, "horizon 6 {} <= horizon 1 {}", m[5].mae, m[0].mae);
+    }
+}

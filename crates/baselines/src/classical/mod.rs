@@ -1,0 +1,11 @@
+//! Classical statistical baselines: Historical Average, ARIMA, VAR, SVR.
+
+pub mod arima;
+pub mod ha;
+pub mod svr;
+pub mod var;
+
+pub use arima::Arima;
+pub use ha::HistoricalAverage;
+pub use svr::Svr;
+pub use var::Var;

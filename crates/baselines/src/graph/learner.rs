@@ -1,0 +1,314 @@
+//! Graph-learning mechanisms of the baseline families.
+
+use sagdfn_autodiff::{Tape, Var};
+use sagdfn_nn::{Activation, Binding, Linear, Mlp, ParamId, Params};
+use sagdfn_tensor::{Rng64, Tensor};
+
+/// How a baseline derives its dense `N×N` adjacency each step.
+pub enum GraphSource {
+    /// Fixed topology matrix (DCRNN, STGCN, STSGCN).
+    Predefined(Tensor),
+    /// `softmax(relu(E E^T))` from one embedding table (AGCRN).
+    AdaptiveInner {
+        /// Node embeddings `E ∈ R^{N×d}`.
+        e: ParamId,
+    },
+    /// Bidirectional embeddings (Graph WaveNet / MTGNN):
+    /// `act(E1 E2^T)` row-normalized; `uni = true` uses MTGNN's
+    /// antisymmetric `relu(tanh(E1 E2^T − E2 E1^T))`.
+    AdaptiveBi {
+        /// Source embeddings.
+        e1: ParamId,
+        /// Destination embeddings.
+        e2: ParamId,
+        /// MTGNN's unidirectional construction.
+        uni: bool,
+    },
+    /// Blend of a predefined topology and an adaptive inner-product
+    /// matrix (Graph WaveNet's double support; D2STGNN's decoupled graph).
+    Mixed {
+        /// The fixed support.
+        topo: Tensor,
+        /// Adaptive embeddings.
+        e: ParamId,
+    },
+    /// Query/key attention over static node embeddings (GMAN, ASTGCN).
+    Attention {
+        /// Embeddings attended over.
+        e: ParamId,
+        /// Query projection.
+        wq: Linear,
+        /// Key projection.
+        wk: Linear,
+        /// `1/√d_k` temperature.
+        scale: f32,
+    },
+    /// Pairwise FFN over per-node features extracted from the training
+    /// series (GTS, STEP): `A_ij = σ(FFN([φ_i ‖ φ_j]))`. Features are
+    /// supplied at fit time via [`GraphSource::set_features`].
+    Pairwise {
+        /// Per-node feature table `(N, F)`; `None` until fit.
+        feats: Option<Tensor>,
+        /// The pairwise scorer.
+        mlp: Mlp,
+    },
+}
+
+impl GraphSource {
+    /// AGCRN-style source.
+    pub fn adaptive_inner(params: &mut Params, n: usize, d: usize, rng: &mut Rng64) -> Self {
+        GraphSource::AdaptiveInner {
+            e: params.add("graph.e", Tensor::rand_normal([n, d], 0.0, 0.3, rng)),
+        }
+    }
+
+    /// Graph WaveNet / MTGNN-style source.
+    pub fn adaptive_bi(
+        params: &mut Params,
+        n: usize,
+        d: usize,
+        uni: bool,
+        rng: &mut Rng64,
+    ) -> Self {
+        GraphSource::AdaptiveBi {
+            e1: params.add("graph.e1", Tensor::rand_normal([n, d], 0.0, 0.3, rng)),
+            e2: params.add("graph.e2", Tensor::rand_normal([n, d], 0.0, 0.3, rng)),
+            uni,
+        }
+    }
+
+    /// Mixed predefined + adaptive source.
+    pub fn mixed(params: &mut Params, topo: Tensor, d: usize, rng: &mut Rng64) -> Self {
+        let n = topo.dim(0);
+        GraphSource::Mixed {
+            topo,
+            e: params.add("graph.e", Tensor::rand_normal([n, d], 0.0, 0.3, rng)),
+        }
+    }
+
+    /// GMAN/ASTGCN-style attention source.
+    pub fn attention(params: &mut Params, n: usize, d: usize, rng: &mut Rng64) -> Self {
+        GraphSource::Attention {
+            e: params.add("graph.e", Tensor::rand_normal([n, d], 0.0, 0.3, rng)),
+            wq: Linear::new(params, "graph.wq", d, d, false, rng),
+            wk: Linear::new(params, "graph.wk", d, d, false, rng),
+            scale: 1.0 / (d as f32).sqrt(),
+        }
+    }
+
+    /// GTS/STEP-style pairwise source. `depth` ≥ 1 hidden layers (STEP's
+    /// "pre-training enhanced" scorer gets a deeper stack).
+    pub fn pairwise(params: &mut Params, feat_dim: usize, depth: usize, rng: &mut Rng64) -> Self {
+        let mut dims = vec![2 * feat_dim];
+        for _ in 0..depth {
+            dims.push(feat_dim.max(8));
+        }
+        dims.push(1);
+        GraphSource::Pairwise {
+            feats: None,
+            mlp: Mlp::new(params, "graph.pairwise", &dims, Activation::Relu, rng),
+        }
+    }
+
+    /// Installs the per-node feature table (pairwise sources only).
+    pub fn set_features(&mut self, features: Tensor) {
+        if let GraphSource::Pairwise { feats, .. } = self {
+            *feats = Some(features);
+        }
+    }
+
+    /// Extracts GTS-style node features from a training series: per-node
+    /// mean, std, and a `buckets`-point average daily profile, z-scored
+    /// across nodes per column.
+    pub fn series_features(
+        values: &Tensor,
+        steps_per_day: usize,
+        buckets: usize,
+    ) -> Tensor {
+        let (t_len, n) = (values.dim(0), values.dim(1));
+        let v = values.as_slice();
+        let fdim = 2 + buckets;
+        let mut out = vec![0.0f32; n * fdim];
+        for node in 0..n {
+            let series: Vec<f32> = (0..t_len).map(|t| v[t * n + node]).collect();
+            let mean = series.iter().sum::<f32>() / t_len as f32;
+            let var =
+                series.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t_len as f32;
+            out[node * fdim] = mean;
+            out[node * fdim + 1] = var.sqrt();
+            let mut sums = vec![0.0f32; buckets];
+            let mut counts = vec![0usize; buckets];
+            for (t, &x) in series.iter().enumerate() {
+                let slot = (t % steps_per_day) * buckets / steps_per_day.max(1);
+                sums[slot.min(buckets - 1)] += x;
+                counts[slot.min(buckets - 1)] += 1;
+            }
+            for bkt in 0..buckets {
+                out[node * fdim + 2 + bkt] = sums[bkt] / counts[bkt].max(1) as f32;
+            }
+        }
+        // z-score each column so FFN inputs are well-conditioned.
+        for col in 0..fdim {
+            let mean = (0..n).map(|i| out[i * fdim + col]).sum::<f32>() / n as f32;
+            let var = (0..n)
+                .map(|i| (out[i * fdim + col] - mean).powi(2))
+                .sum::<f32>()
+                / n as f32;
+            let std = var.sqrt().max(1e-6);
+            for i in 0..n {
+                out[i * fdim + col] = (out[i * fdim + col] - mean) / std;
+            }
+        }
+        Tensor::from_vec(out, [n, fdim])
+    }
+
+    /// Computes the dense adjacency for this step.
+    pub fn adjacency<'t>(&self, tape: &'t Tape, bind: &Binding<'t>) -> Var<'t> {
+        match self {
+            GraphSource::Predefined(topo) => tape.constant(topo.clone()),
+            GraphSource::AdaptiveInner { e } => {
+                let ev = bind.var(*e);
+                ev.matmul(&ev.transpose_last2()).relu().softmax_rows()
+            }
+            GraphSource::AdaptiveBi { e1, e2, uni } => {
+                let a = bind.var(*e1).matmul(&bind.var(*e2).transpose_last2());
+                if *uni {
+                    a.sub(&a.transpose_last2()).tanh().relu()
+                } else {
+                    a.relu().softmax_rows()
+                }
+            }
+            GraphSource::Mixed { topo, e } => {
+                let ev = bind.var(*e);
+                let adaptive = ev.matmul(&ev.transpose_last2()).relu().softmax_rows();
+                let fixed = tape.constant(topo.clone());
+                adaptive.scale(0.5).add(&fixed.scale(0.5))
+            }
+            GraphSource::Attention { e, wq, wk, scale } => {
+                let ev = bind.var(*e);
+                let q = wq.forward(bind, ev);
+                let k = wk.forward(bind, ev);
+                q.matmul(&k.transpose_last2()).scale(*scale).softmax_rows()
+            }
+            GraphSource::Pairwise { feats, mlp } => {
+                let feats = feats
+                    .as_ref()
+                    .expect("pairwise graph source needs set_features() before use");
+                let n = feats.dim(0);
+                let fv = tape.constant(feats.clone());
+                let left: Vec<usize> =
+                    (0..n).flat_map(|i| std::iter::repeat_n(i, n)).collect();
+                let right: Vec<usize> = (0..n).flat_map(|_| 0..n).collect();
+                let pair = Var::concat(
+                    &[fv.index_select(0, &left), fv.index_select(0, &right)],
+                    1,
+                ); // (N², 2F)
+                mlp.forward(bind, pair).sigmoid().reshape([n, n])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_autodiff::Tape;
+
+    fn check_shape_and_grad(build: impl FnOnce(&mut Params, &mut Rng64) -> GraphSource, n: usize) {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(0);
+        let src = build(&mut params, &mut rng);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let a = src.adjacency(&tape, &bind);
+        assert_eq!(a.dims(), vec![n, n]);
+        assert!(a.value().all_finite());
+        if !params.is_empty() {
+            let grads = a.square().sum().backward();
+            let any = params.ids().any(|id| bind.grad(&grads, id).is_some());
+            assert!(any, "no parameter received gradients");
+        }
+    }
+
+    #[test]
+    fn predefined_is_constant() {
+        let topo = Tensor::rand_uniform([6, 6], 0.0, 1.0, &mut Rng64::new(1));
+        check_shape_and_grad(|_, _| GraphSource::Predefined(topo.clone()), 6);
+    }
+
+    #[test]
+    fn adaptive_inner_rows_are_distributions() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(2);
+        let src = GraphSource::adaptive_inner(&mut params, 8, 4, &mut rng);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let a = src.adjacency(&tape, &bind).value();
+        for row in a.as_slice().chunks(8) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn adaptive_bi_uni_is_nonnegative() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(3);
+        let src = GraphSource::adaptive_bi(&mut params, 7, 4, true, &mut rng);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let a = src.adjacency(&tape, &bind).value();
+        assert!(a.as_slice().iter().all(|&v| v >= 0.0));
+        // Antisymmetric construction: a_ij > 0 implies a_ji == 0.
+        for i in 0..7 {
+            for j in 0..7 {
+                let (x, y) = (a.at(&[i, j]), a.at(&[j, i]));
+                assert!(x == 0.0 || y == 0.0, "both directions active at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_and_mixed_shapes() {
+        check_shape_and_grad(|p, r| GraphSource::attention(p, 5, 4, r), 5);
+        let topo = Tensor::rand_uniform([5, 5], 0.0, 1.0, &mut Rng64::new(4));
+        check_shape_and_grad(|p, r| GraphSource::mixed(p, topo.clone(), 4, r), 5);
+    }
+
+    #[test]
+    fn pairwise_needs_features() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(5);
+        let mut src = GraphSource::pairwise(&mut params, 6, 1, &mut rng);
+        src.set_features(Tensor::rand_uniform([4, 6], -1.0, 1.0, &mut rng));
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let a = src.adjacency(&tape, &bind).value();
+        assert_eq!(a.dims(), &[4, 4]);
+        assert!(a.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "set_features")]
+    fn pairwise_without_features_panics() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(6);
+        let src = GraphSource::pairwise(&mut params, 6, 1, &mut rng);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        src.adjacency(&tape, &bind);
+    }
+
+    #[test]
+    fn series_features_shape_and_normalization() {
+        let mut rng = Rng64::new(7);
+        let vals = Tensor::rand_uniform([288 * 2, 5], 10.0, 60.0, &mut rng);
+        let f = GraphSource::series_features(&vals, 288, 8);
+        assert_eq!(f.dims(), &[5, 10]);
+        // Columns are z-scored: per-column mean ≈ 0.
+        for col in 0..10 {
+            let mean: f32 = (0..5).map(|i| f.as_slice()[i * 10 + col]).sum::<f32>() / 5.0;
+            assert!(mean.abs() < 1e-4, "col {col} mean {mean}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Graph-based baselines, organized by the paper's own taxonomy
+//! (Section V.A): *predefined* adjacency, *adaptive inner-product*
+//! adjacency, *attention* adjacency, and *pairwise-FFN* adjacency.
+//!
+//! Two architectural templates cover the ten graph baselines:
+//!
+//! * [`recurrent::RecurrentGraphNet`] — encoder-decoder GRU with graph
+//!   convolutions (reusing `sagdfn-core`'s `OneStepFastGConv` with a
+//!   dense adjacency): DCRNN, AGCRN, GTS, STEP, D2STGNN;
+//! * [`direct::DirectGraphNet`] — flatten-time projection, residual
+//!   diffusion layers, direct multi-horizon head: STGCN, Graph WaveNet,
+//!   MTGNN, GMAN, ASTGCN, STSGCN.
+//!
+//! Each model keeps the *graph-learning mechanism* of its namesake —
+//! that mechanism is what the paper's comparison isolates — while depth
+//! and embellishments are reduced (see DESIGN.md §2).
+
+pub mod direct;
+pub mod learner;
+pub mod recurrent;
+
+pub use direct::DirectGraphNet;
+pub use learner::GraphSource;
+pub use recurrent::RecurrentGraphNet;

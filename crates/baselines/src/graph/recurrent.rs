@@ -1,0 +1,297 @@
+//! Recurrent graph baselines: encoder-decoder GRU with dense graph
+//! convolutions — the DCRNN family. Reuses `sagdfn-core`'s
+//! `OneStepFastGConv` cell with [`Adjacency::Dense`], which is exactly
+//! DCRNN's diffusion-convolutional GRU; the family members differ only in
+//! where the adjacency comes from ([`GraphSource`]) and whether a
+//! decoupled per-node temporal branch is added (D2STGNN).
+
+use crate::deep::{evaluate_deep, fit_deep, predict_deep, DeepConfig, DeepForecast};
+use crate::graph::learner::GraphSource;
+use crate::{FitSummary, Forecaster};
+use sagdfn_autodiff::{Tape, Var};
+use sagdfn_core::cell::OneStepFastGConv;
+use sagdfn_core::gconv::Adjacency;
+use sagdfn_data::{Batch, Metrics, SlidingWindows, ThreeWaySplit, ZScore};
+use sagdfn_memsim::ModelFamily;
+use sagdfn_nn::{Binding, GruCell, Linear, Params};
+use sagdfn_tensor::{Rng64, Tensor};
+
+/// Encoder-decoder graph GRU with a pluggable adjacency source.
+pub struct RecurrentGraphNet {
+    params: Params,
+    source: GraphSource,
+    encoder: OneStepFastGConv,
+    decoder: OneStepFastGConv,
+    /// D2STGNN's decoupled temporal branch: a per-node GRU whose
+    /// prediction is averaged with the graph branch's.
+    temporal_branch: Option<(GruCell, Linear)>,
+    hidden: usize,
+    cfg: DeepConfig,
+    name: &'static str,
+    family: ModelFamily,
+}
+
+impl RecurrentGraphNet {
+    fn build(
+        name: &'static str,
+        family: ModelFamily,
+        cfg: DeepConfig,
+        depth: usize,
+        make_source: impl FnOnce(&mut Params, &mut Rng64) -> GraphSource,
+        dual: bool,
+    ) -> Self {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(cfg.seed ^ family as u64);
+        let source = make_source(&mut params, &mut rng);
+        let encoder =
+            OneStepFastGConv::new(&mut params, "enc", 3, cfg.hidden, None, depth, &mut rng);
+        let decoder =
+            OneStepFastGConv::new(&mut params, "dec", 3, cfg.hidden, Some(1), depth, &mut rng);
+        let temporal_branch = dual.then(|| {
+            (
+                GruCell::new(&mut params, "tbranch", 3, cfg.hidden, &mut rng),
+                Linear::new(&mut params, "tbranch.head", cfg.hidden, 1, true, &mut rng),
+            )
+        });
+        RecurrentGraphNet {
+            params,
+            source,
+            encoder,
+            decoder,
+            temporal_branch,
+            hidden: cfg.hidden,
+            cfg,
+            name,
+            family,
+        }
+    }
+
+    /// DCRNN: predefined row-topology adjacency.
+    pub fn dcrnn(topology: Tensor, cfg: DeepConfig) -> Self {
+        Self::build(
+            "DCRNN",
+            ModelFamily::Dcrnn,
+            cfg,
+            2,
+            move |_, _| GraphSource::Predefined(topology),
+            false,
+        )
+    }
+
+    /// AGCRN: adaptive inner-product adjacency.
+    pub fn agcrn(n: usize, cfg: DeepConfig) -> Self {
+        let d = cfg.embed;
+        Self::build(
+            "AGCRN",
+            ModelFamily::Agcrn,
+            cfg,
+            2,
+            move |p, r| GraphSource::adaptive_inner(p, n, d, r),
+            false,
+        )
+    }
+
+    /// GTS: pairwise-FFN adjacency over training-series features.
+    pub fn gts(feat_dim: usize, cfg: DeepConfig) -> Self {
+        Self::build(
+            "GTS",
+            ModelFamily::Gts,
+            cfg,
+            2,
+            move |p, r| GraphSource::pairwise(p, feat_dim, 1, r),
+            false,
+        )
+    }
+
+    /// STEP: GTS with a deeper (pretraining-enhanced) pairwise scorer.
+    pub fn step(feat_dim: usize, cfg: DeepConfig) -> Self {
+        Self::build(
+            "STEP",
+            ModelFamily::Step,
+            cfg,
+            3,
+            move |p, r| GraphSource::pairwise(p, feat_dim, 2, r),
+            false,
+        )
+    }
+
+    /// D2STGNN(c): mixed predefined/adaptive graph plus a decoupled
+    /// per-node temporal branch.
+    pub fn d2stgnn(topology: Tensor, cfg: DeepConfig) -> Self {
+        let d = cfg.embed;
+        Self::build(
+            "D2STGNN(c)",
+            ModelFamily::D2stgnn,
+            cfg,
+            2,
+            move |p, r| GraphSource::mixed(p, topology, d, r),
+            true,
+        )
+    }
+
+    /// Installs pairwise features (GTS/STEP) from the training series.
+    fn prime_features(&mut self, split: &ThreeWaySplit) {
+        if matches!(self.source, GraphSource::Pairwise { .. }) {
+            let data = split.train.dataset();
+            let steps_per_day = (24 * 60 / data.interval_min as usize).max(1);
+            let feats = GraphSource::series_features(&data.values, steps_per_day, 6);
+            self.source.set_features(feats);
+        }
+    }
+}
+
+impl DeepForecast for RecurrentGraphNet {
+    fn params(&self) -> &Params {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
+    fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        bind: &Binding<'t>,
+        batch: &Batch,
+        scaler: ZScore,
+    ) -> Var<'t> {
+        let (h_len, b, n) = (batch.x.dim(0), batch.x.dim(1), batch.x.dim(2));
+        let f_len = batch.y.dim(0);
+        let adj = Adjacency::Dense(self.source.adjacency(tape, bind));
+
+        let mut h = tape.constant(Tensor::zeros([b, n, self.hidden]));
+        let mut h_temporal = tape.constant(Tensor::zeros([b * n, self.hidden]));
+        for t in 0..h_len {
+            let x_t = batch.x.slice_axis(0, t, t + 1);
+            let xg = tape.constant(x_t.reshape([b, n, 3]));
+            h = self.encoder.step_hidden(bind, &adj, xg, h);
+            if let Some((gru, _)) = &self.temporal_branch {
+                let xt = tape.constant(x_t.into_reshape([b * n, 3]));
+                h_temporal = gru.step(bind, xt, h_temporal);
+            }
+        }
+
+        let mut value = tape.constant(
+            scaler
+                .transform(&batch.x_last_raw)
+                .into_reshape([b, n, 1]),
+        );
+        let mut preds = Vec::with_capacity(f_len);
+        for t in 0..f_len {
+            let cov = tape.constant(
+                batch
+                    .future_cov
+                    .slice_axis(0, t, t + 1)
+                    .into_reshape([b, n, 2]),
+            );
+            let dec_in = Var::concat(&[value, cov], 2);
+            let (h_new, mut pred) = self.decoder.step(bind, &adj, dec_in, h);
+            h = h_new;
+            if let Some((gru, head)) = &self.temporal_branch {
+                let xt = dec_in.reshape([b * n, 3]);
+                h_temporal = gru.step(bind, xt, h_temporal);
+                let p2 = head.forward(bind, h_temporal).reshape([b, n, 1]);
+                pred = pred.add(&p2).scale(0.5);
+            }
+            preds.push(pred);
+            value = pred;
+        }
+        Var::stack(&preds, 0)
+            .reshape([f_len, b, n])
+            .scale(scaler.std)
+            .add_scalar(scaler.mean)
+    }
+}
+
+impl Forecaster for RecurrentGraphNet {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn family(&self) -> ModelFamily {
+        self.family
+    }
+
+    fn fit(&mut self, split: &ThreeWaySplit) -> FitSummary {
+        self.prime_features(split);
+        let cfg = self.cfg.clone();
+        fit_deep(self, split, &cfg)
+    }
+
+    fn predict(&self, windows: &SlidingWindows) -> (Tensor, Tensor) {
+        predict_deep(self, windows, self.cfg.batch_size)
+    }
+
+    fn evaluate(&self, windows: &SlidingWindows) -> Vec<Metrics> {
+        evaluate_deep(self, windows, self.cfg.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_data::{Scale, SplitSpec};
+
+    fn tiny() -> (sagdfn_data::synth::TrafficData, ThreeWaySplit, DeepConfig) {
+        let data = sagdfn_data::metr_la_like(Scale::Tiny);
+        let split = ThreeWaySplit::new(
+            data.dataset.subset_steps(0, 350).clone(),
+            SplitSpec::paper(4, 4),
+        );
+        let mut cfg = DeepConfig::for_scale(Scale::Tiny);
+        cfg.epochs = 2;
+        cfg.batch_size = 16;
+        (data, split, cfg)
+    }
+
+    #[test]
+    fn dcrnn_trains() {
+        let (data, split, cfg) = tiny();
+        let topo = data.graph.adj.topk_rows(6).weights().clone();
+        let mut model = RecurrentGraphNet::dcrnn(topo, cfg);
+        let s = model.fit(&split);
+        assert!(s.epochs_run >= 1);
+        let m = model.evaluate(&split.test);
+        assert!(m[0].mae < 15.0, "DCRNN horizon-1 MAE {}", m[0].mae);
+    }
+
+    #[test]
+    fn agcrn_trains() {
+        let (data, split, cfg) = tiny();
+        let mut model = RecurrentGraphNet::agcrn(data.dataset.nodes(), cfg);
+        model.fit(&split);
+        let m = model.evaluate(&split.test);
+        assert!(m[0].mae < 15.0, "AGCRN horizon-1 MAE {}", m[0].mae);
+    }
+
+    #[test]
+    fn gts_primes_features_and_trains() {
+        let (_, split, cfg) = tiny();
+        let mut model = RecurrentGraphNet::gts(8, cfg);
+        let s = model.fit(&split);
+        assert!(s.param_count > 0);
+        let m = model.evaluate(&split.test);
+        assert!(m[0].mae.is_finite());
+    }
+
+    #[test]
+    fn d2stgnn_dual_branch_runs() {
+        let (data, split, cfg) = tiny();
+        let topo = data.graph.adj.topk_rows(6).weights().clone();
+        let mut model = RecurrentGraphNet::d2stgnn(topo, cfg);
+        model.fit(&split);
+        let m = model.evaluate(&split.test);
+        assert!(m[0].mae < 15.0, "D2STGNN horizon-1 MAE {}", m[0].mae);
+    }
+
+    #[test]
+    fn names_match_paper_rows() {
+        let (data, _, cfg) = tiny();
+        let topo = data.graph.adj.weights().clone();
+        assert_eq!(RecurrentGraphNet::dcrnn(topo, cfg.clone()).name(), "DCRNN");
+        assert_eq!(RecurrentGraphNet::agcrn(5, cfg.clone()).name(), "AGCRN");
+        assert_eq!(RecurrentGraphNet::gts(8, cfg.clone()).name(), "GTS");
+        assert_eq!(RecurrentGraphNet::step(8, cfg).name(), "STEP");
+    }
+}

@@ -1,0 +1,76 @@
+//! # sagdfn-baselines
+//!
+//! Reimplementations of every baseline the paper compares against,
+//! sharing the `sagdfn-*` substrate so Tables III–X can be regenerated on
+//! one stack. The models fall into four templates (see DESIGN.md §2 for
+//! the `-lite` fidelity notes):
+//!
+//! | Template | Paper models |
+//! |---|---|
+//! | [`classical`] | Historical Average, ARIMA, VAR, SVR |
+//! | [`temporal`] (no graph) | LSTM; Table IX's TimesNet / FEDformer / ETSformer proxies |
+//! | [`graph::recurrent`] (GRU + graph conv) | DCRNN, AGCRN, GTS, STEP, D2STGNN |
+//! | [`graph::direct`] (flatten-time + graph conv) | STGCN, Graph WaveNet, MTGNN, GMAN, ASTGCN, STSGCN |
+//!
+//! Every model implements [`Forecaster`], so the benchmark harness runs
+//! one loop over `[Box<dyn Forecaster>]` per table. SAGDFN itself gets a
+//! [`Forecaster`] adapter in [`sagdfn_adapter`].
+
+pub mod classical;
+pub mod deep;
+pub mod graph;
+pub mod registry;
+pub mod sagdfn_adapter;
+pub mod temporal;
+
+use sagdfn_data::{Metrics, SlidingWindows, ThreeWaySplit};
+use sagdfn_memsim::ModelFamily;
+use sagdfn_tensor::Tensor;
+
+/// Timing and size accounting captured by [`Forecaster::fit`] — the
+/// columns of the paper's Table X.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FitSummary {
+    /// Total training wall-clock seconds.
+    pub train_seconds: f64,
+    /// Mean seconds per epoch (0 for closed-form classical fits).
+    pub epoch_seconds: f64,
+    /// Trainable scalar count (0 for non-parametric methods).
+    pub param_count: usize,
+    /// Epochs actually run.
+    pub epochs_run: usize,
+}
+
+/// A multivariate forecaster that can be fit on a windowed split and
+/// evaluated per horizon.
+pub trait Forecaster {
+    /// Display name matching the paper's table rows.
+    fn name(&self) -> &'static str;
+
+    /// The memory-model family used for OOM gating at paper scale.
+    fn family(&self) -> ModelFamily;
+
+    /// Trains on `split.train`, using `split.val` for early stopping
+    /// where applicable.
+    fn fit(&mut self, split: &ThreeWaySplit) -> FitSummary;
+
+    /// Predicts over a windowed split, returning `(predictions, targets)`
+    /// as `(f, num_windows, N)` raw-unit tensors.
+    fn predict(&self, windows: &SlidingWindows) -> (Tensor, Tensor);
+
+    /// Per-horizon metrics over a split (default: metrics of
+    /// [`predict`](Self::predict)).
+    fn evaluate(&self, windows: &SlidingWindows) -> Vec<Metrics> {
+        let (pred, target) = self.predict(windows);
+        sagdfn_data::horizon_metrics(&pred, &target)
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    // Compile-time check: the trait stays object-safe, since the harness
+    // stores Vec<Box<dyn Forecaster>>.
+    fn _assert_object_safe(_: &dyn Forecaster) {}
+}

@@ -1,0 +1,121 @@
+//! One-stop construction of every model in the paper's tables.
+
+use crate::classical::{Arima, HistoricalAverage, Svr, Var};
+use crate::deep::DeepConfig;
+use crate::graph::{DirectGraphNet, RecurrentGraphNet};
+use crate::sagdfn_adapter::SagdfnForecaster;
+use crate::temporal::{Ets, FedLite, LstmSeq2Seq, TimesNetLite};
+use crate::Forecaster;
+use sagdfn_core::SagdfnConfig;
+use sagdfn_data::Scale;
+use sagdfn_memsim::ModelFamily;
+use sagdfn_tensor::Tensor;
+
+/// Everything needed to instantiate any model for one dataset.
+#[derive(Clone)]
+pub struct BuildContext {
+    /// Node count of the dataset.
+    pub n: usize,
+    /// History window length.
+    pub h: usize,
+    /// Forecast horizon.
+    pub f: usize,
+    /// Run scale (sizes the deep configs).
+    pub scale: Scale,
+    /// Latent-topology adjacency for predefined-graph models (top-k
+    /// filtered upstream).
+    pub topology: Tensor,
+}
+
+/// GTS/STEP node-feature width (mean, std + 6 daily-profile buckets —
+/// must match `GraphSource::series_features(_, _, 6)`).
+pub const PAIRWISE_FEATURES: usize = 8;
+
+/// Builds one model by family. `Svr` and `Var` cover the classical rows;
+/// `ModelFamily::Sagdfn` returns the full model.
+pub fn build(family: ModelFamily, ctx: &BuildContext) -> Box<dyn Forecaster> {
+    let cfg = DeepConfig::for_scale(ctx.scale);
+    match family {
+        ModelFamily::Arima => Box::new(Arima::new()),
+        ModelFamily::Var => Box::new(Var::new()),
+        ModelFamily::Svr => Box::new(Svr::new()),
+        ModelFamily::Lstm => Box::new(LstmSeq2Seq::new(cfg)),
+        ModelFamily::Dcrnn => Box::new(RecurrentGraphNet::dcrnn(ctx.topology.clone(), cfg)),
+        ModelFamily::Stgcn => Box::new(DirectGraphNet::stgcn(
+            ctx.topology.clone(),
+            ctx.h,
+            ctx.f,
+            cfg,
+        )),
+        ModelFamily::GraphWaveNet => Box::new(DirectGraphNet::graph_wavenet(
+            ctx.topology.clone(),
+            ctx.h,
+            ctx.f,
+            cfg,
+        )),
+        ModelFamily::Gman => Box::new(DirectGraphNet::gman(ctx.n, ctx.h, ctx.f, cfg)),
+        ModelFamily::Agcrn => Box::new(RecurrentGraphNet::agcrn(ctx.n, cfg)),
+        ModelFamily::Mtgnn => Box::new(DirectGraphNet::mtgnn(ctx.n, ctx.h, ctx.f, cfg)),
+        ModelFamily::Astgcn => Box::new(DirectGraphNet::astgcn(ctx.n, ctx.h, ctx.f, cfg)),
+        ModelFamily::Stsgcn => Box::new(DirectGraphNet::stsgcn(
+            ctx.topology.clone(),
+            ctx.h,
+            ctx.f,
+            cfg,
+        )),
+        ModelFamily::Gts => Box::new(RecurrentGraphNet::gts(PAIRWISE_FEATURES, cfg)),
+        ModelFamily::Step => Box::new(RecurrentGraphNet::step(PAIRWISE_FEATURES, cfg)),
+        ModelFamily::D2stgnn => Box::new(RecurrentGraphNet::d2stgnn(ctx.topology.clone(), cfg)),
+        ModelFamily::Sagdfn => Box::new(SagdfnForecaster::new(
+            ctx.n,
+            SagdfnConfig::for_scale(ctx.scale, ctx.n),
+        )),
+    }
+}
+
+/// Extra non-table-III models: HA floor and the Table IX temporal roster.
+pub fn build_extra(name: &str, ctx: &BuildContext) -> Option<Box<dyn Forecaster>> {
+    let cfg = DeepConfig::for_scale(ctx.scale);
+    match name {
+        "HA" => Some(Box::new(HistoricalAverage)),
+        "ETS" => Some(Box::new(Ets::new())),
+        "FED" => Some(Box::new(FedLite::new())),
+        "TIMESNET" => Some(Box::new(TimesNetLite::new(ctx.h, ctx.f, cfg))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> BuildContext {
+        let data = sagdfn_data::metr_la_like(Scale::Tiny);
+        BuildContext {
+            n: data.dataset.nodes(),
+            h: 4,
+            f: 4,
+            scale: Scale::Tiny,
+            topology: data.graph.adj.topk_rows(6).weights().clone(),
+        }
+    }
+
+    #[test]
+    fn builds_all_sixteen_families() {
+        let ctx = ctx();
+        for family in ModelFamily::ALL {
+            let model = build(family, &ctx);
+            assert_eq!(model.family(), family, "{}", model.name());
+            assert_eq!(model.name(), family.name(), "registry name mismatch");
+        }
+    }
+
+    #[test]
+    fn builds_extras() {
+        let ctx = ctx();
+        for name in ["HA", "ETS", "FED", "TIMESNET"] {
+            assert!(build_extra(name, &ctx).is_some(), "{name}");
+        }
+        assert!(build_extra("NOPE", &ctx).is_none());
+    }
+}

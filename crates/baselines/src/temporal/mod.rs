@@ -1,0 +1,24 @@
+//! Temporal-only baselines (no spatial modeling).
+//!
+//! * [`LstmSeq2Seq`] — the paper's LSTM row: shared-weight per-node
+//!   encoder-decoder LSTM.
+//! * [`Ets`] — Holt's linear trend per window; the closed-form proxy for
+//!   ETSformer in Table IX.
+//! * [`FedLite`] — ridge regression on lags plus Fourier time features;
+//!   the frequency-domain proxy for FEDformer.
+//! * [`TimesNetLite`] — an MLP on the window with periodic time features;
+//!   the proxy for TimesNet.
+//!
+//! All four see exactly the same inputs as the graph models but cannot
+//! route information between series — which is why they trail the STGNNs
+//! on spatially-correlated data (paper Tables III & IX).
+
+pub mod ets;
+pub mod fed_lite;
+pub mod lstm;
+pub mod timesnet_lite;
+
+pub use ets::Ets;
+pub use fed_lite::FedLite;
+pub use lstm::LstmSeq2Seq;
+pub use timesnet_lite::TimesNetLite;

@@ -1,0 +1,56 @@
+//! OneStepFastGConv cell step (forward) with slim vs dense adjacency —
+//! the per-time-step cost inside the encoder-decoder unroll.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sagdfn_autodiff::Tape;
+use sagdfn_core::cell::OneStepFastGConv;
+use sagdfn_core::gconv::Adjacency;
+use sagdfn_nn::Params;
+use sagdfn_tensor::{Rng64, Tensor};
+use std::hint::black_box;
+
+fn bench_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("onestep_fast_gconv");
+    group.sample_size(15);
+    let batch = 8usize;
+    let hidden = 32usize;
+    for n in [200usize, 1000] {
+        let m = (n / 20).max(10);
+        let mut rng = Rng64::new(4);
+        let mut params = Params::new();
+        let cell = OneStepFastGConv::new(&mut params, "cell", 3, hidden, Some(1), 3, &mut rng);
+        let slim_w = Tensor::rand_uniform([n, m], 0.0, 1.0, &mut rng);
+        let dense_w = Tensor::rand_uniform([n, n], 0.0, 1.0, &mut rng);
+        let index = rng.sample_indices(n, m);
+        let x0 = Tensor::rand_uniform([batch, n, 3], -1.0, 1.0, &mut rng);
+        let h0 = Tensor::zeros([batch, n, hidden]);
+
+        group.bench_with_input(BenchmarkId::new("slim", n), &n, |b, _| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let bind = params.bind(&tape);
+                let adj = Adjacency::Slim {
+                    weights: tape.constant(slim_w.clone()),
+                    index: index.clone(),
+                };
+                let x = tape.constant(x0.clone());
+                let h = tape.constant(h0.clone());
+                black_box(cell.step(&bind, &adj, x, h).0.value())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let bind = params.bind(&tape);
+                let adj = Adjacency::Dense(tape.constant(dense_w.clone()));
+                let x = tape.constant(x0.clone());
+                let h = tape.constant(h0.clone());
+                black_box(cell.step(&bind, &adj, x, h).0.value())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cell);
+criterion_main!(benches);

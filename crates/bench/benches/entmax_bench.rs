@@ -1,0 +1,51 @@
+//! Normalizer micro-bench: softmax vs sparsemax vs bisection α-entmax
+//! over rows of the sizes the attention module produces (M = 20..200).
+//! Backs the claim that the α-entmax refinement adds negligible cost next
+//! to the graph convolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sagdfn_entmax::{entmax, entmax_backward, softmax, sparsemax};
+use sagdfn_tensor::Rng64;
+use std::hint::black_box;
+
+fn row(m: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Rng64::new(seed);
+    (0..m).map(|_| rng.next_gaussian()).collect()
+}
+
+fn bench_normalizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalizers");
+    for m in [20usize, 100, 200] {
+        let z = row(m, 7);
+        group.bench_with_input(BenchmarkId::new("softmax", m), &z, |b, z| {
+            b.iter(|| black_box(softmax(black_box(z))))
+        });
+        group.bench_with_input(BenchmarkId::new("sparsemax", m), &z, |b, z| {
+            b.iter(|| black_box(sparsemax(black_box(z))))
+        });
+        group.bench_with_input(BenchmarkId::new("entmax_1.5_exact", m), &z, |b, z| {
+            b.iter(|| black_box(sagdfn_entmax::entmax15(black_box(z))))
+        });
+        group.bench_with_input(BenchmarkId::new("entmax_1.5_bisect", m), &z, |b, z| {
+            // Nudge alpha off 1.5 to exercise the bisection path.
+            b.iter(|| black_box(entmax(black_box(z), 1.500004)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entmax_backward");
+    for m in [20usize, 100] {
+        let z = row(m, 9);
+        let p = entmax(&z, 1.5);
+        let g = row(m, 11);
+        group.bench_with_input(BenchmarkId::new("jvp", m), &m, |b, _| {
+            b.iter(|| black_box(entmax_backward(black_box(&p), black_box(&g), 1.5)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalizers, bench_backward);
+criterion_main!(benches);

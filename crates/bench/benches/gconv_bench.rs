@@ -1,0 +1,35 @@
+//! Slim vs dense graph diffusion: the O(NM) vs O(N²) claim of Table I,
+//! measured on the plain-tensor (non-autodiff) reference operators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sagdfn_graph::{DenseAdj, SlimAdj};
+use sagdfn_tensor::{Rng64, Tensor};
+use std::hint::black_box;
+
+fn bench_diffusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_diffusion");
+    group.sample_size(20);
+    let d_feat = 64usize;
+    for n in [200usize, 1000, 2000] {
+        let m = (n / 20).max(10);
+        let mut rng = Rng64::new(9);
+        let x = Tensor::rand_uniform([n, d_feat], -1.0, 1.0, &mut rng);
+
+        let slim = SlimAdj::new(
+            Tensor::rand_uniform([n, m], 0.0, 1.0, &mut rng),
+            rng.sample_indices(n, m),
+        );
+        group.bench_with_input(BenchmarkId::new("slim_NxM", n), &n, |b, _| {
+            b.iter(|| black_box(slim.diffuse_step(black_box(&x))))
+        });
+
+        let dense = DenseAdj::new(Tensor::rand_uniform([n, n], 0.0, 1.0, &mut rng));
+        group.bench_with_input(BenchmarkId::new("dense_NxN", n), &n, |b, _| {
+            b.iter(|| black_box(dense.diffuse_step(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diffusion);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Tensor substrate micro-bench: the blocked matmul kernel at the shapes
+//! the model's gates actually hit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sagdfn_tensor::{Rng64, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = Rng64::new(1);
+    for &(m, k, n) in &[
+        (128usize, 64usize, 64usize), // gate transform, small batch
+        (512, 96, 64),                // (B·N, in) x (in, D)
+        (2000, 100, 100),             // slim adjacency x neighbor block
+    ] {
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((m * k * n) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("f32", format!("{m}x{k}x{n}")),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| black_box(a.matmul(black_box(b)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end scalability: one full SAGDFN training iteration (forward +
+//! backward + Adam step) as N grows with M fixed at 5 % — the headline
+//! claim that cost scales O(NM), not O(N²).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sagdfn_autodiff::Tape;
+use sagdfn_core::{Sagdfn, SagdfnConfig};
+use sagdfn_data::{Scale, SplitSpec, ThreeWaySplit};
+use sagdfn_nn::{masked_mae, Adam, Optimizer};
+use std::hint::black_box;
+
+fn bench_training_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sagdfn_training_iteration");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let data = sagdfn_data::synth::TrafficConfig {
+            nodes: n,
+            steps: 288,
+            ..sagdfn_data::synth::TrafficConfig::default()
+        }
+        .generate("bench");
+        let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(6, 6));
+        let mut cfg = SagdfnConfig::for_scale(Scale::Tiny, n);
+        cfg.m = (n / 20).max(4);
+        cfg.top_k = (cfg.m * 3 / 4).max(1).min(cfg.m - 1);
+        cfg.batch_size = 4;
+        let batch = split.train.make_batch(&[0, 1, 2, 3]);
+        group.bench_with_input(BenchmarkId::new("fwd_bwd_step", n), &n, |b, _| {
+            let mut model = Sagdfn::new(n, cfg.clone());
+            let mut opt = Adam::new(1e-3);
+            b.iter(|| {
+                model.maybe_resample();
+                let tape = Tape::new();
+                let bind = model.params.bind(&tape);
+                let pred = model.forward(&tape, &bind, &batch, split.scaler);
+                let mask = Sagdfn::loss_mask(&batch.y);
+                let loss = masked_mae(pred, &batch.y, &mask);
+                let grads = loss.backward();
+                opt.step(&mut model.params, &bind, &grads);
+                model.tick();
+                black_box(loss.value().item())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_iteration);
+criterion_main!(benches);

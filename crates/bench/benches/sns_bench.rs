@@ -1,0 +1,27 @@
+//! Significant Neighbors Sampling cost vs N: the sampler's per-iteration
+//! cost is O(N·M·(d + log M)) — near-linear in N, never quadratic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sagdfn_core::sns::NeighborSampler;
+use sagdfn_tensor::{Rng64, Tensor};
+use std::hint::black_box;
+
+fn bench_sns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("significant_neighbor_sampling");
+    group.sample_size(20);
+    for n in [200usize, 1000, 2000] {
+        let m = (n / 20).max(10);
+        let k = (m * 4 / 5).max(2);
+        let mut rng = Rng64::new(3);
+        let e = Tensor::rand_normal([n, 32], 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("sample", n), &n, |b, _| {
+            let mut sampler = NeighborSampler::new(n, m, k, &mut rng);
+            let mut inner_rng = Rng64::new(5);
+            b.iter(|| black_box(sampler.sample(black_box(&e), true, &mut inner_rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sns);
+criterion_main!(benches);

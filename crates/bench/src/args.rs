@@ -1,0 +1,122 @@
+//! Minimal flag parsing shared by all harness binaries.
+
+use sagdfn_data::Scale;
+
+/// Parsed common flags.
+#[derive(Clone, Debug)]
+pub struct RunArgs {
+    /// Run size.
+    pub scale: Scale,
+    /// Dataset/model seed.
+    pub seed: u64,
+    /// CSV output directory.
+    pub out_dir: String,
+    /// Optional model-name filter (`--only SAGDFN,DCRNN`).
+    pub only: Option<Vec<String>>,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            scale: Scale::Tiny,
+            seed: 42,
+            out_dir: "results".to_string(),
+            only: None,
+        }
+    }
+}
+
+impl RunArgs {
+    /// Parses `std::env::args()`, panicking with usage on bad input.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = RunArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    let v = value();
+                    out.scale = Scale::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown scale '{v}' (tiny|small|paper)"));
+                }
+                "--seed" => {
+                    out.seed = value().parse().expect("--seed wants an integer");
+                }
+                "--out" => out.out_dir = value(),
+                "--only" => {
+                    out.only =
+                        Some(value().split(',').map(|s| s.trim().to_uppercase()).collect());
+                }
+                other => panic!("unknown flag '{other}'"),
+            }
+        }
+        out
+    }
+
+    /// True when `name` passes the `--only` filter.
+    pub fn wants(&self, name: &str) -> bool {
+        match &self.only {
+            None => true,
+            Some(list) => list.iter().any(|m| name.to_uppercase().contains(m)),
+        }
+    }
+
+    /// Opens (and creates) the CSV output file for an experiment.
+    pub fn csv_writer(&self, experiment: &str) -> std::io::Result<std::fs::File> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        std::fs::File::create(format!("{}/{}.csv", self.out_dir, experiment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> RunArgs {
+        RunArgs::parse_from(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::Tiny);
+        assert_eq!(a.seed, 42);
+        assert!(a.wants("anything"));
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&["--scale", "small", "--seed", "7", "--out", "/tmp/r"]);
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out_dir, "/tmp/r");
+    }
+
+    #[test]
+    fn only_filter() {
+        let a = parse(&["--only", "SAGDFN,dcrnn"]);
+        assert!(a.wants("SAGDFN"));
+        assert!(a.wants("DCRNN"));
+        assert!(!a.wants("AGCRN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn bad_scale_panics() {
+        parse(&["--scale", "huge"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn bad_flag_panics() {
+        parse(&["--frobnicate"]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Table I: complexity of adaptive-weight-GNN forecasting methods,
+//! plus numeric memory/FLOP estimates that back the asymptotic claims.
+
+use sagdfn_memsim::{complexity_row, flops_estimate, ModelFamily, WorkloadDims};
+use std::io::Write;
+
+fn main() {
+    let args = sagdfn_bench::RunArgs::parse();
+    println!("TABLE I — Complexity of adaptive-weight-GNN forecasting methods");
+    println!("{:<8} {:<24} {:<20}", "Model", "Computation", "Memory");
+    let families = [
+        ModelFamily::Agcrn,
+        ModelFamily::Gts,
+        ModelFamily::Step,
+        ModelFamily::Sagdfn,
+    ];
+    for fam in families {
+        let row = complexity_row(fam).expect("Table I family");
+        println!("{:<8} {:<24} {:<20}", row.model, row.computation, row.memory);
+    }
+
+    println!("\nNumeric estimates (d=100, D=64, M=100, batch 32, T=24):");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14}",
+        "Model", "flops N=500", "flops N=2000", "mem N=500", "mem N=2000"
+    );
+    let mut csv = args.csv_writer("table01_complexity").expect("csv");
+    writeln!(csv, "model,n,flops,mem_bytes").unwrap();
+    for fam in families {
+        let d500 = WorkloadDims::paper(500, 32);
+        let d2000 = WorkloadDims::paper(2000, 32);
+        let row = complexity_row(fam).unwrap();
+        println!(
+            "{:<8} {:>14} {:>14} {:>13.2}G {:>13.2}G",
+            row.model,
+            flops_estimate(fam, &d500),
+            flops_estimate(fam, &d2000),
+            fam.training_bytes(&d500) as f64 / 1e9,
+            fam.training_bytes(&d2000) as f64 / 1e9,
+        );
+        for n in [207, 500, 1000, 1918, 2000, 4000, 8000] {
+            let dims = WorkloadDims::paper(n, 32);
+            writeln!(
+                csv,
+                "{},{},{},{}",
+                row.model,
+                n,
+                flops_estimate(fam, &dims),
+                fam.training_bytes(&dims)
+            )
+            .unwrap();
+        }
+    }
+    println!("\nwrote {}/table01_complexity.csv", args.out_dir);
+}

@@ -1,0 +1,34 @@
+//! Table III: performance comparison on the METR-LA(-like) dataset —
+//! all 16 models at horizons 3/6/12.
+
+use sagdfn_bench::{load, run_family, DatasetKind, RunArgs};
+use sagdfn_bench::runner::{csv_row, format_row, table_families, CSV_HEADER};
+use std::io::Write;
+
+fn main() {
+    let args = RunArgs::parse();
+    println!(
+        "TABLE III — METR-LA-like (scale {:?}); horizons 3 | 6 | 12, cells: MAE RMSE MAPE",
+        args.scale
+    );
+    let data = load(DatasetKind::MetrLa, args.scale);
+    println!(
+        "dataset: N={} train/val/test windows = {}/{}/{}",
+        data.ctx.n,
+        data.split.train.len(),
+        data.split.val.len(),
+        data.split.test.len()
+    );
+    let mut csv = args.csv_writer("table03_metr_la").expect("csv");
+    csv.write_all(CSV_HEADER.as_bytes()).unwrap();
+    for family in table_families() {
+        if !args.wants(family.name()) {
+            continue;
+        }
+        let outcome = run_family(family, &data);
+        println!("{}", format_row(family.name(), &outcome));
+        csv.write_all(csv_row(family.name(), &outcome).as_bytes())
+            .unwrap();
+    }
+    println!("\nwrote {}/table03_metr_la.csv", args.out_dir);
+}

@@ -1,0 +1,36 @@
+//! Table 5: performance comparison on the carpark1918-like dataset.
+//! Quadratic-memory baselines are gated by the 32 GB V100 memory model at
+//! paper scale and print as 'x (OOM)', matching the paper's '×' cells.
+
+use sagdfn_bench::runner::{csv_row, format_row, table_families, CSV_HEADER};
+use sagdfn_bench::{load, run_family, DatasetKind, RunArgs};
+use std::io::Write;
+
+fn main() {
+    let args = RunArgs::parse();
+    println!(
+        "TABLE 5 — carpark1918-like (scale {:?}); horizons 3 | 6 | 12, cells: MAE RMSE MAPE",
+        args.scale
+    );
+    let data = load(DatasetKind::Carpark, args.scale);
+    println!(
+        "dataset: N={} (OOM gate at paper N={}) windows {}/{}/{}",
+        data.ctx.n,
+        data.kind.paper_n(),
+        data.split.train.len(),
+        data.split.val.len(),
+        data.split.test.len()
+    );
+    let mut csv = args.csv_writer("table05_carpark1918").expect("csv");
+    csv.write_all(CSV_HEADER.as_bytes()).unwrap();
+    for family in table_families() {
+        if !args.wants(family.name()) {
+            continue;
+        }
+        let outcome = run_family(family, &data);
+        println!("{}", format_row(family.name(), &outcome));
+        csv.write_all(csv_row(family.name(), &outcome).as_bytes())
+            .unwrap();
+    }
+    println!("\nwrote {}/table05_carpark1918.csv", args.out_dir);
+}

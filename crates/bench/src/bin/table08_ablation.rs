@@ -1,0 +1,68 @@
+//! Table VIII: ablation study on the CARPARK1918(-like) dataset — the
+//! full model against the four component-removal variants.
+
+use sagdfn_baselines::sagdfn_adapter::SagdfnForecaster;
+use sagdfn_baselines::Forecaster;
+use sagdfn_bench::{load, DatasetKind, RunArgs};
+use sagdfn_core::{SagdfnConfig, Variant};
+use std::io::Write;
+
+fn main() {
+    let args = RunArgs::parse();
+    println!(
+        "TABLE VIII — Ablation on CARPARK1918-like (scale {:?}); horizons 3 | 6 | 12",
+        args.scale
+    );
+    let data = load(DatasetKind::Carpark, args.scale);
+    let n = data.ctx.n;
+    let topo_k = (n / 8).clamp(4, 100);
+    // The entmax/SNS effects the ablation isolates only manifest when M is
+    // large enough that most significant-neighbor entries are noise for
+    // any given node (the paper runs M = 100 on N = 1918). At reduced run
+    // scales we therefore widen M to half the graph.
+    let make_cfg = || {
+        let mut cfg = SagdfnConfig::for_scale(args.scale, n);
+        if !matches!(args.scale, sagdfn_data::Scale::Paper) {
+            cfg.m = (n / 2).clamp(8, 100);
+            cfg.top_k = (cfg.m * 3 / 5).max(1);
+        }
+        cfg
+    };
+    let mut csv = args.csv_writer("table08_ablation").expect("csv");
+    writeln!(csv, "variant,mae3,rmse3,mape3,mae6,rmse6,mape6,mae12,rmse12,mape12").unwrap();
+    for variant in Variant::ALL {
+        if !args.wants(variant.name()) {
+            continue;
+        }
+        let topo = (!variant.uses_learned_graph())
+            .then(|| data.graph.adj.topk_rows(topo_k).weights().clone());
+        let mut model = SagdfnForecaster::variant(n, make_cfg(), variant, topo);
+        model.fit(&data.split);
+        let metrics = model.evaluate(&data.split.test);
+        let at = |hz: usize| metrics[(hz - 1).min(metrics.len() - 1)];
+        println!(
+            "{:>16}  {} | {} | {}",
+            variant.name(),
+            at(3).row(),
+            at(6).row(),
+            at(12).row()
+        );
+        writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{},{},{}",
+            variant.name(),
+            at(3).mae,
+            at(3).rmse,
+            at(3).mape,
+            at(6).mae,
+            at(6).rmse,
+            at(6).mape,
+            at(12).mae,
+            at(12).rmse,
+            at(12).mape
+        )
+        .unwrap();
+    }
+    println!("\nwrote {}/table08_ablation.csv", args.out_dir);
+    println!("expectation: full SAGDFN beats all four variants");
+}

@@ -1,0 +1,70 @@
+//! Table X: computation cost on the CARPARK1918(-like) dataset —
+//! parameter counts, seconds per training epoch, and inference seconds
+//! for DCRNN, AGCRN, MTGNN, GTS, D2STGNN and SAGDFN.
+//!
+//! OOM-gated families here are run anyway at the *run* scale (the paper
+//! measured them with reduced batch sizes), so the cost ordering is
+//! observable; the table notes the gate verdict per row.
+
+use sagdfn_baselines::registry::build;
+use sagdfn_bench::{load, DatasetKind, RunArgs};
+use sagdfn_memsim::{ModelFamily, WorkloadDims, V100_32GB};
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args = RunArgs::parse();
+    println!(
+        "TABLE X — computation cost on CARPARK1918-like (scale {:?})",
+        args.scale
+    );
+    let data = load(DatasetKind::Carpark, args.scale);
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>14}",
+        "model", "#params", "s/epoch", "s/inference", "paper-scale fit"
+    );
+    let mut csv = args.csv_writer("table10_cost").expect("csv");
+    writeln!(csv, "model,params,sec_per_epoch,sec_inference,paper_fits").unwrap();
+    let families = [
+        ModelFamily::Dcrnn,
+        ModelFamily::Agcrn,
+        ModelFamily::Mtgnn,
+        ModelFamily::Gts,
+        ModelFamily::D2stgnn,
+        ModelFamily::Sagdfn,
+    ];
+    let paper_dims = WorkloadDims::paper(data.kind.paper_n(), 32);
+    let mut rows = Vec::new();
+    for family in families {
+        if !args.wants(family.name()) {
+            continue;
+        }
+        let mut model = build(family, &data.ctx);
+        let summary = model.fit(&data.split);
+        let inf_start = Instant::now();
+        let _ = model.predict(&data.split.test);
+        let inference = inf_start.elapsed().as_secs_f64();
+        let fits = !family.would_oom(&paper_dims, &V100_32GB);
+        println!(
+            "{:>12} {:>12} {:>12.2} {:>12.2} {:>14}",
+            family.name(),
+            summary.param_count,
+            summary.epoch_seconds,
+            inference,
+            if fits { "yes" } else { "OOM (reduced B)" }
+        );
+        writeln!(
+            csv,
+            "{},{},{:.3},{:.3},{}",
+            family.name(),
+            summary.param_count,
+            summary.epoch_seconds,
+            inference,
+            fits
+        )
+        .unwrap();
+        rows.push((family, summary.param_count, summary.epoch_seconds));
+    }
+    println!("\nwrote {}/table10_cost.csv", args.out_dir);
+    println!("expectation: SAGDFN has the fewest parameters and the fastest epoch");
+}

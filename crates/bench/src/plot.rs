@@ -1,0 +1,110 @@
+//! Terminal plotting helpers for the figure harnesses.
+
+/// Unicode block levels for sparklines, lowest to highest.
+const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a one-line unicode sparkline. NaNs render as
+/// spaces; a constant series renders at the lowest level.
+pub fn sparkline(values: &[f32]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let finite: Vec<f32> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(values.len());
+    }
+    let lo = finite.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = finite.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let span = (hi - lo).max(1e-9);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else {
+                let idx = (((v - lo) / span) * (LEVELS.len() as f32 - 1.0)).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `width` points by bucket-averaging, so
+/// long test traces fit one terminal line.
+pub fn downsample(values: &[f32], width: usize) -> Vec<f32> {
+    assert!(width > 0, "width must be positive");
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    (0..width)
+        .map(|i| {
+            let start = i * values.len() / width;
+            let end = ((i + 1) * values.len() / width).max(start + 1);
+            let bucket = &values[start..end];
+            bucket.iter().sum::<f32>() / bucket.len() as f32
+        })
+        .collect()
+}
+
+/// Two-row truth/prediction comparison ready for `println!`.
+pub fn trace_pair(truth: &[f32], pred: &[f32], width: usize) -> String {
+    format!(
+        "truth {}\npred  {}",
+        sparkline(&downsample(truth, width)),
+        sparkline(&downsample(pred, width))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_monotone_series_uses_full_range() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[3], '█');
+        // Non-decreasing levels for non-decreasing data.
+        let levels: Vec<usize> = chars
+            .iter()
+            .map(|c| LEVELS.iter().position(|l| l == c).unwrap())
+            .collect();
+        assert!(levels.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sparkline_constant_and_empty() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        assert!(s.chars().all(|c| c == '▁'), "{s}");
+    }
+
+    #[test]
+    fn sparkline_handles_nan() {
+        let s: Vec<char> = sparkline(&[0.0, f32::NAN, 1.0]).chars().collect();
+        assert_eq!(s[1], ' ');
+    }
+
+    #[test]
+    fn downsample_preserves_mean_roughly() {
+        let vals: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let ds = downsample(&vals, 10);
+        assert_eq!(ds.len(), 10);
+        let mean_full: f32 = vals.iter().sum::<f32>() / 100.0;
+        let mean_ds: f32 = ds.iter().sum::<f32>() / 10.0;
+        assert!((mean_full - mean_ds).abs() < 1.0);
+    }
+
+    #[test]
+    fn downsample_short_series_passthrough() {
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn trace_pair_formats_two_rows() {
+        let out = trace_pair(&[1.0, 2.0, 3.0], &[1.0, 2.0, 2.5], 40);
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.starts_with("truth "));
+    }
+}

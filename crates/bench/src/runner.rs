@@ -1,0 +1,257 @@
+//! Shared experiment runner: dataset loading, OOM gating at paper scale,
+//! model training and paper-style row formatting.
+
+use sagdfn_baselines::registry::BuildContext;
+use sagdfn_baselines::FitSummary;
+use sagdfn_data::{Metrics, Scale, SplitSpec, ThreeWaySplit};
+use sagdfn_memsim::{ModelFamily, WorkloadDims, V100_32GB};
+use sagdfn_tensor::Tensor;
+
+/// The four evaluation datasets of the paper's Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// METR-LA-like (207 sensors at paper scale, 5-minute).
+    MetrLa,
+    /// London2000-like (2000 segments, hourly).
+    London,
+    /// NewYork2000-like (2000 segments, hourly).
+    NewYork,
+    /// CARPARK1918-like (1918 carparks, 5-minute).
+    Carpark,
+}
+
+impl DatasetKind {
+    /// Paper-scale node count (drives the OOM gate regardless of run
+    /// scale).
+    pub fn paper_n(&self) -> usize {
+        match self {
+            DatasetKind::MetrLa => 207,
+            DatasetKind::London | DatasetKind::NewYork => 2000,
+            DatasetKind::Carpark => 1918,
+        }
+    }
+
+    /// `(h, f)` window lengths per the paper's setup.
+    pub fn windows(&self) -> (usize, usize) {
+        match self {
+            DatasetKind::Carpark => (24, 12),
+            _ => (12, 12),
+        }
+    }
+
+    /// Batch size at which the paper reports the large tables.
+    pub fn paper_batch(&self) -> usize {
+        match self {
+            DatasetKind::MetrLa => 64,
+            _ => 32,
+        }
+    }
+
+    /// Dataset name for output files.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            DatasetKind::MetrLa => "metr_la",
+            DatasetKind::London => "london2000",
+            DatasetKind::NewYork => "newyork2000",
+            DatasetKind::Carpark => "carpark1918",
+        }
+    }
+}
+
+/// A dataset ready for the harness: splits plus build context.
+pub struct LoadedDataset {
+    /// Train/val/test windows.
+    pub split: ThreeWaySplit,
+    /// Model construction context (topology, dims).
+    pub ctx: BuildContext,
+    /// Which paper dataset this stands in for.
+    pub kind: DatasetKind,
+    /// Latent graph (for ablations and figures).
+    pub graph: sagdfn_graph::GeoGraph,
+}
+
+/// Generates and windows a dataset at the given run scale.
+pub fn load(kind: DatasetKind, scale: Scale) -> LoadedDataset {
+    let (h, f) = kind.windows();
+    let (dataset, graph) = match kind {
+        DatasetKind::MetrLa => {
+            let d = sagdfn_data::metr_la_like(scale);
+            (d.dataset, d.graph)
+        }
+        DatasetKind::London => {
+            let d = sagdfn_data::city2000_like(scale, 0);
+            (d.dataset, d.graph)
+        }
+        DatasetKind::NewYork => {
+            let d = sagdfn_data::city2000_like(scale, 1);
+            (d.dataset, d.graph)
+        }
+        DatasetKind::Carpark => {
+            let d = sagdfn_data::carpark_like(scale);
+            (d.dataset, d.graph)
+        }
+    };
+    let n = dataset.nodes();
+    let topology = graph.adj.topk_rows((n / 4).clamp(4, 100)).weights().clone();
+    let split = ThreeWaySplit::new(dataset, SplitSpec::paper(h, f));
+    LoadedDataset {
+        split,
+        ctx: BuildContext {
+            n,
+            h,
+            f,
+            scale,
+            topology,
+        },
+        kind,
+        graph,
+    }
+}
+
+/// Outcome of one table row.
+pub enum RowOutcome {
+    /// Out-of-memory at paper scale — printed as '×'.
+    Oom {
+        /// Predicted training memory in GiB at paper scale.
+        predicted_gib: f64,
+    },
+    /// Trained and evaluated.
+    Ran {
+        /// Per-horizon test metrics.
+        metrics: Vec<Metrics>,
+        /// Timing and size stats.
+        summary: FitSummary,
+    },
+}
+
+/// Trains and evaluates one family on a loaded dataset, honoring the OOM
+/// gate the paper's 32 GB V100 imposes at paper scale.
+pub fn run_family(family: ModelFamily, data: &LoadedDataset) -> RowOutcome {
+    let dims = WorkloadDims::paper(data.kind.paper_n(), data.kind.paper_batch());
+    if family.would_oom(&dims, &V100_32GB) {
+        return RowOutcome::Oom {
+            predicted_gib: family.training_bytes(&dims) as f64 / (1u64 << 30) as f64,
+        };
+    }
+    let mut model = sagdfn_baselines::registry::build(family, &data.ctx);
+    let summary = model.fit(&data.split);
+    let metrics = model.evaluate(&data.split.test);
+    RowOutcome::Ran { metrics, summary }
+}
+
+/// Paper-style table row: `name  MAE RMSE MAPE | MAE RMSE MAPE | ...` at
+/// horizons 3/6/12 (clamped to the run's horizon).
+pub fn format_row(name: &str, outcome: &RowOutcome) -> String {
+    match outcome {
+        RowOutcome::Oom { .. } => format!(
+            "{name:>16}  {:^23} {:^23} {:^23}",
+            "x (OOM)", "x (OOM)", "x (OOM)"
+        ),
+        RowOutcome::Ran { metrics, .. } => {
+            let at = |hz: usize| metrics[(hz - 1).min(metrics.len() - 1)];
+            format!(
+                "{name:>16}  {} | {} | {}",
+                at(3).row(),
+                at(6).row(),
+                at(12).row()
+            )
+        }
+    }
+}
+
+/// CSV row mirroring [`format_row`].
+pub fn csv_row(name: &str, outcome: &RowOutcome) -> String {
+    match outcome {
+        RowOutcome::Oom { predicted_gib } => {
+            format!("{name},OOM,{predicted_gib:.1},,,,,,,,\n")
+        }
+        RowOutcome::Ran { metrics, summary } => {
+            let at = |hz: usize| metrics[(hz - 1).min(metrics.len() - 1)];
+            let (m3, m6, m12) = (at(3), at(6), at(12));
+            format!(
+                "{name},ok,,{},{},{},{},{},{},{},{},{},{:.1},{}\n",
+                m3.mae,
+                m3.rmse,
+                m3.mape,
+                m6.mae,
+                m6.rmse,
+                m6.mape,
+                m12.mae,
+                m12.rmse,
+                m12.mape,
+                summary.train_seconds,
+                summary.param_count
+            )
+        }
+    }
+}
+
+/// CSV header matching [`csv_row`].
+pub const CSV_HEADER: &str =
+    "model,status,predicted_gib,mae3,rmse3,mape3,mae6,rmse6,mape6,mae12,rmse12,mape12,train_s,params\n";
+
+/// The paper's table ordering of the 16 families.
+pub fn table_families() -> Vec<ModelFamily> {
+    ModelFamily::ALL.to_vec()
+}
+
+/// Node-subset metrics: restrict `(f, B, N)` predictions/targets to the
+/// first `n_eval` nodes before computing per-horizon metrics (Table IV's
+/// London200 protocol).
+pub fn subset_metrics(pred: &Tensor, target: &Tensor, n_eval: usize) -> Vec<Metrics> {
+    let idx: Vec<usize> = (0..n_eval).collect();
+    sagdfn_data::horizon_metrics(
+        &pred.index_select(2, &idx),
+        &target.index_select(2, &idx),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_tiny_metr_la() {
+        let d = load(DatasetKind::MetrLa, Scale::Tiny);
+        assert_eq!(d.ctx.n, 24);
+        assert_eq!(d.ctx.h, 12);
+        assert!(!d.split.train.is_empty());
+        assert_eq!(d.kind.paper_n(), 207);
+    }
+
+    #[test]
+    fn oom_gate_uses_paper_scale_not_run_scale() {
+        // Even a tiny run of the carpark dataset must mark GTS as OOM,
+        // because the gate evaluates N = 1918 at batch 32.
+        let d = load(DatasetKind::Carpark, Scale::Tiny);
+        match run_family(ModelFamily::Gts, &d) {
+            RowOutcome::Oom { predicted_gib } => assert!(predicted_gib > 32.0),
+            RowOutcome::Ran { .. } => panic!("GTS must OOM at carpark scale"),
+        }
+    }
+
+    #[test]
+    fn row_formatting() {
+        let oom = RowOutcome::Oom { predicted_gib: 99.0 };
+        assert!(format_row("GTS", &oom).contains("x (OOM)"));
+        assert!(csv_row("GTS", &oom).starts_with("GTS,OOM,99.0"));
+    }
+
+    #[test]
+    fn windows_match_paper() {
+        assert_eq!(DatasetKind::Carpark.windows(), (24, 12));
+        assert_eq!(DatasetKind::MetrLa.windows(), (12, 12));
+        assert_eq!(DatasetKind::London.paper_batch(), 32);
+    }
+
+    #[test]
+    fn subset_metrics_restricts_nodes() {
+        // Node 0 perfect, node 1 off by 10: subset to node 0 -> MAE 0.
+        let pred = Tensor::from_vec(vec![1.0, 10.0], [1, 1, 2]);
+        let target = Tensor::from_vec(vec![1.0, 20.0], [1, 1, 2]);
+        let m = subset_metrics(&pred, &target, 1);
+        assert_eq!(m[0].mae, 0.0);
+        let m2 = subset_metrics(&pred, &target, 2);
+        assert!(m2[0].mae > 0.0);
+    }
+}

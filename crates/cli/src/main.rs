@@ -1,0 +1,43 @@
+//! `sagdfn` — command-line interface to the SAGDFN reproduction.
+//!
+//! ```text
+//! sagdfn generate --dataset metr-la --scale tiny --out data.csv
+//! sagdfn train    --data data.csv --h 12 --f 12 --epochs 6 --model model
+//! sagdfn evaluate --data data.csv --model model
+//! sagdfn forecast --data data.csv --model model
+//! ```
+//!
+//! `--model <stem>` writes/reads `<stem>.params.json` (weights) and
+//! `<stem>.config.json` (architecture + window sizes), so a trained model
+//! is fully reconstructible.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(rest),
+        "train" => commands::train(rest),
+        "evaluate" => commands::evaluate(rest),
+        "forecast" => commands::forecast(rest),
+        "inspect" => commands::inspect(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The model variants of the paper's ablation study (Table VIII).
+
+/// Which parts of SAGDFN are active — the five rows of Table VIII.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// The full model.
+    Full,
+    /// *w/o Entmax*: α-entmax replaced by softmax (α = 1) in the
+    /// attention module.
+    WithoutEntmax,
+    /// *w/o Pair-Wise Attention*: `A_s` from the inner product
+    /// `E · E_I^T` instead of the multi-head FFN attention.
+    WithoutAttention,
+    /// *w/o SNS*: the significant index set `I` is a fixed uniform random
+    /// sample instead of the learned vote.
+    WithoutSns,
+    /// *w/o SNS & SSMA*: a fixed dense adjacency built from the latent
+    /// topology (top-k nearest neighbors kept per row), no learned graph.
+    WithoutSnsSsma,
+}
+
+impl Variant {
+    /// All variants in Table VIII row order.
+    pub const ALL: [Variant; 5] = [
+        Variant::Full,
+        Variant::WithoutEntmax,
+        Variant::WithoutAttention,
+        Variant::WithoutSns,
+        Variant::WithoutSnsSsma,
+    ];
+
+    /// Row label as printed in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Full => "SAGDFN",
+            Variant::WithoutEntmax => "w/o Entmax",
+            Variant::WithoutAttention => "w/o Attention",
+            Variant::WithoutSns => "w/o SNS",
+            Variant::WithoutSnsSsma => "w/o SNS & SSMA",
+        }
+    }
+
+    /// Does this variant run the neighbor-sampling vote?
+    pub fn uses_sns(&self) -> bool {
+        matches!(
+            self,
+            Variant::Full | Variant::WithoutEntmax | Variant::WithoutAttention
+        )
+    }
+
+    /// Does this variant learn an adjacency at all?
+    pub fn uses_learned_graph(&self) -> bool {
+        !matches!(self, Variant::WithoutSnsSsma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_rows_like_table8() {
+        assert_eq!(Variant::ALL.len(), 5);
+        assert_eq!(Variant::ALL[0].name(), "SAGDFN");
+        assert_eq!(Variant::ALL[4].name(), "w/o SNS & SSMA");
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(Variant::Full.uses_sns());
+        assert!(!Variant::WithoutSns.uses_sns());
+        assert!(!Variant::WithoutSnsSsma.uses_sns());
+        assert!(Variant::WithoutSns.uses_learned_graph());
+        assert!(!Variant::WithoutSnsSsma.uses_learned_graph());
+    }
+}

@@ -1,0 +1,853 @@
+//! The SAGDFN model: modules wired per Figure 1, trained per Algorithm 2.
+
+use crate::ablation::Variant;
+use crate::attention::{inner_product_adjacency, SparseSpatialAttention};
+use crate::cell::OneStepFastGConv;
+use crate::config::{Backbone, SagdfnConfig};
+use crate::gconv::{Adjacency, GConv};
+use crate::sns::NeighborSampler;
+use sagdfn_autodiff::{Tape, Var};
+use sagdfn_data::{Batch, ZScore};
+use sagdfn_nn::{init, Binding, Linear, ParamId, Params};
+use sagdfn_tensor::{Rng64, Tensor};
+
+/// Input channels per node and step: scaled value + time-of-day +
+/// day-of-week (matching `sagdfn_data::window::Batch`).
+pub const INPUT_CHANNELS: usize = 3;
+
+/// The Scalable Adaptive Graph Diffusion Forecasting Network.
+pub struct Sagdfn {
+    /// All trainable tensors (embedding, attention, encoder, decoder).
+    pub params: Params,
+    cfg: SagdfnConfig,
+    variant: Variant,
+    n: usize,
+    embed: ParamId,
+    attn: SparseSpatialAttention,
+    body: Body,
+    sampler: NeighborSampler,
+    index: Vec<usize>,
+    iter: usize,
+    rng: Rng64,
+    /// Fixed dense adjacency for [`Variant::WithoutSnsSsma`].
+    topo: Option<Tensor>,
+}
+
+impl Sagdfn {
+    /// Builds the full model for `n` nodes.
+    pub fn new(n: usize, cfg: SagdfnConfig) -> Self {
+        Sagdfn::with_variant(n, cfg, Variant::Full, None)
+    }
+
+    /// Builds an ablation variant. `topology` is required for
+    /// [`Variant::WithoutSnsSsma`] (an `N×N` dense adjacency, typically
+    /// the latent graph's top-k rows) and ignored otherwise.
+    pub fn with_variant(
+        n: usize,
+        mut cfg: SagdfnConfig,
+        variant: Variant,
+        topology: Option<Tensor>,
+    ) -> Self {
+        cfg.validate(n);
+        if variant == Variant::WithoutEntmax {
+            cfg.alpha = 1.0; // softmax
+        }
+        let mut rng = Rng64::new(cfg.seed);
+        let mut params = Params::new();
+        let embed = params.add("E", init::normal_embedding(n, cfg.embed_dim, &mut rng));
+        let attn = SparseSpatialAttention::new(&mut params, &cfg, &mut rng);
+        let body = Body::new(&mut params, &cfg, &mut rng);
+        let mut sampler = NeighborSampler::new(n, cfg.m, cfg.top_k, &mut rng);
+        let index = match variant {
+            // Fixed uniform sample, never refined.
+            Variant::WithoutSns => rng.sample_indices(n, cfg.m),
+            // Unused by the topology variant, but kept valid.
+            Variant::WithoutSnsSsma => (0..cfg.m).collect(),
+            _ => sampler.sample(params.get(embed), true, &mut rng),
+        };
+        let topo = match variant {
+            Variant::WithoutSnsSsma => Some(
+                topology.expect("WithoutSnsSsma requires a topology adjacency"),
+            ),
+            _ => None,
+        };
+        if let Some(t) = &topo {
+            assert_eq!(t.dims(), &[n, n], "topology adjacency must be N x N");
+        }
+        Sagdfn {
+            params,
+            cfg,
+            variant,
+            n,
+            embed,
+            attn,
+            body,
+            sampler,
+            index,
+            iter: 0,
+            rng,
+            topo,
+        }
+    }
+
+    /// Number of nodes the model was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SagdfnConfig {
+        &self.cfg
+    }
+
+    /// The active variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The current significant-neighbor index set `I`.
+    pub fn significant_index(&self) -> &[usize] {
+        &self.index
+    }
+
+    /// Training iterations performed so far.
+    pub fn iterations(&self) -> usize {
+        self.iter
+    }
+
+    /// Runs Algorithm 1 if this variant and iteration call for it
+    /// (Algorithm 2 lines 4–6). Called once per training step.
+    pub fn maybe_resample(&mut self) {
+        if !self.variant.uses_sns() {
+            return;
+        }
+        if !self.iter.is_multiple_of(self.cfg.sns_every) {
+            return;
+        }
+        let explore = self.iter < self.cfg.convergence_iter;
+        self.index = self
+            .sampler
+            .sample(self.params.get(self.embed), explore, &mut self.rng);
+    }
+
+    /// Advances the iteration counter (Algorithm 2 line 16).
+    pub fn tick(&mut self) {
+        self.iter += 1;
+    }
+
+    /// Deterministically re-derives the significant index set from the
+    /// *current* embeddings with exploration off. Call after loading a
+    /// checkpoint: the persisted weights include `E`, and the frozen
+    /// post-convergence index is a pure function of `E`, so this recovers
+    /// the index the trained model ended with.
+    pub fn refresh_index(&mut self) {
+        if !self.variant.uses_sns() {
+            return;
+        }
+        self.index = self
+            .sampler
+            .sample(self.params.get(self.embed), false, &mut self.rng);
+    }
+
+    /// Computes this step's adjacency on the tape (Algorithm 2 line 7).
+    pub fn adjacency<'t>(&self, tape: &'t Tape, bind: &Binding<'t>) -> Adjacency<'t> {
+        match self.variant {
+            Variant::WithoutSnsSsma => {
+                Adjacency::Dense(tape.constant(self.topo.clone().expect("topology set")))
+            }
+            Variant::WithoutAttention => Adjacency::Slim {
+                weights: inner_product_adjacency(
+                    bind.var(self.embed),
+                    &self.index,
+                    self.cfg.alpha,
+                ),
+                index: self.index.clone(),
+            },
+            _ => Adjacency::Slim {
+                weights: self.attn.forward(bind, bind.var(self.embed), &self.index),
+                index: self.index.clone(),
+            },
+        }
+    }
+
+    /// Full encoder-decoder forward pass (Algorithm 2 lines 8–12).
+    ///
+    /// Returns raw-unit predictions `(f, B, N)` as a tape var, so the L1
+    /// loss (Eq. 11) differentiates through the inverse scaling.
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        bind: &Binding<'t>,
+        batch: &Batch,
+        scaler: ZScore,
+    ) -> Var<'t> {
+        self.forward_scheduled(tape, bind, batch, scaler, &[])
+    }
+
+    /// Forward pass with a scheduled-sampling teacher mask: at decoder
+    /// step `t` with `teacher[t] == true`, the decoder consumes the
+    /// ground-truth observation of step `t-1` (scaled) instead of its own
+    /// previous prediction. An empty mask disables teacher forcing (the
+    /// paper's Algorithm 2). Only the GRU backbone has a feedback loop;
+    /// direct backbones ignore the mask.
+    pub fn forward_scheduled<'t>(
+        &self,
+        tape: &'t Tape,
+        bind: &Binding<'t>,
+        batch: &Batch,
+        scaler: ZScore,
+        teacher: &[bool],
+    ) -> Var<'t> {
+        let adj = self.adjacency(tape, bind);
+        let (_, _b, n) = (batch.x.dim(0), batch.x.dim(1), batch.x.dim(2));
+        assert_eq!(n, self.n, "batch node count mismatch");
+        self.body
+            .forward(tape, bind, &adj, batch, scaler, self.cfg.hidden, teacher)
+    }
+
+    /// Scheduled-sampling teacher probability at a training iteration:
+    /// `τ/(τ+exp(iter/τ))` (inverse sigmoid decay), or 0 when disabled.
+    pub fn teacher_probability(&self, iter: usize) -> f32 {
+        if !self.cfg.scheduled_sampling {
+            return 0.0;
+        }
+        let tau = self.cfg.ss_decay as f64;
+        (tau / (tau + (iter as f64 / tau).exp())) as f32
+    }
+
+    /// The configured temporal backbone.
+    pub fn backbone(&self) -> Backbone {
+        self.cfg.backbone
+    }
+
+    /// Loss mask excluding missing (zero) ground-truth entries.
+    pub fn loss_mask(target: &Tensor) -> Tensor {
+        let data = target
+            .as_slice()
+            .iter()
+            .map(|&v| if v.abs() > 1e-4 { 1.0 } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, target.shape().clone())
+    }
+}
+
+/// The temporal body of the forecaster (see [`Backbone`]).
+enum Body {
+    /// The paper's encoder-decoder of OneStepFastGConv cells; one cell
+    /// per stacked layer (the paper uses a single layer).
+    Gru {
+        encoders: Vec<OneStepFastGConv>,
+        decoders: Vec<OneStepFastGConv>,
+        head: Linear,
+    },
+    /// Dilated causal temporal convolutions + slim diffusion + direct
+    /// multi-horizon head (the paper's "compatible with TCNs" claim).
+    Tcn {
+        in_proj: Linear,
+        /// Per layer: (current-step transform, dilated-lag transform).
+        layers: Vec<(Linear, Linear)>,
+        dilations: Vec<usize>,
+        gconv: GConv,
+        head: Linear,
+        horizon: usize,
+    },
+    /// Temporal self-attention: the last step's state queries every
+    /// history step, the attention-weighted context joins the last state,
+    /// then slim diffusion and a direct head (the paper's "compatible
+    /// with attention mechanisms" claim).
+    SelfAttn {
+        in_proj: Linear,
+        wq: Linear,
+        wk: Linear,
+        wv: Linear,
+        combine: Linear,
+        gconv: GConv,
+        head: Linear,
+        horizon: usize,
+    },
+}
+
+/// TCN horizon is fixed at build time; the paper's protocols use 12.
+const TCN_HORIZON: usize = 12;
+
+impl Body {
+    fn new(params: &mut Params, cfg: &SagdfnConfig, rng: &mut Rng64) -> Self {
+        match cfg.backbone {
+            Backbone::Gru => {
+                let cell = |params: &mut Params, rng: &mut Rng64, name: String, layer: usize| {
+                    let input = if layer == 0 { INPUT_CHANNELS } else { cfg.hidden };
+                    OneStepFastGConv::new(
+                        params,
+                        &name,
+                        input,
+                        cfg.hidden,
+                        None,
+                        cfg.diffusion_steps,
+                        rng,
+                    )
+                };
+                Body::Gru {
+                    encoders: (0..cfg.layers)
+                        .map(|l| cell(params, rng, format!("encoder.{l}"), l))
+                        .collect(),
+                    decoders: (0..cfg.layers)
+                        .map(|l| cell(params, rng, format!("decoder.{l}"), l))
+                        .collect(),
+                    head: Linear::new(params, "decoder.head", cfg.hidden, 1, true, rng),
+                }
+            }
+            Backbone::SelfAttention => Body::SelfAttn {
+                in_proj: Linear::new(params, "attn.in", INPUT_CHANNELS, cfg.hidden, true, rng),
+                wq: Linear::new(params, "attn.wq", cfg.hidden, cfg.hidden, false, rng),
+                wk: Linear::new(params, "attn.wk", cfg.hidden, cfg.hidden, false, rng),
+                wv: Linear::new(params, "attn.wv", cfg.hidden, cfg.hidden, false, rng),
+                combine: Linear::new(params, "attn.combine", 2 * cfg.hidden, cfg.hidden, true, rng),
+                gconv: GConv::new(
+                    params,
+                    "attn.gconv",
+                    cfg.hidden,
+                    cfg.hidden,
+                    cfg.diffusion_steps,
+                    rng,
+                ),
+                head: Linear::new(params, "attn.head", cfg.hidden, TCN_HORIZON, true, rng),
+                horizon: TCN_HORIZON,
+            },
+            Backbone::Tcn => {
+                let dilations = vec![1usize, 2, 4];
+                let layers = dilations
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        (
+                            Linear::new(
+                                params,
+                                &format!("tcn.{i}.cur"),
+                                cfg.hidden,
+                                cfg.hidden,
+                                true,
+                                rng,
+                            ),
+                            Linear::new(
+                                params,
+                                &format!("tcn.{i}.lag"),
+                                cfg.hidden,
+                                cfg.hidden,
+                                false,
+                                rng,
+                            ),
+                        )
+                    })
+                    .collect();
+                Body::Tcn {
+                    in_proj: Linear::new(
+                        params,
+                        "tcn.in",
+                        INPUT_CHANNELS,
+                        cfg.hidden,
+                        true,
+                        rng,
+                    ),
+                    layers,
+                    dilations,
+                    gconv: GConv::new(
+                        params,
+                        "tcn.gconv",
+                        cfg.hidden,
+                        cfg.hidden,
+                        cfg.diffusion_steps,
+                        rng,
+                    ),
+                    head: Linear::new(params, "tcn.head", cfg.hidden, TCN_HORIZON, true, rng),
+                    horizon: TCN_HORIZON,
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        bind: &Binding<'t>,
+        adj: &Adjacency<'t>,
+        batch: &Batch,
+        scaler: ZScore,
+        hidden: usize,
+        teacher: &[bool],
+    ) -> Var<'t> {
+        let (h_len, b, n) = (batch.x.dim(0), batch.x.dim(1), batch.x.dim(2));
+        let f_len = batch.y.dim(0);
+        let step_input = |t: usize| -> Tensor {
+            batch
+                .x
+                .slice_axis(0, t, t + 1)
+                .into_reshape([b, n, INPUT_CHANNELS])
+        };
+        match self {
+            Body::Gru {
+                encoders,
+                decoders,
+                head,
+            } => {
+                // Encoder over the history window (Algorithm 2 lines 8–9);
+                // each stacked layer feeds its hidden output upward.
+                let zero = || tape.constant(Tensor::zeros([b, n, hidden]));
+                let mut enc_h: Vec<Var<'t>> = encoders.iter().map(|_| zero()).collect();
+                for t in 0..h_len {
+                    let mut x = tape.constant(step_input(t));
+                    for (layer, cell) in encoders.iter().enumerate() {
+                        enc_h[layer] = cell.step_hidden(bind, adj, x, enc_h[layer]);
+                        x = enc_h[layer];
+                    }
+                }
+                // Decoder (lines 10–12): seeded with the forecast-origin
+                // observation, then feeds back its own predictions.
+                let mut dec_h = enc_h;
+                let mut value = tape.constant(
+                    scaler
+                        .transform(&batch.x_last_raw)
+                        .into_reshape([b, n, 1]),
+                );
+                let mut preds = Vec::with_capacity(f_len);
+                for t in 0..f_len {
+                    // Scheduled sampling: replace the fed-back prediction
+                    // with the scaled ground truth of the previous step.
+                    if t > 0 && teacher.get(t).copied().unwrap_or(false) {
+                        value = tape.constant(
+                            scaler
+                                .transform(&batch.y.slice_axis(0, t - 1, t))
+                                .into_reshape([b, n, 1]),
+                        );
+                    }
+                    let cov = tape.constant(
+                        batch
+                            .future_cov
+                            .slice_axis(0, t, t + 1)
+                            .into_reshape([b, n, 2]),
+                    );
+                    let mut x = Var::concat(&[value, cov], 2);
+                    for (layer, cell) in decoders.iter().enumerate() {
+                        dec_h[layer] = cell.step_hidden(bind, adj, x, dec_h[layer]);
+                        x = dec_h[layer];
+                    }
+                    let pred = head.forward(bind, x);
+                    preds.push(pred);
+                    value = pred;
+                }
+                Var::stack(&preds, 0)
+                    .reshape([f_len, b, n])
+                    .scale(scaler.std)
+                    .add_scalar(scaler.mean)
+            }
+            Body::SelfAttn {
+                in_proj,
+                wq,
+                wk,
+                wv,
+                combine,
+                gconv,
+                head,
+                horizon,
+            } => {
+                assert!(
+                    f_len <= *horizon,
+                    "attention backbone built for horizon {horizon}, batch wants {f_len}"
+                );
+                let states: Vec<Var<'t>> = (0..h_len)
+                    .map(|t| {
+                        in_proj
+                            .forward(bind, tape.constant(step_input(t)))
+                            .relu()
+                    })
+                    .collect();
+                let last = states[h_len - 1];
+                let q = wq.forward(bind, last); // (B, N, D)
+                let scale = 1.0 / (hidden as f32).sqrt();
+                // Scores over time: s_t = <q, k_t> / sqrt(D) -> (B, N, h).
+                let scores: Vec<Var<'t>> = states
+                    .iter()
+                    .map(|&st| {
+                        let k = wk.forward(bind, st);
+                        q.mul(&k).sum_axis(2).scale(scale) // (B, N)
+                    })
+                    .collect();
+                let weights = Var::stack(&scores, 2).softmax_rows(); // (B, N, h)
+                // Context: Sum_t w_t * v_t.
+                let mut context: Option<Var<'t>> = None;
+                for (t, &st) in states.iter().enumerate() {
+                    let v = wv.forward(bind, st); // (B, N, D)
+                    let w_t = weights.slice_axis(2, t, t + 1); // (B, N, 1)
+                    let term = v.mul(&w_t);
+                    context = Some(match context {
+                        Some(acc) => acc.add(&term),
+                        None => term,
+                    });
+                }
+                let context = context.expect("non-empty window");
+                let joined = combine
+                    .forward(bind, Var::concat(&[last, context], 2))
+                    .relu();
+                let mixed = gconv.forward(bind, adj, joined).relu();
+                let out = head.forward(bind, mixed); // (B, N, horizon)
+                out.slice_axis(2, 0, f_len)
+                    .reshape([b * n, f_len])
+                    .transpose_last2()
+                    .reshape([f_len, b, n])
+                    .scale(scaler.std)
+                    .add_scalar(scaler.mean)
+            }
+            Body::Tcn {
+                in_proj,
+                layers,
+                dilations,
+                gconv,
+                head,
+                horizon,
+            } => {
+                assert!(
+                    f_len <= *horizon,
+                    "TCN backbone built for horizon {horizon}, batch wants {f_len}"
+                );
+                // Per-step projection into the hidden width.
+                let mut cur: Vec<Var<'t>> = (0..h_len)
+                    .map(|t| {
+                        in_proj
+                            .forward(bind, tape.constant(step_input(t)))
+                            .relu()
+                    })
+                    .collect();
+                // Dilated causal conv layers with residual connections;
+                // indices below zero clamp to the first step (reflection-
+                // free causal padding).
+                for ((wa, wb), &dil) in layers.iter().zip(dilations) {
+                    let next: Vec<Var<'t>> = (0..h_len)
+                        .map(|t| {
+                            let lag = t.saturating_sub(dil);
+                            let z = wa
+                                .forward(bind, cur[t])
+                                .add(&wb.forward(bind, cur[lag]))
+                                .relu();
+                            z.add(&cur[t])
+                        })
+                        .collect();
+                    cur = next;
+                }
+                // Spatial mixing of the final state, then the direct head.
+                let mixed = gconv.forward(bind, adj, cur[h_len - 1]).relu();
+                let out = head.forward(bind, mixed); // (B, N, horizon)
+                out.slice_axis(2, 0, f_len)
+                    .reshape([b * n, f_len])
+                    .transpose_last2()
+                    .reshape([f_len, b, n])
+                    .scale(scaler.std)
+                    .add_scalar(scaler.mean)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_data::{Scale, SplitSpec, ThreeWaySplit};
+
+    fn tiny_setup() -> (Sagdfn, ThreeWaySplit) {
+        let data = sagdfn_data::metr_la_like(Scale::Tiny);
+        let n = data.dataset.nodes();
+        let cfg = SagdfnConfig::for_scale(Scale::Tiny, n);
+        let model = Sagdfn::new(n, cfg);
+        let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(4, 4));
+        (model, split)
+    }
+
+    #[test]
+    fn forward_shapes_and_finite() {
+        let (model, split) = tiny_setup();
+        let batch = split.train.make_batch(&[0, 1, 2]);
+        let tape = Tape::new();
+        let bind = model.params.bind(&tape);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        assert_eq!(pred.dims(), vec![4, 3, model.n()]);
+        assert!(pred.value().all_finite());
+    }
+
+    #[test]
+    fn loss_backward_reaches_every_parameter() {
+        let (model, split) = tiny_setup();
+        let batch = split.train.make_batch(&[0, 1]);
+        let tape = Tape::new();
+        let bind = model.params.bind(&tape);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        let mask = Sagdfn::loss_mask(&batch.y);
+        let loss = sagdfn_nn::masked_mae(pred, &batch.y, &mask);
+        let grads = loss.backward();
+        for id in model.params.ids() {
+            assert!(
+                bind.grad(&grads, id).is_some(),
+                "no gradient for {}",
+                model.params.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn resample_updates_index_before_convergence() {
+        let (mut model, _) = tiny_setup();
+        let before = model.significant_index().to_vec();
+        // Force several resamples; exploration makes a change near-certain.
+        let mut changed = false;
+        for _ in 0..8 {
+            model.maybe_resample();
+            model.tick();
+            if model.significant_index() != before.as_slice() {
+                changed = true;
+            }
+        }
+        assert!(changed, "exploration never changed the index set");
+    }
+
+    #[test]
+    fn index_frozen_after_convergence_iteration() {
+        let (mut model, _) = tiny_setup();
+        // Jump past convergence and resample twice at a multiple of
+        // sns_every: with explore off and fixed embeddings the set must
+        // be identical.
+        while model.iterations() < model.config().convergence_iter {
+            model.tick();
+        }
+        while model.iterations() % model.config().sns_every != 0 {
+            model.tick();
+        }
+        model.maybe_resample();
+        let a = model.significant_index().to_vec();
+        model.maybe_resample();
+        let b = model.significant_index().to_vec();
+        assert_eq!(a, b, "post-convergence sampling must be deterministic");
+    }
+
+    #[test]
+    fn without_sns_never_resamples() {
+        let data = sagdfn_data::metr_la_like(Scale::Tiny);
+        let n = data.dataset.nodes();
+        let cfg = SagdfnConfig::for_scale(Scale::Tiny, n);
+        let mut model = Sagdfn::with_variant(n, cfg, Variant::WithoutSns, None);
+        let before = model.significant_index().to_vec();
+        for _ in 0..5 {
+            model.maybe_resample();
+            model.tick();
+        }
+        assert_eq!(model.significant_index(), before.as_slice());
+    }
+
+    #[test]
+    fn topology_variant_runs_forward() {
+        let data = sagdfn_data::metr_la_like(Scale::Tiny);
+        let n = data.dataset.nodes();
+        let cfg = SagdfnConfig::for_scale(Scale::Tiny, n);
+        let topo = data.graph.adj.topk_rows(8).weights().clone();
+        let model = Sagdfn::with_variant(n, cfg, Variant::WithoutSnsSsma, Some(topo));
+        let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(4, 4));
+        let batch = split.train.make_batch(&[0]);
+        let tape = Tape::new();
+        let bind = model.params.bind(&tape);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        assert!(pred.value().all_finite());
+    }
+
+    #[test]
+    fn two_layer_stack_forward_and_grads() {
+        let data = sagdfn_data::metr_la_like(sagdfn_data::Scale::Tiny);
+        let n = data.dataset.nodes();
+        let mut cfg = SagdfnConfig::for_scale(sagdfn_data::Scale::Tiny, n);
+        cfg.layers = 2;
+        let model = Sagdfn::new(n, cfg);
+        let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(4, 4));
+        let batch = split.train.make_batch(&[0, 1]);
+        let tape = Tape::new();
+        let bind = model.params.bind(&tape);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        assert_eq!(pred.dims(), vec![4, 2, n]);
+        let mask = Sagdfn::loss_mask(&batch.y);
+        let grads = sagdfn_nn::masked_mae(pred, &batch.y, &mask).backward();
+        for id in model.params.ids() {
+            assert!(
+                bind.grad(&grads, id).is_some(),
+                "no gradient for {} (layer-2 cells must participate)",
+                model.params.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_stack_has_more_parameters() {
+        let n = 20;
+        let cfg1 = SagdfnConfig::for_scale(sagdfn_data::Scale::Tiny, n);
+        let mut cfg2 = cfg1.clone();
+        cfg2.layers = 2;
+        let p1 = Sagdfn::new(n, cfg1).params.num_scalars();
+        let p2 = Sagdfn::new(n, cfg2).params.num_scalars();
+        assert!(p2 > p1, "{p2} should exceed {p1}");
+    }
+
+    #[test]
+    fn tcn_backbone_forward_and_grads() {
+        let data = sagdfn_data::metr_la_like(sagdfn_data::Scale::Tiny);
+        let n = data.dataset.nodes();
+        let mut cfg = SagdfnConfig::for_scale(sagdfn_data::Scale::Tiny, n);
+        cfg.backbone = Backbone::Tcn;
+        let model = Sagdfn::new(n, cfg);
+        assert_eq!(model.backbone(), Backbone::Tcn);
+        let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(12, 12));
+        let batch = split.train.make_batch(&[0, 1]);
+        let tape = Tape::new();
+        let bind = model.params.bind(&tape);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        assert_eq!(pred.dims(), vec![12, 2, n]);
+        assert!(pred.value().all_finite());
+        let mask = Sagdfn::loss_mask(&batch.y);
+        let loss = sagdfn_nn::masked_mae(pred, &batch.y, &mask);
+        let grads = loss.backward();
+        for id in model.params.ids() {
+            assert!(
+                bind.grad(&grads, id).is_some(),
+                "no gradient for {}",
+                model.params.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn attention_backbone_forward_and_grads() {
+        let data = sagdfn_data::metr_la_like(sagdfn_data::Scale::Tiny);
+        let n = data.dataset.nodes();
+        let mut cfg = SagdfnConfig::for_scale(sagdfn_data::Scale::Tiny, n);
+        cfg.backbone = Backbone::SelfAttention;
+        let model = Sagdfn::new(n, cfg);
+        let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(12, 12));
+        let batch = split.train.make_batch(&[0, 1]);
+        let tape = Tape::new();
+        let bind = model.params.bind(&tape);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        assert_eq!(pred.dims(), vec![12, 2, n]);
+        assert!(pred.value().all_finite());
+        let mask = Sagdfn::loss_mask(&batch.y);
+        let grads = sagdfn_nn::masked_mae(pred, &batch.y, &mask).backward();
+        for id in model.params.ids() {
+            assert!(
+                bind.grad(&grads, id).is_some(),
+                "no gradient for {}",
+                model.params.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn attention_backbone_trains() {
+        let data = sagdfn_data::metr_la_like(sagdfn_data::Scale::Tiny);
+        let n = data.dataset.nodes();
+        let mut cfg = SagdfnConfig::for_scale(sagdfn_data::Scale::Tiny, n);
+        cfg.backbone = Backbone::SelfAttention;
+        cfg.epochs = 2;
+        cfg.sns_every = 8;
+        let mut model = Sagdfn::new(n, cfg);
+        let split = ThreeWaySplit::new(
+            data.dataset.subset_steps(0, 400),
+            SplitSpec::paper(12, 12),
+        );
+        let report = crate::trainer::fit(&mut model, &split);
+        assert!(
+            report.test[0].mae < 15.0,
+            "attention backbone MAE {}",
+            report.test[0].mae
+        );
+    }
+
+    #[test]
+    fn tcn_backbone_trains() {
+        let data = sagdfn_data::metr_la_like(sagdfn_data::Scale::Tiny);
+        let n = data.dataset.nodes();
+        let mut cfg = SagdfnConfig::for_scale(sagdfn_data::Scale::Tiny, n);
+        cfg.backbone = Backbone::Tcn;
+        cfg.epochs = 2;
+        cfg.sns_every = 8;
+        let mut model = Sagdfn::new(n, cfg);
+        let split = ThreeWaySplit::new(
+            data.dataset.subset_steps(0, 400),
+            SplitSpec::paper(12, 12),
+        );
+        let report = crate::trainer::fit(&mut model, &split);
+        assert!(report.test[0].mae < 15.0, "TCN MAE {}", report.test[0].mae);
+    }
+
+    #[test]
+    fn teacher_forcing_changes_decoder_inputs() {
+        let data = sagdfn_data::metr_la_like(sagdfn_data::Scale::Tiny);
+        let n = data.dataset.nodes();
+        let cfg = SagdfnConfig::for_scale(sagdfn_data::Scale::Tiny, n);
+        let model = Sagdfn::new(n, cfg);
+        let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(6, 6));
+        let batch = split.train.make_batch(&[0, 1]);
+        let run = |teacher: &[bool]| {
+            let tape = Tape::new();
+            let bind = model.params.bind(&tape);
+            model
+                .forward_scheduled(&tape, &bind, &batch, split.scaler, teacher)
+                .value()
+        };
+        let free = run(&[]);
+        let forced = run(&[true; 6]);
+        // Step 0 is identical (no previous step to force)...
+        let d0: f32 = (0..batch.y.dim(2))
+            .map(|i| (free.at(&[0, 0, i]) - forced.at(&[0, 0, i])).abs())
+            .sum();
+        assert!(d0 < 1e-5, "step 0 must be unaffected, diff {d0}");
+        // ...but later steps diverge.
+        let d3: f32 = (0..batch.y.dim(2))
+            .map(|i| (free.at(&[3, 0, i]) - forced.at(&[3, 0, i])).abs())
+            .sum();
+        assert!(d3 > 1e-4, "teacher forcing had no effect at step 3");
+    }
+
+    #[test]
+    fn teacher_probability_decays() {
+        let n = 20;
+        let mut cfg = SagdfnConfig::for_scale(sagdfn_data::Scale::Tiny, n);
+        cfg.scheduled_sampling = true;
+        cfg.ss_decay = 100.0;
+        let model = Sagdfn::new(n, cfg);
+        let p0 = model.teacher_probability(0);
+        let p_late = model.teacher_probability(2000);
+        assert!(p0 > 0.9, "p(0) = {p0}");
+        assert!(p_late < 0.1, "p(2000) = {p_late}");
+        assert!(p0 > p_late);
+        // Disabled by default.
+        let plain = Sagdfn::new(n, SagdfnConfig::for_scale(sagdfn_data::Scale::Tiny, n));
+        assert_eq!(plain.teacher_probability(0), 0.0);
+    }
+
+    #[test]
+    fn scheduled_sampling_training_runs() {
+        let data = sagdfn_data::metr_la_like(sagdfn_data::Scale::Tiny);
+        let n = data.dataset.nodes();
+        let mut cfg = SagdfnConfig::for_scale(sagdfn_data::Scale::Tiny, n);
+        cfg.scheduled_sampling = true;
+        cfg.ss_decay = 50.0;
+        cfg.epochs = 2;
+        cfg.sns_every = 8;
+        let mut model = Sagdfn::new(n, cfg);
+        let split = ThreeWaySplit::new(
+            data.dataset.subset_steps(0, 400),
+            SplitSpec::paper(6, 6),
+        );
+        let report = crate::trainer::fit(&mut model, &split);
+        assert!(report.test[0].mae < 15.0, "MAE {}", report.test[0].mae);
+    }
+
+    #[test]
+    fn loss_mask_zeroes_missing() {
+        let y = Tensor::from_vec(vec![0.0, 3.0, 0.00001, 7.0], [4]);
+        let m = Sagdfn::loss_mask(&y);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Significant Neighbors Sampling — Algorithm 1 of the paper.
+//!
+//! Given the current node embedding matrix `E ∈ R^{N×d}` and a candidate
+//! matrix `C ∈ {1..N}^{N×M}` (row `i` = candidate neighbor queue of node
+//! `i`, no duplicates within a row):
+//!
+//! 1. sort each row of `C` by Euclidean distance between `E_i` and the
+//!    candidate's embedding (lines 1–5) — closest first;
+//! 2. count how often each node appears in the top-K positions
+//!    `C[:, :K]`, and take the `K` most frequent nodes `V_K` (lines 6–7);
+//! 3. fill the remaining `M − K` slots by sampling uniformly from
+//!    `V ∖ V_K` (line 8) while exploration is enabled, or with the
+//!    next-most-frequent nodes once the embedding has converged
+//!    (iteration ≥ `r` in Algorithm 2).
+//!
+//! The returned index set `I` (length `M`) feeds the Sparse Spatial
+//! Multi-Head Attention; the sorted candidate matrix persists across
+//! iterations, so significance estimates refine as `E` trains.
+
+use sagdfn_tensor::{Rng64, Tensor};
+
+/// The candidate-neighbor state of Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct NeighborSampler {
+    /// Candidate matrix `C`: row `i` holds `M` distinct candidate node ids.
+    candidates: Vec<Vec<usize>>,
+    m: usize,
+    top_k: usize,
+}
+
+impl NeighborSampler {
+    /// Randomly initializes the candidate matrix (Algorithm 2 line 2):
+    /// every row is a uniform sample of `M` distinct node ids, so each
+    /// node is amortized into ≈ `M` rows.
+    pub fn new(n: usize, m: usize, top_k: usize, rng: &mut Rng64) -> Self {
+        assert!(m <= n, "M = {m} cannot exceed N = {n}");
+        assert!(top_k < m, "top_k = {top_k} must be below M = {m}");
+        let candidates = (0..n).map(|_| rng.sample_indices(n, m)).collect();
+        NeighborSampler {
+            candidates,
+            m,
+            top_k,
+        }
+    }
+
+    /// Number of candidate slots per node, `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Runs one sampling iteration (Algorithm 1), reading the current
+    /// embeddings and returning the significant index set `I` of length
+    /// `M`. With `explore = true` the trailing `M − K` entries are random
+    /// exploration nodes; otherwise they are the runners-up of the vote.
+    pub fn sample(&mut self, embeddings: &Tensor, explore: bool, rng: &mut Rng64) -> Vec<usize> {
+        let n = self.candidates.len();
+        assert_eq!(
+            embeddings.dim(0),
+            n,
+            "embedding rows {} != node count {n}",
+            embeddings.dim(0)
+        );
+        let d = embeddings.dim(1);
+        let e = embeddings.as_slice();
+        let dist2 = |a: usize, b: usize| -> f32 {
+            let (ra, rb) = (&e[a * d..(a + 1) * d], &e[b * d..(b + 1) * d]);
+            ra.iter()
+                .zip(rb)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f32>()
+        };
+
+        // Lines 1–5: rank each candidate queue by embedding distance.
+        for (i, row) in self.candidates.iter_mut().enumerate() {
+            row.sort_by(|&a, &b| {
+                dist2(i, a)
+                    .partial_cmp(&dist2(i, b))
+                    .expect("non-finite embedding distance")
+            });
+        }
+
+        // Lines 6–7: vote over the top-K positions.
+        let mut freq = vec![0usize; n];
+        for row in &self.candidates {
+            for &node in &row[..self.top_k] {
+                freq[node] += 1;
+            }
+        }
+        let mut by_freq: Vec<usize> = (0..n).collect();
+        by_freq.sort_by(|&a, &b| freq[b].cmp(&freq[a]).then(a.cmp(&b)));
+        let mut index: Vec<usize> = by_freq[..self.top_k].to_vec();
+
+        // Line 8: fill the M − K remaining slots.
+        if explore {
+            let in_vk: Vec<bool> = {
+                let mut mask = vec![false; n];
+                for &v in &index {
+                    mask[v] = true;
+                }
+                mask
+            };
+            let pool: Vec<usize> = (0..n).filter(|&v| !in_vk[v]).collect();
+            let picks = rng.sample_indices(pool.len(), (self.m - self.top_k).min(pool.len()));
+            index.extend(picks.into_iter().map(|p| pool[p]));
+        } else {
+            index.extend(by_freq[self.top_k..self.m].iter().copied());
+        }
+        debug_assert_eq!(index.len(), self.m);
+        index
+    }
+
+    /// Read-only view of the candidate matrix (for tests/diagnostics).
+    pub fn candidates(&self) -> &[Vec<usize>] {
+        &self.candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embeddings_with_clusters(n: usize, hot: &[usize]) -> Tensor {
+        // Nodes in `hot` sit at the origin; every other node sits at 10·e_i
+        // (its own one-hot axis, d = n). Then dist(non-hot, hot) = 10 while
+        // dist(non-hot, non-hot) = 10·√2, so the hot nodes are everyone's
+        // nearest candidates and must win the significance vote.
+        let d = n;
+        let mut data = vec![0.0f32; n * d];
+        for i in 0..n {
+            if !hot.contains(&i) {
+                data[i * d + i] = 10.0;
+            }
+        }
+        Tensor::from_vec(data, [n, d])
+    }
+
+    #[test]
+    fn returns_m_distinct_indices() {
+        let mut rng = Rng64::new(0);
+        let mut s = NeighborSampler::new(30, 10, 6, &mut rng);
+        let e = Tensor::rand_uniform([30, 4], -1.0, 1.0, &mut rng);
+        let idx = s.sample(&e, true, &mut rng);
+        assert_eq!(idx.len(), 10);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "index set must be distinct");
+        assert!(idx.iter().all(|&i| i < 30));
+    }
+
+    #[test]
+    fn initial_candidates_are_distinct_per_row() {
+        let mut rng = Rng64::new(1);
+        let s = NeighborSampler::new(25, 8, 5, &mut rng);
+        for row in s.candidates() {
+            let mut sorted = row.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 8);
+        }
+    }
+
+    #[test]
+    fn hot_nodes_win_the_vote() {
+        // Nodes 2 and 5 are closest to everyone in embedding space; they
+        // must appear in the significant set whenever they are candidates
+        // of enough rows.
+        let mut rng = Rng64::new(2);
+        let n = 40;
+        let mut s = NeighborSampler::new(n, 20, 10, &mut rng);
+        let e = embeddings_with_clusters(n, &[2, 5]);
+        let idx = s.sample(&e, false, &mut rng);
+        assert!(idx[..10].contains(&2), "hot node 2 not in top-K: {idx:?}");
+        assert!(idx[..10].contains(&5), "hot node 5 not in top-K: {idx:?}");
+    }
+
+    #[test]
+    fn candidate_rows_sorted_by_distance_after_sample() {
+        let mut rng = Rng64::new(3);
+        let n = 20;
+        let mut s = NeighborSampler::new(n, 8, 4, &mut rng);
+        let e = Tensor::rand_uniform([n, 3], -1.0, 1.0, &mut rng);
+        s.sample(&e, true, &mut rng);
+        let data = e.as_slice();
+        let dist2 = |a: usize, b: usize| -> f32 {
+            (0..3)
+                .map(|k| (data[a * 3 + k] - data[b * 3 + k]).powi(2))
+                .sum()
+        };
+        for (i, row) in s.candidates().iter().enumerate() {
+            for w in row.windows(2) {
+                assert!(
+                    dist2(i, w[0]) <= dist2(i, w[1]) + 1e-6,
+                    "row {i} not sorted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exploration_adds_non_topk_nodes() {
+        let mut rng = Rng64::new(4);
+        let n = 50;
+        let mut s = NeighborSampler::new(n, 20, 10, &mut rng);
+        let e = Tensor::rand_uniform([n, 4], -1.0, 1.0, &mut rng);
+        let idx = s.sample(&e, true, &mut rng);
+        let topk: Vec<usize> = idx[..10].to_vec();
+        for &v in &idx[10..] {
+            assert!(!topk.contains(&v), "exploration re-picked a top-K node");
+        }
+    }
+
+    #[test]
+    fn no_exploration_takes_runners_up() {
+        // With explore = false the result is fully deterministic given E.
+        let mut rng = Rng64::new(5);
+        let n = 30;
+        let mut s1 = NeighborSampler::new(n, 12, 6, &mut rng);
+        let mut s2 = s1.clone();
+        let e = Tensor::rand_uniform([n, 4], -1.0, 1.0, &mut rng);
+        let mut rng_a = Rng64::new(100);
+        let mut rng_b = Rng64::new(999); // different RNG must not matter
+        let a = s1.sample(&e, false, &mut rng_a);
+        let b = s2.sample(&e, false, &mut rng_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_sampling_is_stable_for_fixed_embeddings() {
+        // The top-K prefix must stabilize: after the first sample, further
+        // samples with the same E return the same V_K.
+        let mut rng = Rng64::new(6);
+        let n = 40;
+        let mut s = NeighborSampler::new(n, 16, 8, &mut rng);
+        let e = embeddings_with_clusters(n, &[1, 7, 9]);
+        let first = s.sample(&e, true, &mut rng)[..8].to_vec();
+        for _ in 0..3 {
+            let again = s.sample(&e, true, &mut rng)[..8].to_vec();
+            assert_eq!(first, again);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Dataset diagnostics: quick statistical characterization of a
+//! multivariate panel — is there enough temporal seasonality and spatial
+//! correlation for an STGNN to exploit? Used by the CLI's `inspect`
+//! subcommand and by tests validating the synthetic generators.
+
+use crate::series::ForecastDataset;
+
+/// Summary statistics of a dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetReport {
+    /// Node count `N`.
+    pub nodes: usize,
+    /// Step count `T`.
+    pub steps: usize,
+    /// Steps per day at this recording interval.
+    pub steps_per_day: usize,
+    /// Global mean of non-missing values.
+    pub mean: f32,
+    /// Global standard deviation of non-missing values.
+    pub std: f32,
+    /// Fraction of exactly-zero readings (the missing-data convention).
+    pub missing_frac: f32,
+    /// Mean autocorrelation at lag 1 over nodes (short-term smoothness).
+    pub lag1_autocorr: f32,
+    /// Mean autocorrelation at the daily lag over nodes (seasonality
+    /// strength); NaN-free, 0 when the series is shorter than two days.
+    pub daily_autocorr: f32,
+    /// Mean pairwise correlation across a node sample (spatial signal).
+    pub mean_cross_corr: f32,
+}
+
+impl DatasetReport {
+    /// Renders a human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        format!(
+            "nodes: {}\nsteps: {} ({} per day)\nmean: {:.2}  std: {:.2}\n\
+             missing: {:.2}%\nautocorr lag-1: {:.3}\nautocorr daily: {:.3}\n\
+             mean cross-correlation: {:.3}",
+            self.nodes,
+            self.steps,
+            self.steps_per_day,
+            self.mean,
+            self.std,
+            self.missing_frac * 100.0,
+            self.lag1_autocorr,
+            self.daily_autocorr,
+            self.mean_cross_corr
+        )
+    }
+}
+
+fn autocorr(series: &[f32], lag: usize) -> f32 {
+    if series.len() <= lag + 2 {
+        return 0.0;
+    }
+    let n = series.len();
+    let mean = series.iter().sum::<f32>() / n as f32;
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for t in 0..n {
+        let d = (series[t] - mean) as f64;
+        den += d * d;
+        if t + lag < n {
+            num += d * (series[t + lag] - mean) as f64;
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den) as f32
+    }
+}
+
+fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    if n < 3 {
+        return 0.0;
+    }
+    let ma = a[..n].iter().sum::<f32>() / n as f32;
+    let mb = b[..n].iter().sum::<f32>() / n as f32;
+    let (mut num, mut da, mut db) = (0.0f64, 0.0f64, 0.0f64);
+    for i in 0..n {
+        let (x, y) = ((a[i] - ma) as f64, (b[i] - mb) as f64);
+        num += x * y;
+        da += x * x;
+        db += y * y;
+    }
+    let den = (da * db).sqrt();
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den) as f32
+    }
+}
+
+/// Computes a [`DatasetReport`]. Cross-correlation uses up to
+/// `max_pairs` random-ish node pairs to stay cheap on wide panels.
+pub fn inspect(dataset: &ForecastDataset) -> DatasetReport {
+    let (t_len, n) = (dataset.steps(), dataset.nodes());
+    let vals = dataset.values.as_slice();
+    let steps_per_day = ((24 * 60) / dataset.interval_min as usize).max(1);
+
+    // Global moments over non-missing entries.
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    let mut zeros = 0usize;
+    for &v in vals {
+        if v == 0.0 {
+            zeros += 1;
+        } else {
+            sum += v as f64;
+            count += 1;
+        }
+    }
+    let mean = if count > 0 { (sum / count as f64) as f32 } else { 0.0 };
+    let mut var = 0.0f64;
+    for &v in vals {
+        if v != 0.0 {
+            var += ((v - mean) as f64).powi(2);
+        }
+    }
+    let std = if count > 0 {
+        ((var / count as f64).sqrt()) as f32
+    } else {
+        0.0
+    };
+
+    // Per-node autocorrelations over a bounded node sample.
+    let sample: Vec<usize> = (0..n).step_by((n / 24).max(1)).collect();
+    let series = |i: usize| -> Vec<f32> { (0..t_len).map(|t| vals[t * n + i]).collect() };
+    let mut l1 = 0.0f32;
+    let mut ld = 0.0f32;
+    for &i in &sample {
+        let s = series(i);
+        l1 += autocorr(&s, 1);
+        ld += autocorr(&s, steps_per_day);
+    }
+    l1 /= sample.len() as f32;
+    ld /= sample.len() as f32;
+
+    // Mean pairwise correlation across consecutive sampled nodes.
+    let mut cc = 0.0f32;
+    let mut pairs = 0usize;
+    for w in sample.windows(2) {
+        cc += pearson(&series(w[0]), &series(w[1]));
+        pairs += 1;
+    }
+    if pairs > 0 {
+        cc /= pairs as f32;
+    }
+
+    DatasetReport {
+        nodes: n,
+        steps: t_len,
+        steps_per_day,
+        mean,
+        std,
+        missing_frac: zeros as f32 / vals.len() as f32,
+        lag1_autocorr: l1,
+        daily_autocorr: ld,
+        mean_cross_corr: cc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_tensor::Tensor;
+
+    #[test]
+    fn constant_series_report() {
+        let d = ForecastDataset::new("c", Tensor::full([100, 3], 5.0), 60, 0);
+        let r = inspect(&d);
+        assert_eq!(r.nodes, 3);
+        assert_eq!(r.missing_frac, 0.0);
+        assert!((r.mean - 5.0).abs() < 1e-6);
+        assert_eq!(r.std, 0.0);
+    }
+
+    #[test]
+    fn missing_fraction_counts_zeros() {
+        let mut vals = vec![1.0f32; 100];
+        for v in vals.iter_mut().take(25) {
+            *v = 0.0;
+        }
+        let d = ForecastDataset::new("m", Tensor::from_vec(vals, [50, 2]), 5, 0);
+        assert!((inspect(&d).missing_frac - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn daily_seasonality_detected_on_sine() {
+        // Perfect daily sine at hourly resolution: daily autocorr ≈ 1.
+        let t_len = 24 * 14;
+        let vals: Vec<f32> = (0..t_len)
+            .map(|t| 10.0 + (2.0 * std::f32::consts::PI * (t % 24) as f32 / 24.0).sin())
+            .collect();
+        let d = ForecastDataset::new("s", Tensor::from_vec(vals, [t_len, 1]), 60, 0);
+        let r = inspect(&d);
+        assert!(r.daily_autocorr > 0.9, "daily autocorr {}", r.daily_autocorr);
+        assert!(r.lag1_autocorr > 0.9);
+    }
+
+    #[test]
+    fn white_noise_has_no_structure() {
+        let mut rng = sagdfn_tensor::Rng64::new(4);
+        let vals: Vec<f32> = (0..2000).map(|_| 10.0 + rng.next_gaussian()).collect();
+        let d = ForecastDataset::new("w", Tensor::from_vec(vals, [1000, 2]), 60, 0);
+        let r = inspect(&d);
+        assert!(r.lag1_autocorr.abs() < 0.1, "{}", r.lag1_autocorr);
+        assert!(r.daily_autocorr.abs() < 0.1, "{}", r.daily_autocorr);
+    }
+
+    #[test]
+    fn synthetic_traffic_has_the_right_regime() {
+        // The generators must produce what the models assume: smooth,
+        // daily-seasonal, cross-correlated panels.
+        let data = crate::presets::metr_la_like(crate::presets::Scale::Tiny);
+        let r = inspect(&data.dataset);
+        assert!(r.lag1_autocorr > 0.8, "lag1 {}", r.lag1_autocorr);
+        assert!(r.daily_autocorr > 0.3, "daily {}", r.daily_autocorr);
+        assert!(r.mean_cross_corr > 0.2, "cross {}", r.mean_cross_corr);
+    }
+
+    #[test]
+    fn render_contains_key_fields() {
+        let d = ForecastDataset::new("c", Tensor::full([48, 2], 3.0), 60, 0);
+        let text = inspect(&d).render();
+        assert!(text.contains("nodes: 2"));
+        assert!(text.contains("per day"));
+    }
+}

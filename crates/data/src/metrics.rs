@@ -1,0 +1,208 @@
+//! Evaluation metrics: masked MAE, RMSE, MAPE.
+//!
+//! The paper reports all three per forecasting horizon (3, 6, 12). We use
+//! the standard METR-LA masking convention: entries whose ground truth is
+//! (near) zero are excluded from every metric, since zeros encode missing
+//! sensor readings in the traffic datasets and MAPE is undefined there.
+
+use sagdfn_tensor::Tensor;
+
+/// Ground-truth magnitudes at or below this count as "missing".
+const MASK_EPS: f32 = 1e-4;
+
+/// The paper's three error metrics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metrics {
+    /// Mean absolute error.
+    pub mae: f32,
+    /// Root mean squared error.
+    pub rmse: f32,
+    /// Mean absolute percentage error, as a fraction (0.08 = 8 %).
+    pub mape: f32,
+}
+
+impl Metrics {
+    /// Computes masked metrics between flat prediction/target slices.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn compute(pred: &[f32], target: &[f32]) -> Metrics {
+        assert_eq!(pred.len(), target.len(), "metric length mismatch");
+        let mut n = 0usize;
+        let (mut abs, mut sq, mut pct) = (0.0f64, 0.0f64, 0.0f64);
+        for (&p, &t) in pred.iter().zip(target) {
+            if t.abs() <= MASK_EPS {
+                continue;
+            }
+            let e = (p - t) as f64;
+            abs += e.abs();
+            sq += e * e;
+            pct += (e / t as f64).abs();
+            n += 1;
+        }
+        if n == 0 {
+            return Metrics {
+                mae: 0.0,
+                rmse: 0.0,
+                mape: 0.0,
+            };
+        }
+        Metrics {
+            mae: (abs / n as f64) as f32,
+            rmse: ((sq / n as f64).sqrt()) as f32,
+            mape: (pct / n as f64) as f32,
+        }
+    }
+
+    /// Formats like the paper's tables: `MAE RMSE MAPE%`.
+    pub fn row(&self) -> String {
+        format!("{:6.2} {:6.2} {:5.1}%", self.mae, self.rmse, self.mape * 100.0)
+    }
+}
+
+/// Per-horizon metrics for `(f, B, N)` prediction/target tensors: returns
+/// one [`Metrics`] per horizon step (so index 2 is "Horizon 3" in the
+/// paper's 1-based convention).
+pub fn horizon_metrics(pred: &Tensor, target: &Tensor) -> Vec<Metrics> {
+    assert_eq!(
+        pred.dims(),
+        target.dims(),
+        "prediction {:?} vs target {:?}",
+        pred.dims(),
+        target.dims()
+    );
+    assert_eq!(pred.rank(), 3, "expected (f, B, N)");
+    let f = pred.dim(0);
+    let per = pred.numel() / f;
+    (0..f)
+        .map(|t| {
+            Metrics::compute(
+                &pred.as_slice()[t * per..(t + 1) * per],
+                &target.as_slice()[t * per..(t + 1) * per],
+            )
+        })
+        .collect()
+}
+
+/// Per-node metrics over all horizons of `(f, B, N)` tensors: one
+/// [`Metrics`] per node. Used to locate which sensors a model struggles
+/// with (e.g. Figure 4's sensor picks).
+pub fn node_metrics(pred: &Tensor, target: &Tensor) -> Vec<Metrics> {
+    assert_eq!(pred.dims(), target.dims(), "shape mismatch");
+    assert_eq!(pred.rank(), 3, "expected (f, B, N)");
+    let (f, b, n) = (pred.dim(0), pred.dim(1), pred.dim(2));
+    let (p, t) = (pred.as_slice(), target.as_slice());
+    (0..n)
+        .map(|node| {
+            let mut ps = Vec::with_capacity(f * b);
+            let mut ts = Vec::with_capacity(f * b);
+            for i in 0..f * b {
+                ps.push(p[i * n + node]);
+                ts.push(t[i * n + node]);
+            }
+            Metrics::compute(&ps, &ts)
+        })
+        .collect()
+}
+
+/// Averages metrics over all horizons (used for validation selection).
+pub fn average(metrics: &[Metrics]) -> Metrics {
+    let n = metrics.len().max(1) as f32;
+    Metrics {
+        mae: metrics.iter().map(|m| m.mae).sum::<f32>() / n,
+        rmse: metrics.iter().map(|m| m.rmse).sum::<f32>() / n,
+        mape: metrics.iter().map(|m| m.mape).sum::<f32>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_zero_error() {
+        let m = Metrics::compute(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.mape, 0.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        // errors: +1, -1 on targets 2, 4.
+        let m = Metrics::compute(&[3.0, 3.0], &[2.0, 4.0]);
+        assert!((m.mae - 1.0).abs() < 1e-6);
+        assert!((m.rmse - 1.0).abs() < 1e-6);
+        assert!((m.mape - 0.375).abs() < 1e-6); // (1/2 + 1/4) / 2
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let m = Metrics::compute(&[0.0, 10.0], &[1.0, 1.0]);
+        assert!(m.rmse >= m.mae);
+    }
+
+    #[test]
+    fn zero_targets_masked_out() {
+        // Second entry has zero ground truth: ignored entirely.
+        let m = Metrics::compute(&[3.0, 999.0], &[2.0, 0.0]);
+        assert!((m.mae - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_masked_returns_zero() {
+        let m = Metrics::compute(&[5.0], &[0.0]);
+        assert_eq!(m.mae, 0.0);
+    }
+
+    #[test]
+    fn horizon_metrics_split_by_step() {
+        // f=2, B=1, N=2. Horizon 0 perfect, horizon 1 off by 2.
+        let pred = Tensor::from_vec(vec![1.0, 2.0, 3.0, 5.0], [2, 1, 2]);
+        let target = Tensor::from_vec(vec![1.0, 2.0, 1.0, 3.0], [2, 1, 2]);
+        let ms = horizon_metrics(&pred, &target);
+        assert_eq!(ms[0].mae, 0.0);
+        assert!((ms[1].mae - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_metrics_isolate_bad_sensor() {
+        // Node 0 perfect, node 1 off by 3 everywhere.
+        let pred = Tensor::from_vec(vec![1.0, 5.0, 2.0, 7.0], [2, 1, 2]);
+        let target = Tensor::from_vec(vec![1.0, 2.0, 2.0, 4.0], [2, 1, 2]);
+        let per_node = node_metrics(&pred, &target);
+        assert_eq!(per_node.len(), 2);
+        assert_eq!(per_node[0].mae, 0.0);
+        assert!((per_node[1].mae - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_combines() {
+        let a = Metrics {
+            mae: 1.0,
+            rmse: 2.0,
+            mape: 0.1,
+        };
+        let b = Metrics {
+            mae: 3.0,
+            rmse: 4.0,
+            mape: 0.3,
+        };
+        let avg = average(&[a, b]);
+        assert_eq!(avg.mae, 2.0);
+        assert_eq!(avg.rmse, 3.0);
+        assert!((avg.mape - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_format() {
+        let m = Metrics {
+            mae: 2.56,
+            rmse: 5.0,
+            mape: 0.065,
+        };
+        let row = m.row();
+        assert!(row.contains("2.56"));
+        assert!(row.contains("6.5%"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Named dataset presets matching the paper's Table II, at three scales.
+//!
+//! | Preset | Paper dataset | N (paper scale) | interval |
+//! |---|---|---|---|
+//! | [`metr_la_like`] | METR-LA | 207 | 5 min |
+//! | [`city2000_like`] (seed 0) | London2000 | 2000 | 60 min |
+//! | [`city2000_like`] (seed 1) | NewYork2000 | 2000 | 60 min |
+//! | [`carpark_like`] | CARPARK1918 | 1918 | 5 min |
+//!
+//! `tiny` and `small` shrink N and T so CPU training of the full baseline
+//! roster stays tractable; the generators and models are identical across
+//! scales, only the sizes change (see DESIGN.md §2, *Substitutions*).
+
+use crate::synth::{CarparkConfig, CarparkData, TrafficConfig, TrafficData};
+
+/// Run-size profile for experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-model runs (CI, examples): tens of nodes, a few days.
+    Tiny,
+    /// Minutes-per-model runs: ~60-120 nodes, a week-plus of data.
+    Small,
+    /// The paper's actual dimensions (hours per model on CPU).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `tiny` / `small` / `paper` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// METR-LA-like: 5-minute traffic speeds over a k-NN sensor graph.
+pub fn metr_la_like(scale: Scale) -> TrafficData {
+    let (nodes, days) = match scale {
+        Scale::Tiny => (24, 4),
+        Scale::Small => (60, 8),
+        Scale::Paper => (207, 122), // 1 Mar – 30 Jun 2012
+    };
+    TrafficConfig {
+        nodes,
+        steps: 288 * days,
+        interval_min: 5,
+        seed: 1204,
+        ..TrafficConfig::default()
+    }
+    .generate("metr-la-like")
+}
+
+/// London2000 / NewYork2000-like: hourly traffic speeds, 2000 segments at
+/// paper scale. `city_seed` 0 = "London", 1 = "NewYork" (different latent
+/// topology and dynamics).
+pub fn city2000_like(scale: Scale, city_seed: u64) -> TrafficData {
+    let (nodes, days) = match scale {
+        Scale::Tiny => (48, 30),
+        Scale::Small => (120, 45),
+        Scale::Paper => (2000, 91), // 1 Jan – 31 Mar 2020
+    };
+    let name = match city_seed {
+        0 => "london2000-like",
+        1 => "newyork2000-like",
+        _ => "city2000-like",
+    };
+    TrafficConfig {
+        nodes,
+        steps: 24 * days,
+        interval_min: 60,
+        knn: 8,
+        // City arterials: lower speeds, stronger rush response than METR-LA.
+        speed_lo: 15.0,
+        speed_hi: 35.0,
+        rush_strength: 0.45,
+        noise_scale: 1.0,
+        missing_frac: 0.0,
+        incident_rate: 2.0,
+        seed: 9000 + city_seed,
+    }
+    .generate(name)
+}
+
+/// CARPARK1918-like: 5-minute carpark availability counts.
+pub fn carpark_like(scale: Scale) -> CarparkData {
+    let (nodes, days) = match scale {
+        Scale::Tiny => (32, 4),
+        Scale::Small => (64, 8),
+        Scale::Paper => (1918, 61), // 1 May – 30 Jun 2021
+    };
+    CarparkConfig {
+        nodes,
+        steps: 288 * days,
+        interval_min: 5,
+        seed: 1918,
+        ..CarparkConfig::default()
+    }
+    .generate("carpark1918-like")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn tiny_presets_have_expected_shapes() {
+        let m = metr_la_like(Scale::Tiny);
+        assert_eq!(m.dataset.nodes(), 24);
+        assert_eq!(m.dataset.steps(), 288 * 4);
+        assert_eq!(m.dataset.interval_min, 5);
+
+        let c = city2000_like(Scale::Tiny, 0);
+        assert_eq!(c.dataset.nodes(), 48);
+        assert_eq!(c.dataset.interval_min, 60);
+
+        let p = carpark_like(Scale::Tiny);
+        assert_eq!(p.dataset.nodes(), 32);
+    }
+
+    #[test]
+    fn cities_differ_by_seed() {
+        let london = city2000_like(Scale::Tiny, 0);
+        let newyork = city2000_like(Scale::Tiny, 1);
+        assert_ne!(london.dataset.values, newyork.dataset.values);
+        assert_eq!(london.dataset.name, "london2000-like");
+        assert_eq!(newyork.dataset.name, "newyork2000-like");
+    }
+
+    #[test]
+    fn city_speeds_in_urban_range() {
+        let c = city2000_like(Scale::Tiny, 0);
+        let mean = c.dataset.values.mean();
+        assert!(
+            (10.0..40.0).contains(&mean),
+            "urban mean speed {mean} out of range"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Global z-score normalization.
+//!
+//! Fit on the training portion only (standard METR-LA protocol) and shared
+//! by all nodes; the inverse transform is affine with scalar coefficients,
+//! which lets models un-normalize predictions inside the autodiff graph
+//! with `scale` + `add_scalar`.
+
+use sagdfn_tensor::Tensor;
+
+/// `x ↦ (x − mean) / std` with scalars fit over an entire tensor.
+#[derive(Clone, Copy, Debug)]
+pub struct ZScore {
+    /// Fitted mean.
+    pub mean: f32,
+    /// Fitted standard deviation (floored to avoid division by ~0).
+    pub std: f32,
+}
+
+impl ZScore {
+    /// Fits mean/std over all elements of `values`.
+    pub fn fit(values: &Tensor) -> Self {
+        let n = values.numel() as f64;
+        let mean = values.as_slice().iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = values
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        ZScore {
+            mean: mean as f32,
+            std: (var.sqrt() as f32).max(1e-6),
+        }
+    }
+
+    /// Normalizes a tensor.
+    pub fn transform(&self, x: &Tensor) -> Tensor {
+        x.add_scalar(-self.mean).scale(1.0 / self.std)
+    }
+
+    /// Un-normalizes a tensor.
+    pub fn inverse(&self, x: &Tensor) -> Tensor {
+        x.scale(self.std).add_scalar(self.mean)
+    }
+
+    /// Normalizes a scalar.
+    pub fn transform_scalar(&self, v: f32) -> f32 {
+        (v - self.mean) / self.std
+    }
+
+    /// Un-normalizes a scalar.
+    pub fn inverse_scalar(&self, v: f32) -> f32 {
+        v * self.std + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_moments() {
+        let x = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], [4]);
+        let s = ZScore::fit(&x);
+        assert!((s.mean - 5.0).abs() < 1e-6);
+        assert!((s.std - 5.0f32.sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn transform_produces_zero_mean_unit_std() {
+        let x = Tensor::from_vec((0..100).map(|i| i as f32 * 3.0 + 7.0).collect(), [100]);
+        let s = ZScore::fit(&x);
+        let z = s.transform(&x);
+        assert!(z.mean().abs() < 1e-4);
+        let var = z.as_slice().iter().map(|v| v * v).sum::<f32>() / 100.0;
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, -3.0], [3]);
+        let s = ZScore::fit(&x);
+        let back = s.inverse(&s.transform(&x));
+        for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert!((s.inverse_scalar(s.transform_scalar(42.0)) - 42.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn constant_input_does_not_divide_by_zero() {
+        let x = Tensor::full([10], 3.0);
+        let s = ZScore::fit(&x);
+        let z = s.transform(&x);
+        assert!(z.all_finite());
+    }
+}

@@ -1,0 +1,150 @@
+//! The in-memory dataset container.
+
+use sagdfn_tensor::Tensor;
+
+/// Minutes per day/week, used to derive the time covariates the paper's
+/// Definition 3 mentions (time of day, day of week).
+const MIN_PER_DAY: u32 = 24 * 60;
+const MIN_PER_WEEK: u32 = 7 * MIN_PER_DAY;
+
+/// A complete multivariate time series: `T` steps × `N` nodes of scalar
+/// observations recorded at a fixed interval, plus the wall-clock anchor
+/// needed to compute time covariates.
+#[derive(Clone, Debug)]
+pub struct ForecastDataset {
+    /// Dataset name for reporting (e.g. "metr-la-like").
+    pub name: String,
+    /// Observations, `(T, N)`.
+    pub values: Tensor,
+    /// Recording interval in minutes (5 for METR-LA-like, 60 for city-like).
+    pub interval_min: u32,
+    /// Minute-of-week of the first observation (0 = Monday 00:00).
+    pub start_minute_of_week: u32,
+}
+
+impl ForecastDataset {
+    /// Builds a dataset, checking the value tensor is `(T, N)`.
+    pub fn new(
+        name: impl Into<String>,
+        values: Tensor,
+        interval_min: u32,
+        start_minute_of_week: u32,
+    ) -> Self {
+        assert_eq!(values.rank(), 2, "values must be (T, N)");
+        assert!(interval_min > 0, "interval must be positive");
+        ForecastDataset {
+            name: name.into(),
+            values,
+            interval_min,
+            start_minute_of_week: start_minute_of_week % MIN_PER_WEEK,
+        }
+    }
+
+    /// Number of time steps `T`.
+    pub fn steps(&self) -> usize {
+        self.values.dim(0)
+    }
+
+    /// Number of nodes `N`.
+    pub fn nodes(&self) -> usize {
+        self.values.dim(1)
+    }
+
+    /// Time-of-day covariate at step `t`, in `[0, 1)`.
+    pub fn time_of_day(&self, t: usize) -> f32 {
+        let minute = (self.start_minute_of_week + t as u32 * self.interval_min) % MIN_PER_DAY;
+        minute as f32 / MIN_PER_DAY as f32
+    }
+
+    /// Day-of-week covariate at step `t`, in `[0, 1)` (Monday = 0).
+    pub fn day_of_week(&self, t: usize) -> f32 {
+        let minute = (self.start_minute_of_week + t as u32 * self.interval_min) % MIN_PER_WEEK;
+        (minute / MIN_PER_DAY) as f32 / 7.0
+    }
+
+    /// Restricts the dataset to the first `n` nodes — how the paper builds
+    /// the London200 evaluation subset out of London2000 (Table IV).
+    pub fn subset_nodes(&self, n: usize) -> ForecastDataset {
+        assert!(n <= self.nodes(), "subset larger than dataset");
+        let idx: Vec<usize> = (0..n).collect();
+        ForecastDataset {
+            name: format!("{}[0..{n}]", self.name),
+            values: self.values.index_select(1, &idx),
+            interval_min: self.interval_min,
+            start_minute_of_week: self.start_minute_of_week,
+        }
+    }
+
+    /// Restricts to a time range `[start, end)` of steps.
+    pub fn subset_steps(&self, start: usize, end: usize) -> ForecastDataset {
+        ForecastDataset {
+            name: self.name.clone(),
+            values: self.values.slice_axis(0, start, end),
+            interval_min: self.interval_min,
+            start_minute_of_week: (self.start_minute_of_week
+                + (start as u32 * self.interval_min))
+                % MIN_PER_WEEK,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(t: usize, n: usize, interval: u32) -> ForecastDataset {
+        ForecastDataset::new(
+            "test",
+            Tensor::from_vec((0..t * n).map(|x| x as f32).collect(), [t, n]),
+            interval,
+            0,
+        )
+    }
+
+    #[test]
+    fn dims() {
+        let d = ds(10, 3, 5);
+        assert_eq!(d.steps(), 10);
+        assert_eq!(d.nodes(), 3);
+    }
+
+    #[test]
+    fn time_of_day_wraps_daily() {
+        let d = ds(600, 1, 5); // 5-minute steps: 288 per day
+        assert_eq!(d.time_of_day(0), 0.0);
+        assert!((d.time_of_day(144) - 0.5).abs() < 1e-6); // noon
+        assert_eq!(d.time_of_day(288), 0.0); // next midnight
+    }
+
+    #[test]
+    fn day_of_week_advances() {
+        let d = ds(24 * 8, 1, 60); // hourly steps
+        assert_eq!(d.day_of_week(0), 0.0);
+        assert!((d.day_of_week(24) - 1.0 / 7.0).abs() < 1e-6);
+        assert_eq!(d.day_of_week(24 * 7), 0.0); // wraps after a week
+    }
+
+    #[test]
+    fn start_offset_respected() {
+        // Start on Tuesday 06:00 = (1 day + 6 h) * 60 min.
+        let d = ForecastDataset::new("t", Tensor::zeros([10, 1]), 60, 30 * 60);
+        assert!((d.time_of_day(0) - 0.25).abs() < 1e-6);
+        assert!((d.day_of_week(0) - 1.0 / 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subset_nodes_takes_prefix() {
+        let d = ds(2, 4, 5);
+        let s = d.subset_nodes(2);
+        assert_eq!(s.nodes(), 2);
+        assert_eq!(s.values.as_slice(), &[0., 1., 4., 5.]);
+    }
+
+    #[test]
+    fn subset_steps_shifts_clock() {
+        let d = ds(48, 1, 60);
+        let s = d.subset_steps(24, 48);
+        assert_eq!(s.steps(), 24);
+        assert!((s.day_of_week(0) - 1.0 / 7.0).abs() < 1e-6);
+    }
+}

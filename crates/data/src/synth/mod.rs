@@ -1,0 +1,18 @@
+//! Synthetic dataset generators.
+//!
+//! Both generators share a recipe: draw a latent geometric road graph,
+//! derive *spatially correlated* node attributes by diffusing random
+//! fields over that graph, then synthesize each node's series from a
+//! seasonal profile modulated by those attributes plus spatio-temporally
+//! correlated noise. The result exposes the exact structure the paper's
+//! models compete on: strong daily/weekly seasonality (temporal models can
+//! exploit it) *and* graph-localized correlation (only spatial models can
+//! exploit that).
+
+pub mod carpark;
+pub mod energy;
+pub mod traffic;
+
+pub use carpark::{CarparkConfig, CarparkData};
+pub use energy::{EnergyConfig, EnergyData};
+pub use traffic::{TrafficConfig, TrafficData};

@@ -1,0 +1,504 @@
+//! # sagdfn-entmax
+//!
+//! Exact implementations of the sparse normalizers used by SAGDFN's Sparse
+//! Spatial Multi-Head Attention (paper Eq. 7–8):
+//!
+//! * [`softmax`] — the α = 1 member of the family,
+//! * [`sparsemax`] — the α = 2 member, computed exactly by the sort-based
+//!   threshold algorithm of Martins & Astudillo (2016),
+//! * [`entmax`] — general α ∈ (1, ∞), computed by bisection on the
+//!   threshold τ that solves `Σ_j [(α−1)z_j − τ]₊^(1/(α−1)) = 1`,
+//!
+//! plus the closed-form backward pass [`entmax_backward`] shared by all
+//! three: for `p = entmax_α(z)` and upstream gradient `g = dL/dp`,
+//!
+//! ```text
+//! s_i  = p_i^(2−α)          (0 where p_i = 0)
+//! dz_i = s_i ⊙ (g_i − (Σ_j s_j g_j) / (Σ_j s_j))
+//! ```
+//!
+//! which reduces to the familiar softmax Jacobian at α = 1 and the
+//! support-restricted mean-subtraction of sparsemax at α = 2.
+//!
+//! All functions operate on plain `&[f32]` rows so this crate has zero
+//! dependencies; `sagdfn-autodiff` lifts them onto tensors.
+
+/// Numerical tolerance for the bisection: |Σp − 1| after convergence.
+const BISECT_TOL: f64 = 1e-7;
+/// Bisection iteration cap; 60 halvings of a unit interval is ~1e-18.
+const BISECT_ITERS: usize = 60;
+
+/// Softmax over one row, numerically stabilized by max subtraction.
+///
+/// # Panics
+/// Panics if `z` is empty.
+pub fn softmax(z: &[f32]) -> Vec<f32> {
+    assert!(!z.is_empty(), "softmax of empty slice");
+    let m = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut out: Vec<f32> = z.iter().map(|&v| ((v - m) as f64).exp() as f32).collect();
+    let sum: f64 = out.iter().map(|&v| v as f64).sum();
+    let inv = (1.0 / sum) as f32;
+    for v in &mut out {
+        *v *= inv;
+    }
+    out
+}
+
+/// Sparsemax over one row: the Euclidean projection of `z` onto the
+/// probability simplex. Exact, via sorting.
+///
+/// # Panics
+/// Panics if `z` is empty.
+pub fn sparsemax(z: &[f32]) -> Vec<f32> {
+    assert!(!z.is_empty(), "sparsemax of empty slice");
+    let mut sorted: Vec<f64> = z.iter().map(|&v| v as f64).collect();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("NaN in sparsemax input"));
+    // Find k(z) = max { k : 1 + k z_(k) > Σ_{j<=k} z_(j) }.
+    let mut cumsum = 0.0f64;
+    let mut tau = 0.0f64;
+    let mut k_support = 0usize;
+    for (k, &v) in sorted.iter().enumerate() {
+        cumsum += v;
+        let t = (cumsum - 1.0) / (k as f64 + 1.0);
+        if v > t {
+            tau = t;
+            k_support = k + 1;
+        }
+    }
+    debug_assert!(k_support >= 1);
+    z.iter()
+        .map(|&v| ((v as f64 - tau).max(0.0)) as f32)
+        .collect()
+}
+
+/// Exact 1.5-entmax via the sort-based threshold algorithm of Peters &
+/// Martins (2019): with `s = z/2` sorted descending, the support size `k`
+/// is the largest prefix for which `τ(k) = μ_k − √((1 − ss_k)/k)` (with
+/// `μ_k` the prefix mean and `ss_k` the prefix sum of squared deviations)
+/// stays below `s_k`. Output is `p_j = [(s_j − τ)]₊²`.
+///
+/// # Panics
+/// Panics if `z` is empty.
+pub fn entmax15(z: &[f32]) -> Vec<f32> {
+    assert!(!z.is_empty(), "entmax15 of empty slice");
+    let mut sorted: Vec<f64> = z.iter().map(|&v| v as f64 / 2.0).collect();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("NaN in entmax15 input"));
+    // Shift for numerical stability (entmax is shift-invariant).
+    let shift = sorted[0];
+    for v in &mut sorted {
+        *v -= shift;
+    }
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut tau = 0.0f64;
+    for (i, &v) in sorted.iter().enumerate() {
+        let k = (i + 1) as f64;
+        sum += v;
+        sum_sq += v * v;
+        let mean = sum / k;
+        let ss = sum_sq - sum * sum / k; // Σ (v − μ)²
+        let discriminant = (1.0 - ss) / k;
+        if discriminant < 0.0 {
+            break; // prefix variance already exceeds the budget
+        }
+        let candidate = mean - discriminant.sqrt();
+        if v > candidate {
+            tau = candidate; // support extends at least to position i
+        } else {
+            break;
+        }
+    }
+    let mut p: Vec<f64> = z
+        .iter()
+        .map(|&v| {
+            let d = v as f64 / 2.0 - shift - tau;
+            if d > 0.0 {
+                d * d
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // Exact algorithm sums to 1 up to rounding; normalize defensively.
+    let total: f64 = p.iter().sum();
+    debug_assert!(total > 0.0);
+    for v in &mut p {
+        *v /= total;
+    }
+    p.iter().map(|&v| v as f32).collect()
+}
+
+/// General α-entmax over one row.
+///
+/// * `alpha == 1.0` dispatches to [`softmax`];
+/// * `alpha == 1.5` dispatches to the exact sort-based [`entmax15`];
+/// * `alpha == 2.0` dispatches to the exact [`sparsemax`];
+/// * otherwise the threshold τ is found by bisection (paper Eq. 8) and the
+///   output is `[(α−1)z − τ]₊^(1/(α−1))` (paper Eq. 7).
+///
+/// # Panics
+/// Panics if `z` is empty or `alpha < 1.0`.
+pub fn entmax(z: &[f32], alpha: f32) -> Vec<f32> {
+    assert!(alpha >= 1.0, "entmax requires alpha >= 1, got {alpha}");
+    if (alpha - 1.0).abs() < 1e-6 {
+        return softmax(z);
+    }
+    if (alpha - 1.5).abs() < 1e-6 {
+        return entmax15(z);
+    }
+    if (alpha - 2.0).abs() < 1e-6 {
+        return sparsemax(z);
+    }
+    let am1 = (alpha - 1.0) as f64;
+    let exponent = 1.0 / am1;
+    let zs: Vec<f64> = z.iter().map(|&v| v as f64 * am1).collect();
+    let zmax = zs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // At tau = zmax every term vanishes (sum 0 < 1); at tau = zmax - 1 the
+    // max term alone contributes 1^(1/(α−1)) = 1 (sum >= 1). Bisect between.
+    let mut lo = zmax - 1.0;
+    let mut hi = zmax;
+    let sum_at = |tau: f64| -> f64 {
+        zs.iter()
+            .map(|&v| {
+                let d = v - tau;
+                if d > 0.0 {
+                    d.powf(exponent)
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    };
+    for _ in 0..BISECT_ITERS {
+        let mid = 0.5 * (lo + hi);
+        let s = sum_at(mid);
+        if (s - 1.0).abs() < BISECT_TOL {
+            lo = mid;
+            break;
+        }
+        if s > 1.0 {
+            lo = mid; // need larger tau to shrink the sum
+        } else {
+            hi = mid;
+        }
+    }
+    let tau = 0.5 * (lo + hi);
+    // Normalize exactly so downstream code can rely on Σp = 1.
+    let mut p: Vec<f64> = zs
+        .iter()
+        .map(|&v| {
+            let d = v - tau;
+            if d > 0.0 {
+                d.powf(exponent)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let total: f64 = p.iter().sum();
+    debug_assert!(total > 0.0, "entmax produced an all-zero row");
+    for v in &mut p {
+        *v /= total;
+    }
+    p.iter().map(|&v| v as f32).collect()
+}
+
+/// Backward pass shared by the entmax family.
+///
+/// Given the *forward output* `p = entmax_α(z)` and the upstream gradient
+/// `grad_p = dL/dp`, returns `dL/dz`. Works for any `alpha >= 1`, including
+/// the softmax (α = 1) and sparsemax (α = 2) endpoints.
+///
+/// # Panics
+/// Panics if lengths differ or `alpha < 1.0`.
+pub fn entmax_backward(p: &[f32], grad_p: &[f32], alpha: f32) -> Vec<f32> {
+    assert_eq!(p.len(), grad_p.len(), "entmax_backward length mismatch");
+    assert!(alpha >= 1.0, "entmax requires alpha >= 1, got {alpha}");
+    let expo = (2.0 - alpha) as f64;
+    let s: Vec<f64> = p
+        .iter()
+        .map(|&v| {
+            if v > 0.0 {
+                (v as f64).powf(expo)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let s_sum: f64 = s.iter().sum();
+    if s_sum == 0.0 {
+        return vec![0.0; p.len()];
+    }
+    let weighted: f64 = s
+        .iter()
+        .zip(grad_p)
+        .map(|(&si, &gi)| si * gi as f64)
+        .sum();
+    let mean = weighted / s_sum;
+    s.iter()
+        .zip(grad_p)
+        .map(|(&si, &gi)| (si * (gi as f64 - mean)) as f32)
+        .collect()
+}
+
+/// Fraction of exactly-zero entries in a probability row — the sparsity
+/// statistic the paper's ablation (Table VIII) attributes entmax's win to.
+pub fn sparsity(p: &[f32]) -> f32 {
+    if p.is_empty() {
+        return 0.0;
+    }
+    p.iter().filter(|&&v| v == 0.0).count() as f32 / p.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_simplex(p: &[f32]) {
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum {sum} != 1");
+        assert!(p.iter().all(|&v| v >= 0.0), "negative probability in {p:?}");
+    }
+
+    fn finite_diff_check(z: &[f32], alpha: f32) {
+        // Finite-difference check of entmax_backward against the forward.
+        let p = entmax(z, alpha);
+        let g: Vec<f32> = (0..z.len()).map(|i| ((i * 7 + 3) % 5) as f32 - 2.0).collect();
+        let dz = entmax_backward(&p, &g, alpha);
+        let eps = 1e-3f32;
+        for i in 0..z.len() {
+            let mut zp = z.to_vec();
+            zp[i] += eps;
+            let mut zm = z.to_vec();
+            zm[i] -= eps;
+            let pp = entmax(&zp, alpha);
+            let pm = entmax(&zm, alpha);
+            let num: f32 = pp
+                .iter()
+                .zip(&pm)
+                .zip(&g)
+                .map(|((&a, &b), &gi)| gi * (a - b) / (2.0 * eps))
+                .sum();
+            // entmax is only piecewise smooth; allow loose tolerance and
+            // skip points near support boundaries where the derivative jumps.
+            let diff = (num - dz[i]).abs();
+            assert!(
+                diff < 0.05 || diff / (num.abs() + dz[i].abs() + 1e-3) < 0.15,
+                "alpha={alpha} i={i}: analytic {} vs numeric {}",
+                dz[i],
+                num
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_is_simplex() {
+        assert_simplex(&softmax(&[1.0, 2.0, 3.0]));
+        assert_simplex(&softmax(&[-100.0, 0.0, 100.0]));
+    }
+
+    #[test]
+    fn softmax_uniform_for_equal_inputs() {
+        let p = softmax(&[5.0; 4]);
+        for &v in &p {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_never_exactly_zero() {
+        let p = softmax(&[0.0, 10.0]);
+        assert!(p[0] > 0.0, "softmax is dense by definition");
+    }
+
+    #[test]
+    fn sparsemax_is_simplex_and_sparse() {
+        let p = sparsemax(&[3.0, 1.0, -2.0, 0.5]);
+        assert_simplex(&p);
+        assert_eq!(p[2], 0.0, "clearly dominated entry must be exactly zero");
+    }
+
+    #[test]
+    fn sparsemax_matches_projection_two_elements() {
+        // For two elements with gap >= 1 the projection is one-hot.
+        let p = sparsemax(&[2.0, 0.0]);
+        assert_eq!(p, vec![1.0, 0.0]);
+        // Gap 0.5 -> (0.75, 0.25).
+        let p = sparsemax(&[0.5, 0.0]);
+        assert!((p[0] - 0.75).abs() < 1e-6);
+        assert!((p[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparsemax_uniform_for_equal_inputs() {
+        let p = sparsemax(&[1.0; 5]);
+        for &v in &p {
+            assert!((v - 0.2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn entmax_dispatches_to_endpoints() {
+        let z = [1.0, 0.5, -0.5, 2.0];
+        let e1 = entmax(&z, 1.0);
+        let s = softmax(&z);
+        for (a, b) in e1.iter().zip(&s) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        let e2 = entmax(&z, 2.0);
+        let sp = sparsemax(&z);
+        for (a, b) in e2.iter().zip(&sp) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn entmax_15_is_simplex() {
+        for z in [
+            vec![1.0, 2.0, 3.0],
+            vec![0.0; 10],
+            vec![-5.0, 5.0, 0.0, 0.1, -0.1],
+        ] {
+            assert_simplex(&entmax(&z, 1.5));
+        }
+    }
+
+    #[test]
+    fn entmax15_matches_bisection() {
+        // alpha just off 1.5 dodges the exact-algorithm dispatch, so this
+        // compares the sort-based solver against the bisection solver.
+        for seed in 0..20u64 {
+            let z: Vec<f32> = (0..17)
+                .map(|i| ((i as f32 + seed as f32) * 0.73).sin() * 3.0)
+                .collect();
+            let exact = entmax15(&z);
+            let bisect = entmax(&z, 1.5 + 3e-6);
+            for (a, b) in exact.iter().zip(&bisect) {
+                assert!((a - b).abs() < 2e-4, "seed {seed}: {exact:?} vs {bisect:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn entmax15_simplex_and_sparsity() {
+        let z = [3.0f32, 0.1, -2.0, 0.2, 2.9];
+        let p = entmax15(&z);
+        assert_simplex(&p);
+        assert_eq!(p[2], 0.0, "clearly dominated entry must be zeroed");
+        assert!(p[0] > p[4] && p[4] > p[1]);
+    }
+
+    #[test]
+    fn entmax15_single_and_uniform() {
+        assert!((entmax15(&[7.0])[0] - 1.0).abs() < 1e-6);
+        let p = entmax15(&[2.0; 6]);
+        for &v in &p {
+            assert!((v - 1.0 / 6.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn entmax15_shift_invariant() {
+        let z = [0.5f32, -1.0, 2.0, 0.0];
+        let a = entmax15(&z);
+        let b = entmax15(&z.map(|v| v + 1000.0));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn entmax_sparsity_increases_with_alpha() {
+        // Higher alpha must produce at least as many exact zeros.
+        let z: Vec<f32> = (0..20).map(|i| (i as f32 * 0.37).sin() * 2.0).collect();
+        let s15 = sparsity(&entmax(&z, 1.5));
+        let s20 = sparsity(&entmax(&z, 2.0));
+        let s25 = sparsity(&entmax(&z, 2.5));
+        assert!(s15 <= s20 + 1e-6, "s(1.5)={s15} s(2.0)={s20}");
+        assert!(s20 <= s25 + 1e-6, "s(2.0)={s20} s(2.5)={s25}");
+        assert!(s25 > 0.0, "alpha=2.5 should zero out some of 20 entries");
+    }
+
+    #[test]
+    fn entmax_preserves_ranking() {
+        let z = [0.3, 2.0, -1.0, 0.9];
+        let p = entmax(&z, 1.7);
+        assert!(p[1] > p[3] && p[3] > p[0] && p[0] >= p[2]);
+    }
+
+    #[test]
+    fn entmax_invariant_to_shift() {
+        let z = [1.0f32, 0.2, -0.7, 3.0];
+        let zs: Vec<f32> = z.iter().map(|v| v + 100.0).collect();
+        let p = entmax(&z, 1.5);
+        let ps = entmax(&zs, 1.5);
+        for (a, b) in p.iter().zip(&ps) {
+            assert!((a - b).abs() < 1e-4, "{p:?} vs {ps:?}");
+        }
+    }
+
+    #[test]
+    fn entmax_single_element_is_one() {
+        for alpha in [1.0, 1.5, 2.0, 2.5] {
+            let p = entmax(&[0.37], alpha);
+            assert!((p[0] - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_softmax_matches_closed_form() {
+        // softmax backward: dz = p * (g - <p, g>)
+        let z = [0.1f32, -0.3, 0.7];
+        let p = softmax(&z);
+        let g = [1.0f32, 2.0, 3.0];
+        let dz = entmax_backward(&p, &g, 1.0);
+        let dot: f32 = p.iter().zip(&g).map(|(a, b)| a * b).sum();
+        for i in 0..3 {
+            let expect = p[i] * (g[i] - dot);
+            assert!((dz[i] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_gradients_sum_to_zero() {
+        // Rows live on the simplex, so dL/dz must be orthogonal to 1.
+        for alpha in [1.0, 1.3, 1.5, 2.0, 2.5] {
+            let z = [0.9f32, -0.2, 1.4, 0.0, -1.0];
+            let p = entmax(&z, alpha);
+            let g = [0.5f32, -1.0, 2.0, 0.0, 0.3];
+            let dz = entmax_backward(&p, &g, alpha);
+            let sum: f32 = dz.iter().sum();
+            assert!(sum.abs() < 1e-4, "alpha={alpha}: grad sum {sum}");
+        }
+    }
+
+    #[test]
+    fn backward_finite_difference_alpha_15() {
+        finite_diff_check(&[0.8, -0.1, 1.2, 0.4, -0.9], 1.5);
+    }
+
+    #[test]
+    fn backward_finite_difference_alpha_1() {
+        finite_diff_check(&[0.8, -0.1, 1.2, 0.4, -0.9], 1.0);
+    }
+
+    #[test]
+    fn backward_finite_difference_alpha_13() {
+        finite_diff_check(&[0.3, 0.1, -0.2, 0.6], 1.3);
+    }
+
+    #[test]
+    fn backward_zero_support_entries_get_zero_grad() {
+        let z = [5.0f32, 0.0, -5.0];
+        let p = entmax(&z, 2.0);
+        assert_eq!(p[2], 0.0);
+        let dz = entmax_backward(&p, &[1.0, 1.0, 1.0], 2.0);
+        assert_eq!(dz[2], 0.0, "out-of-support entries have zero gradient");
+    }
+
+    #[test]
+    fn sparsity_statistic() {
+        assert_eq!(sparsity(&[0.5, 0.5, 0.0, 0.0]), 0.5);
+        assert_eq!(sparsity(&[]), 0.0);
+    }
+}

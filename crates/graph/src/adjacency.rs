@@ -1,0 +1,311 @@
+//! Dense and slim adjacency matrices with degree normalization and
+//! multi-step diffusion.
+
+use sagdfn_tensor::Tensor;
+
+/// A dense `N×N` weighted adjacency matrix — what the quadratic baselines
+/// (AGCRN, GTS, …) operate on.
+#[derive(Clone, Debug)]
+pub struct DenseAdj {
+    weights: Tensor,
+}
+
+impl DenseAdj {
+    /// Wraps an `N×N` weight tensor.
+    ///
+    /// # Panics
+    /// Panics if `weights` is not square rank-2.
+    pub fn new(weights: Tensor) -> Self {
+        assert_eq!(weights.rank(), 2, "adjacency must be rank 2");
+        assert_eq!(
+            weights.dim(0),
+            weights.dim(1),
+            "adjacency must be square, got {}",
+            weights.shape()
+        );
+        DenseAdj { weights }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.weights.dim(0)
+    }
+
+    /// The raw weight tensor.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Out-degree (row sums).
+    pub fn degrees(&self) -> Vec<f32> {
+        self.weights.sum_axis(1).into_vec()
+    }
+
+    /// Random-walk normalization with self-loops:
+    /// `(D + I)^{-1} (A X + X)` — one diffusion step.
+    pub fn diffuse_step(&self, x: &Tensor) -> Tensor {
+        let n = self.n();
+        assert_eq!(x.dim(0), n, "node dimension mismatch");
+        let ax = self.weights.matmul(x);
+        let mixed = ax.add(x);
+        let deg = self.degrees();
+        scale_rows(&mixed, &deg)
+    }
+
+    /// `steps` diffusion steps.
+    pub fn diffuse(&self, x: &Tensor, steps: usize) -> Tensor {
+        let mut h = x.clone();
+        for _ in 0..steps {
+            h = self.diffuse_step(&h);
+        }
+        h
+    }
+
+    /// Keeps the `k` largest entries per row, zeroing the rest — the
+    /// "top-k nearest neighbors" preprocessing the ablation variant
+    /// *w/o SNS & SSMA* applies to the topology matrix.
+    pub fn topk_rows(&self, k: usize) -> DenseAdj {
+        let n = self.n();
+        let k = k.min(n);
+        let src = self.weights.as_slice();
+        let mut out = vec![0.0f32; n * n];
+        for i in 0..n {
+            let row = &src[i * n..(i + 1) * n];
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("NaN in adjacency"));
+            for &j in idx.iter().take(k) {
+                out[i * n + j] = row[j];
+            }
+        }
+        DenseAdj::new(Tensor::from_vec(out, [n, n]))
+    }
+}
+
+/// The paper's slim adjacency `A_s ∈ R^{N×M}` plus the shared significant
+/// neighbor index set `I` (`|I| = M`).
+#[derive(Clone, Debug)]
+pub struct SlimAdj {
+    weights: Tensor,
+    index: Vec<usize>,
+}
+
+impl SlimAdj {
+    /// Wraps an `N×M` weight tensor and its neighbor index set.
+    ///
+    /// # Panics
+    /// Panics unless `weights` is rank-2 with `dim(1) == index.len()`, and
+    /// every index is `< N`... the index refers back into the same node set.
+    pub fn new(weights: Tensor, index: Vec<usize>) -> Self {
+        assert_eq!(weights.rank(), 2, "slim adjacency must be rank 2");
+        assert_eq!(
+            weights.dim(1),
+            index.len(),
+            "slim adjacency width {} != index set size {}",
+            weights.dim(1),
+            index.len()
+        );
+        let n = weights.dim(0);
+        for &i in &index {
+            assert!(i < n, "neighbor index {i} out of range for {n} nodes");
+        }
+        SlimAdj { weights, index }
+    }
+
+    /// Number of nodes `N`.
+    pub fn n(&self) -> usize {
+        self.weights.dim(0)
+    }
+
+    /// Number of significant neighbors `M`.
+    pub fn m(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The `N×M` weight tensor.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// The shared significant-neighbor index set `I`.
+    pub fn index(&self) -> &[usize] {
+        &self.index
+    }
+
+    /// Row sums of the slim matrix (the diagonal of the paper's `D`).
+    pub fn degrees(&self) -> Vec<f32> {
+        self.weights.sum_axis(1).into_vec()
+    }
+
+    /// One fast-graph-convolution diffusion step (paper Eq. 9 inner term):
+    /// `(D + I)^{-1} (A_s X_I + X)` where `X_I` gathers the rows of the
+    /// significant neighbors. `x` is `(N, d)`.
+    pub fn diffuse_step(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.dim(0), self.n(), "node dimension mismatch");
+        let xi = x.index_select(0, &self.index);
+        let mixed = self.weights.matmul(&xi).add(x);
+        scale_rows(&mixed, &self.degrees())
+    }
+
+    /// `steps` diffusion steps.
+    pub fn diffuse(&self, x: &Tensor, steps: usize) -> Tensor {
+        let mut h = x.clone();
+        for _ in 0..steps {
+            h = self.diffuse_step(&h);
+        }
+        h
+    }
+
+    /// Expands to the equivalent dense `N×N` matrix (testing/debug only —
+    /// this is exactly the allocation the slim representation avoids).
+    pub fn to_dense(&self) -> DenseAdj {
+        let n = self.n();
+        let mut out = vec![0.0f32; n * n];
+        let w = self.weights.as_slice();
+        for i in 0..n {
+            for (j_slim, &j) in self.index.iter().enumerate() {
+                // Accumulate: duplicate indices (possible during the random
+                // exploration phase) merge their weight mass.
+                out[i * n + j] += w[i * self.m() + j_slim];
+            }
+        }
+        DenseAdj::new(Tensor::from_vec(out, [n, n]))
+    }
+
+    /// Fraction of exactly-zero weights — the sparsity entmax produces.
+    pub fn sparsity(&self) -> f32 {
+        sagdfn_entmax_sparsity(self.weights.as_slice())
+    }
+}
+
+fn sagdfn_entmax_sparsity(w: &[f32]) -> f32 {
+    if w.is_empty() {
+        return 0.0;
+    }
+    w.iter().filter(|&&v| v == 0.0).count() as f32 / w.len() as f32
+}
+
+/// Multiplies row `i` of `x` by `1 / (deg[i] + 1)` — the `(D + I)^{-1}`
+/// normalizer of Eq. 9.
+fn scale_rows(x: &Tensor, deg: &[f32]) -> Tensor {
+    let n = x.dim(0);
+    assert_eq!(deg.len(), n);
+    let inner: usize = x.dims()[1..].iter().product();
+    let mut out = x.as_slice().to_vec();
+    for i in 0..n {
+        let s = 1.0 / (deg[i] + 1.0);
+        for v in &mut out[i * inner..(i + 1) * inner] {
+            *v *= s;
+        }
+    }
+    Tensor::from_vec(out, x.shape().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn dense_degrees_are_row_sums() {
+        let a = DenseAdj::new(t(&[0., 1., 2., 0.], &[2, 2]));
+        assert_eq!(a.degrees(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn dense_diffuse_step_mixes_neighbors() {
+        // Two nodes, edge 1->2 with weight 1 (row 0 sees node 1).
+        let a = DenseAdj::new(t(&[0., 1., 0., 0.], &[2, 2]));
+        let x = t(&[0., 10.], &[2, 1]);
+        let y = a.diffuse_step(&x);
+        // Node 0: (1*10 + 0) / (1 + 1) = 5; node 1: (0 + 10) / (0 + 1) = 10.
+        assert_eq!(y.as_slice(), &[5.0, 10.0]);
+    }
+
+    #[test]
+    fn diffusion_preserves_constant_signal() {
+        // With random-walk + self-loop normalization, a constant vector is
+        // a fixed point: ((A+I) 1c) / (deg+1) = c.
+        let a = DenseAdj::new(t(&[0., 2., 1., 3., 0., 1., 2., 2., 0.], &[3, 3]));
+        let x = t(&[7., 7., 7.], &[3, 1]);
+        let y = a.diffuse(&x, 3);
+        for &v in y.as_slice() {
+            assert!((v - 7.0).abs() < 1e-4, "{y:?}");
+        }
+    }
+
+    #[test]
+    fn topk_keeps_largest() {
+        let a = DenseAdj::new(t(&[0.1, 0.9, 0.5, 0.3, 0.2, 0.8, 0.7, 0.1, 0.4], &[3, 3]));
+        let k = a.topk_rows(1);
+        let w = k.weights().as_slice();
+        assert_eq!(&w[0..3], &[0.0, 0.9, 0.0]);
+        assert_eq!(&w[3..6], &[0.0, 0.0, 0.8]);
+        assert_eq!(&w[6..9], &[0.7, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn slim_diffuse_matches_dense_expansion() {
+        // A slim matrix must diffuse exactly like its dense expansion.
+        let index = vec![2, 0];
+        let slim = SlimAdj::new(t(&[0.5, 0.0, 0.25, 0.25, 1.0, 0.0], &[3, 2]), index);
+        let x = t(&[1., 2., 3.], &[3, 1]);
+        let dense = slim.to_dense();
+        let ys = slim.diffuse_step(&x);
+        let yd = dense.diffuse_step(&x);
+        for (a, b) in ys.as_slice().iter().zip(yd.as_slice()) {
+            assert!((a - b).abs() < 1e-6, "{ys:?} vs {yd:?}");
+        }
+    }
+
+    #[test]
+    fn slim_multi_step_matches_dense() {
+        let index = vec![1, 3];
+        let slim = SlimAdj::new(
+            t(&[0.3, 0.7, 0.5, 0.5, 0.0, 1.0, 0.9, 0.1], &[4, 2]),
+            index,
+        );
+        let x = t(&[1., -1., 2., 0.5], &[4, 1]);
+        let ys = slim.diffuse(&x, 3);
+        let yd = slim.to_dense().diffuse(&x, 3);
+        for (a, b) in ys.as_slice().iter().zip(yd.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn slim_sparsity() {
+        let slim = SlimAdj::new(t(&[0.0, 1.0, 0.0, 0.5], &[2, 2]), vec![0, 1]);
+        assert_eq!(slim.sparsity(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slim_rejects_bad_index() {
+        SlimAdj::new(Tensor::zeros([2, 1]), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be square")]
+    fn dense_rejects_rectangular() {
+        DenseAdj::new(Tensor::zeros([2, 3]));
+    }
+
+    #[test]
+    fn slim_diffusion_is_linear_in_x() {
+        let slim = SlimAdj::new(t(&[0.5, 0.5, 1.0, 0.0], &[2, 2]), vec![0, 1]);
+        let x1 = t(&[1., 0.], &[2, 1]);
+        let x2 = t(&[0., 1.], &[2, 1]);
+        let sum = t(&[1., 1.], &[2, 1]);
+        let y1 = slim.diffuse_step(&x1);
+        let y2 = slim.diffuse_step(&x2);
+        let ysum = slim.diffuse_step(&sum);
+        for i in 0..2 {
+            assert!(
+                (y1.as_slice()[i] + y2.as_slice()[i] - ysum.as_slice()[i]).abs() < 1e-6
+            );
+        }
+    }
+}

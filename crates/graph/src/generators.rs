@@ -1,0 +1,248 @@
+//! Synthetic graph generators.
+//!
+//! These build the *latent* spatial graphs over which `sagdfn-data`
+//! synthesizes correlated traffic: the reproduction's stand-in for real
+//! road networks (see DESIGN.md §2). The k-NN geometric graph with a
+//! Gaussian kernel mirrors how METR-LA's sensor graph is constructed from
+//! road-network distances in DCRNN and follow-up work.
+
+use crate::adjacency::DenseAdj;
+use sagdfn_tensor::{Rng64, Tensor};
+
+/// A graph with 2-D node coordinates — what the geometric generators
+/// return, so datasets can derive distance-based covariates.
+#[derive(Clone, Debug)]
+pub struct GeoGraph {
+    /// `(x, y)` position of every node, in arbitrary city units.
+    pub coords: Vec<(f32, f32)>,
+    /// Kernel-weighted adjacency.
+    pub adj: DenseAdj,
+}
+
+/// k-nearest-neighbor geometric graph with Gaussian kernel weights:
+/// `w_ij = exp(-d_ij² / σ²)` for the `k` nearest neighbors of `i`,
+/// where σ is the standard deviation of all kept distances (the DCRNN
+/// thresholded-Gaussian construction).
+///
+/// # Panics
+/// Panics if `k >= n` or `n == 0`.
+pub fn knn_geometric(n: usize, k: usize, rng: &mut Rng64) -> GeoGraph {
+    assert!(n > 0, "empty graph");
+    assert!(k < n, "k = {k} must be below n = {n}");
+    let coords: Vec<(f32, f32)> = (0..n)
+        .map(|_| (rng.next_f32() * 100.0, rng.next_f32() * 100.0))
+        .collect();
+    let mut kept: Vec<(usize, usize, f32)> = Vec::with_capacity(n * k);
+    for i in 0..n {
+        let mut dists: Vec<(usize, f32)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let dx = coords[i].0 - coords[j].0;
+                let dy = coords[i].1 - coords[j].1;
+                (j, (dx * dx + dy * dy).sqrt())
+            })
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        for &(j, d) in dists.iter().take(k) {
+            kept.push((i, j, d));
+        }
+    }
+    // Kernel bandwidth = std of kept distances.
+    let mean = kept.iter().map(|&(_, _, d)| d as f64).sum::<f64>() / kept.len() as f64;
+    let var = kept
+        .iter()
+        .map(|&(_, _, d)| (d as f64 - mean).powi(2))
+        .sum::<f64>()
+        / kept.len() as f64;
+    let sigma2 = var.max(1e-12) as f32 + (mean * mean) as f32 * 0.01;
+    let mut w = vec![0.0f32; n * n];
+    for &(i, j, d) in &kept {
+        w[i * n + j] = (-d * d / sigma2).exp();
+    }
+    GeoGraph {
+        coords,
+        adj: DenseAdj::new(Tensor::from_vec(w, [n, n])),
+    }
+}
+
+/// Erdős–Rényi `G(n, p)` with uniform weights in `(0, 1]` on present edges.
+pub fn erdos_renyi(n: usize, p: f32, rng: &mut Rng64) -> DenseAdj {
+    assert!(n > 0, "empty graph");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut w = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.next_f32() < p {
+                w[i * n + j] = rng.next_f32().max(f32::MIN_POSITIVE);
+            }
+        }
+    }
+    DenseAdj::new(Tensor::from_vec(w, [n, n]))
+}
+
+/// A grid-city topology: `rows × cols` intersections connected to their
+/// 4-neighborhood with unit weights — the Manhattan-style street network
+/// some urban datasets resemble. Node `(r, c)` has index `r·cols + c`.
+pub fn grid_city(rows: usize, cols: usize) -> DenseAdj {
+    assert!(rows >= 1 && cols >= 1, "empty grid");
+    let n = rows * cols;
+    let mut w = vec![0.0f32; n * n];
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = idx(r, c);
+            if r + 1 < rows {
+                w[i * n + idx(r + 1, c)] = 1.0;
+                w[idx(r + 1, c) * n + i] = 1.0;
+            }
+            if c + 1 < cols {
+                w[i * n + idx(r, c + 1)] = 1.0;
+                w[idx(r, c + 1) * n + i] = 1.0;
+            }
+        }
+    }
+    DenseAdj::new(Tensor::from_vec(w, [n, n]))
+}
+
+/// A ring-road topology: `n` nodes on a loop, each connected to its
+/// `hops` predecessors/successors with distance-decayed weights. Models a
+/// one-dimensional arterial corridor (congestion propagates along it).
+pub fn ring_road(n: usize, hops: usize) -> DenseAdj {
+    assert!(n > 2, "ring needs at least 3 nodes");
+    assert!(hops >= 1 && hops < n / 2, "hops must be in [1, n/2)");
+    let mut w = vec![0.0f32; n * n];
+    for i in 0..n {
+        for h in 1..=hops {
+            let weight = 1.0 / h as f32;
+            let fwd = (i + h) % n;
+            let back = (i + n - h) % n;
+            w[i * n + fwd] = weight;
+            w[i * n + back] = weight;
+        }
+    }
+    DenseAdj::new(Tensor::from_vec(w, [n, n]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knn_has_k_neighbors_per_row() {
+        let mut rng = Rng64::new(1);
+        let g = knn_geometric(30, 4, &mut rng);
+        let w = g.adj.weights().as_slice();
+        for i in 0..30 {
+            let nnz = (0..30).filter(|&j| w[i * 30 + j] > 0.0).count();
+            assert_eq!(nnz, 4, "row {i} has {nnz} neighbors");
+        }
+    }
+
+    #[test]
+    fn knn_weights_decay_with_distance() {
+        let mut rng = Rng64::new(2);
+        let g = knn_geometric(50, 5, &mut rng);
+        let w = g.adj.weights().as_slice();
+        // For every node, the nearest kept neighbor must have the largest
+        // weight (Gaussian kernel is monotone in distance).
+        for i in 0..50 {
+            let mut pairs: Vec<(f32, f32)> = (0..50)
+                .filter(|&j| w[i * 50 + j] > 0.0)
+                .map(|j| {
+                    let dx = g.coords[i].0 - g.coords[j].0;
+                    let dy = g.coords[i].1 - g.coords[j].1;
+                    ((dx * dx + dy * dy).sqrt(), w[i * 50 + j])
+                })
+                .collect();
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for win in pairs.windows(2) {
+                assert!(win[0].1 >= win[1].1, "weights not monotone for node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_no_self_loops() {
+        let mut rng = Rng64::new(3);
+        let g = knn_geometric(20, 3, &mut rng);
+        let w = g.adj.weights().as_slice();
+        for i in 0..20 {
+            assert_eq!(w[i * 20 + i], 0.0);
+        }
+    }
+
+    #[test]
+    fn knn_deterministic_by_seed() {
+        let g1 = knn_geometric(15, 3, &mut Rng64::new(7));
+        let g2 = knn_geometric(15, 3, &mut Rng64::new(7));
+        assert_eq!(g1.adj.weights(), g2.adj.weights());
+    }
+
+    #[test]
+    fn erdos_renyi_density_close_to_p() {
+        let mut rng = Rng64::new(4);
+        let a = erdos_renyi(100, 0.1, &mut rng);
+        let nnz = a.weights().as_slice().iter().filter(|&&v| v > 0.0).count();
+        let density = nnz as f32 / (100.0 * 99.0);
+        assert!((density - 0.1).abs() < 0.02, "density {density}");
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = Rng64::new(5);
+        let empty = erdos_renyi(10, 0.0, &mut rng);
+        assert!(empty.weights().as_slice().iter().all(|&v| v == 0.0));
+        let full = erdos_renyi(10, 1.0, &mut rng);
+        let nnz = full.weights().as_slice().iter().filter(|&&v| v > 0.0).count();
+        assert_eq!(nnz, 90);
+    }
+
+    #[test]
+    fn ring_road_symmetric_and_local() {
+        let a = ring_road(10, 2);
+        let w = a.weights().as_slice();
+        // Node 0 connects to 1,2 (fwd) and 9,8 (back).
+        assert_eq!(w[1], 1.0);
+        assert_eq!(w[2], 0.5);
+        assert_eq!(w[9], 1.0);
+        assert_eq!(w[8], 0.5);
+        assert_eq!(w[5], 0.0);
+        // Symmetry of the ring.
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(w[i * 10 + j], w[j * 10 + i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below")]
+    fn knn_rejects_k_too_large() {
+        knn_geometric(5, 5, &mut Rng64::new(0));
+    }
+
+    #[test]
+    fn grid_city_degrees() {
+        let g = grid_city(3, 4);
+        let w = g.weights().as_slice();
+        let n = 12;
+        let deg = |i: usize| (0..n).filter(|&j| w[i * n + j] > 0.0).count();
+        // Corners have 2 neighbors, edges 3, interior 4.
+        assert_eq!(deg(0), 2); // (0,0)
+        assert_eq!(deg(1), 3); // (0,1)
+        assert_eq!(deg(5), 4); // (1,1) interior
+        // Symmetric.
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(w[i * n + j], w[j * n + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_city_single_cell() {
+        let g = grid_city(1, 1);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.weights().as_slice(), &[0.0]);
+    }
+}

@@ -1,0 +1,24 @@
+//! # sagdfn-graph
+//!
+//! Graph substrate for the SAGDFN reproduction: dense and *slim* adjacency
+//! matrices, degree normalization, information diffusion, and synthetic
+//! graph generators.
+//!
+//! The paper's central data structure is the **slim adjacency matrix**
+//! `A_s ∈ R^{N×M}` ([`SlimAdj`]): instead of all-pairs weights, each of the
+//! `N` nodes holds weights toward a *shared* set of `M ≪ N` globally
+//! significant neighbors (identified by the index set `I`). Graph
+//! diffusion with a slim matrix costs `O(NM)` instead of `O(N²)` — the
+//! complexity claim of the paper's Table I.
+//!
+//! Generators here build the *latent* road/sensor graphs the synthetic
+//! datasets diffuse traffic over (see `sagdfn-data`); the learned graphs
+//! inside the model are produced by `sagdfn-core`.
+
+pub mod adjacency;
+pub mod generators;
+pub mod stats;
+
+pub use adjacency::{DenseAdj, SlimAdj};
+pub use generators::{erdos_renyi, grid_city, knn_geometric, ring_road, GeoGraph};
+pub use stats::{degree_histogram, dense_stats, slim_stats, GraphStats};

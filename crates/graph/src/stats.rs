@@ -1,0 +1,147 @@
+//! Graph statistics — used by dataset diagnostics and the experiment
+//! harness to characterize latent topologies and learned adjacencies.
+
+use crate::adjacency::{DenseAdj, SlimAdj};
+
+/// Summary statistics of a weighted graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of nonzero directed edges.
+    pub edges: usize,
+    /// Edges / (N·(N−1)) — self-loops excluded from the denominator.
+    pub density: f32,
+    /// Mean out-degree (nonzero entries per row).
+    pub mean_out_degree: f32,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Mean edge weight over nonzero entries.
+    pub mean_weight: f32,
+    /// Fraction of node pairs connected in both directions (of pairs
+    /// connected at all).
+    pub reciprocity: f32,
+}
+
+/// Computes [`GraphStats`] for a dense adjacency.
+pub fn dense_stats(adj: &DenseAdj) -> GraphStats {
+    let n = adj.n();
+    let w = adj.weights().as_slice();
+    let mut edges = 0usize;
+    let mut weight_sum = 0.0f64;
+    let mut max_deg = 0usize;
+    let mut mutual = 0usize;
+    let mut either = 0usize;
+    for i in 0..n {
+        let mut deg = 0usize;
+        for j in 0..n {
+            let v = w[i * n + j];
+            if v != 0.0 {
+                edges += 1;
+                deg += 1;
+                weight_sum += v as f64;
+            }
+            if i < j {
+                let fwd = v != 0.0;
+                let back = w[j * n + i] != 0.0;
+                if fwd || back {
+                    either += 1;
+                    if fwd && back {
+                        mutual += 1;
+                    }
+                }
+            }
+        }
+        max_deg = max_deg.max(deg);
+    }
+    GraphStats {
+        nodes: n,
+        edges,
+        density: if n > 1 {
+            edges as f32 / (n * (n - 1)) as f32
+        } else {
+            0.0
+        },
+        mean_out_degree: edges as f32 / n as f32,
+        max_out_degree: max_deg,
+        mean_weight: if edges > 0 {
+            (weight_sum / edges as f64) as f32
+        } else {
+            0.0
+        },
+        reciprocity: if either > 0 {
+            mutual as f32 / either as f32
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Computes [`GraphStats`] for a slim adjacency via its dense expansion
+/// semantics (duplicate indices merge).
+pub fn slim_stats(adj: &SlimAdj) -> GraphStats {
+    dense_stats(&adj.to_dense())
+}
+
+/// Out-degree histogram of a dense adjacency: `hist[k]` = number of
+/// nodes with exactly `k` nonzero out-edges.
+pub fn degree_histogram(adj: &DenseAdj) -> Vec<usize> {
+    let n = adj.n();
+    let w = adj.weights().as_slice();
+    let mut hist = vec![0usize; n + 1];
+    for i in 0..n {
+        let deg = (0..n).filter(|&j| w[i * n + j] != 0.0).count();
+        hist[deg] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{knn_geometric, ring_road};
+    use sagdfn_tensor::{Rng64, Tensor};
+
+    #[test]
+    fn ring_stats_are_exact() {
+        let g = ring_road(10, 2);
+        let s = dense_stats(&g);
+        assert_eq!(s.nodes, 10);
+        assert_eq!(s.edges, 40); // 4 per node
+        assert!((s.mean_out_degree - 4.0).abs() < 1e-6);
+        assert_eq!(s.max_out_degree, 4);
+        assert_eq!(s.reciprocity, 1.0, "ring edges are symmetric");
+        assert!((s.density - 40.0 / 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knn_graph_has_exact_out_degree() {
+        let g = knn_geometric(25, 5, &mut Rng64::new(2));
+        let s = dense_stats(&g.adj);
+        assert_eq!(s.edges, 125);
+        assert_eq!(s.max_out_degree, 5);
+        // k-NN is not symmetric in general.
+        assert!(s.reciprocity < 1.0);
+        let hist = degree_histogram(&g.adj);
+        assert_eq!(hist[5], 25, "every node has exactly k out-edges");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = dense_stats(&DenseAdj::new(Tensor::zeros([4, 4])));
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.mean_weight, 0.0);
+        assert_eq!(s.reciprocity, 0.0);
+    }
+
+    #[test]
+    fn slim_stats_match_dense_expansion() {
+        let slim = SlimAdj::new(
+            Tensor::from_vec(vec![0.5, 0.0, 1.0, 0.5], [2, 2]),
+            vec![0, 1],
+        );
+        let s = slim_stats(&slim);
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.edges, 3);
+    }
+}

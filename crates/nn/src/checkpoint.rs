@@ -1,0 +1,238 @@
+//! Parameter checkpointing: save/restore a [`Params`] registry as JSON.
+//!
+//! The format is a stable list of `{name, shape, data}` records, so
+//! checkpoints survive refactors that only reorder registration as long
+//! as names are unchanged. Loading matches by name and verifies shapes.
+
+use crate::params::Params;
+use sagdfn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+/// One serialized parameter tensor.
+#[derive(Serialize, Deserialize)]
+struct SavedParam {
+    name: String,
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+/// A serialized registry plus format metadata.
+#[derive(Serialize, Deserialize)]
+struct Checkpoint {
+    format_version: u32,
+    params: Vec<SavedParam>,
+}
+
+/// Current checkpoint format version.
+const FORMAT_VERSION: u32 = 1;
+
+/// Errors from checkpoint IO.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Parse(String),
+    /// Unknown format version.
+    Version(u32),
+    /// A registry parameter is missing from the checkpoint.
+    Missing(String),
+    /// Shapes disagree for a named parameter.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape in the registry.
+        expected: Vec<usize>,
+        /// Shape in the checkpoint.
+        found: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CheckpointError::Parse(e) => write!(f, "checkpoint parse: {e}"),
+            CheckpointError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Missing(n) => write!(f, "checkpoint missing parameter '{n}'"),
+            CheckpointError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shape mismatch for '{name}': registry {expected:?} vs checkpoint {found:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes every parameter of `params` to `writer` as JSON.
+pub fn save(params: &Params, writer: impl Write) -> Result<(), CheckpointError> {
+    let ckpt = Checkpoint {
+        format_version: FORMAT_VERSION,
+        params: params
+            .ids()
+            .map(|id| {
+                let t = params.get(id);
+                SavedParam {
+                    name: params.name(id).to_string(),
+                    shape: t.dims().to_vec(),
+                    data: t.as_slice().to_vec(),
+                }
+            })
+            .collect(),
+    };
+    serde_json::to_writer(writer, &ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))
+}
+
+/// Loads values into an already-constructed registry, matching by name.
+/// Every registry parameter must be present with the right shape; extra
+/// checkpoint entries are ignored (forward compatibility).
+pub fn load(params: &mut Params, reader: impl Read) -> Result<(), CheckpointError> {
+    let ckpt: Checkpoint =
+        serde_json::from_reader(reader).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    if ckpt.format_version != FORMAT_VERSION {
+        return Err(CheckpointError::Version(ckpt.format_version));
+    }
+    let by_name: HashMap<&str, &SavedParam> = ckpt
+        .params
+        .iter()
+        .map(|p| (p.name.as_str(), p))
+        .collect();
+    let ids: Vec<_> = params.ids().collect();
+    for id in ids {
+        let name = params.name(id).to_string();
+        let saved = by_name
+            .get(name.as_str())
+            .ok_or_else(|| CheckpointError::Missing(name.clone()))?;
+        let expected = params.get(id).dims().to_vec();
+        if saved.shape != expected {
+            return Err(CheckpointError::ShapeMismatch {
+                name,
+                expected,
+                found: saved.shape.clone(),
+            });
+        }
+        params.set(
+            id,
+            Tensor::from_vec(saved.data.clone(), saved.shape.as_slice()),
+        );
+    }
+    Ok(())
+}
+
+/// Convenience: save to a filesystem path.
+pub fn save_path(params: &Params, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
+    save(params, std::io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+/// Convenience: load from a filesystem path.
+pub fn load_path(
+    params: &mut Params,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), CheckpointError> {
+    load(params, std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_tensor::Rng64;
+
+    fn sample_params(seed: u64) -> Params {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(seed);
+        params.add("w1", Tensor::rand_uniform([3, 4], -1.0, 1.0, &mut rng));
+        params.add("b1", Tensor::rand_uniform([4], -1.0, 1.0, &mut rng));
+        params
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let original = sample_params(1);
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+
+        let mut restored = sample_params(2); // different values
+        load(&mut restored, buf.as_slice()).unwrap();
+        for (a, b) in original.ids().zip(restored.ids()) {
+            assert_eq!(original.get(a), restored.get(b));
+        }
+    }
+
+    #[test]
+    fn load_matches_by_name_not_order() {
+        let original = sample_params(3);
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+
+        // A registry with the same names registered in reverse order.
+        let mut reordered = Params::new();
+        reordered.add("b1", Tensor::zeros([4]));
+        reordered.add("w1", Tensor::zeros([3, 4]));
+        load(&mut reordered, buf.as_slice()).unwrap();
+        let b1 = reordered.ids().next().unwrap();
+        assert_eq!(
+            reordered.get(b1).as_slice(),
+            original.get(original.ids().nth(1).unwrap()).as_slice()
+        );
+    }
+
+    #[test]
+    fn missing_parameter_is_an_error() {
+        let original = sample_params(4);
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+        let mut bigger = sample_params(5);
+        bigger.add("extra", Tensor::zeros([2]));
+        let err = load(&mut bigger, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Missing(n) if n == "extra"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let original = sample_params(6);
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+        let mut wrong = Params::new();
+        wrong.add("w1", Tensor::zeros([4, 3])); // transposed
+        wrong.add("b1", Tensor::zeros([4]));
+        let err = load(&mut wrong, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        let mut p = sample_params(7);
+        let err = load(&mut p, b"not json".as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Parse(_)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("sagdfn-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let original = sample_params(8);
+        save_path(&original, &path).unwrap();
+        let mut restored = sample_params(9);
+        load_path(&mut restored, &path).unwrap();
+        let (a, b) = (
+            original.ids().next().unwrap(),
+            restored.ids().next().unwrap(),
+        );
+        assert_eq!(original.get(a), restored.get(b));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,157 @@
+//! Gated Recurrent Unit cell.
+
+use crate::linear::Linear;
+use crate::params::{Binding, Params};
+use sagdfn_autodiff::Var;
+use sagdfn_tensor::Rng64;
+
+/// A standard GRU cell operating on `(batch, features)` slices:
+///
+/// ```text
+/// r = σ(W_r [x ‖ h] + b_r)
+/// z = σ(W_z [x ‖ h] + b_z)
+/// h̃ = tanh(W_h [x ‖ r ⊙ h] + b_h)
+/// h' = z ⊙ h + (1 − z) ⊙ h̃
+/// ```
+///
+/// This mirrors the update convention of paper Eq. 10 (where `z` gates the
+/// *old* state). `OneStepFastGConv` in `sagdfn-core` replaces the three
+/// matrix multiplications with graph convolutions; this plain cell is the
+/// substrate for the LSTM/GRU seq2seq baselines.
+pub struct GruCell {
+    wr: Linear,
+    wz: Linear,
+    wh: Linear,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl GruCell {
+    /// Registers the three gate transforms.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        let cat = input_dim + hidden_dim;
+        GruCell {
+            wr: Linear::new(params, &format!("{name}.wr"), cat, hidden_dim, true, rng),
+            wz: Linear::new(params, &format!("{name}.wz"), cat, hidden_dim, true, rng),
+            wh: Linear::new(params, &format!("{name}.wh"), cat, hidden_dim, true, rng),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// One step: `(x_t, h_{t-1}) -> h_t`. Both are `(batch, dim)`.
+    pub fn step<'t>(&self, bind: &Binding<'t>, x: Var<'t>, h: Var<'t>) -> Var<'t> {
+        assert_eq!(
+            *x.dims().last().unwrap(),
+            self.input_dim,
+            "GRU input dim mismatch"
+        );
+        assert_eq!(
+            *h.dims().last().unwrap(),
+            self.hidden_dim,
+            "GRU hidden dim mismatch"
+        );
+        let xh = Var::concat(&[x, h], x.dims().len() - 1);
+        let r = self.wr.forward(bind, xh).sigmoid();
+        let z = self.wz.forward(bind, xh).sigmoid();
+        let xrh = Var::concat(&[x, r.mul(&h)], x.dims().len() - 1);
+        let h_tilde = self.wh.forward(bind, xrh).tanh();
+        // h' = z ⊙ h + (1 − z) ⊙ h̃
+        z.mul(&h).add(&z.neg().add_scalar(1.0).mul(&h_tilde))
+    }
+
+    /// Hidden state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_autodiff::Tape;
+    use sagdfn_tensor::Tensor;
+
+    #[test]
+    fn step_shape() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(0);
+        let cell = GruCell::new(&mut params, "gru", 3, 8, &mut rng);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let x = tape.constant(Tensor::ones([4, 3]));
+        let h = tape.constant(Tensor::zeros([4, 8]));
+        assert_eq!(cell.step(&bind, x, h).dims(), vec![4, 8]);
+    }
+
+    #[test]
+    fn hidden_state_bounded() {
+        // GRU output is a convex mix of h (here 0) and tanh(..) in (-1,1):
+        // |h'| < 1 always.
+        let mut params = Params::new();
+        let mut rng = Rng64::new(1);
+        let cell = GruCell::new(&mut params, "gru", 2, 4, &mut rng);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let x = tape.constant(Tensor::full([3, 2], 100.0));
+        let h = tape.constant(Tensor::zeros([3, 4]));
+        let out = cell.step(&bind, x, h).value();
+        // tanh saturates to exactly ±1.0 in f32 for extreme inputs.
+        assert!(out.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn zero_update_gate_keeps_candidate() {
+        // If z ≈ 0 (large negative wz bias), h' ≈ h̃ regardless of h.
+        let mut params = Params::new();
+        let mut rng = Rng64::new(2);
+        let cell = GruCell::new(&mut params, "gru", 1, 2, &mut rng);
+        params.set(
+            cell.wz.bias().unwrap(),
+            Tensor::full([2], -50.0),
+        );
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let x = tape.constant(Tensor::zeros([1, 1]));
+        let h_a = tape.constant(Tensor::full([1, 2], 0.9));
+        let h_b = tape.constant(Tensor::full([1, 2], 0.9));
+        let out_a = cell.step(&bind, x, h_a).value();
+        let out_b = cell.step(&bind, x, h_b).value();
+        // deterministic: same inputs -> same outputs
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn gradients_flow_through_time() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(3);
+        let cell = GruCell::new(&mut params, "gru", 1, 4, &mut rng);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let x = tape.constant(Tensor::ones([2, 1]));
+        let mut h = tape.constant(Tensor::zeros([2, 4]));
+        for _ in 0..5 {
+            h = cell.step(&bind, x, h);
+        }
+        let grads = h.sum().backward();
+        // All three gate weights must receive gradients after unrolling.
+        for id in params.ids() {
+            assert!(
+                bind.grad(&grads, id).is_some(),
+                "missing grad for {}",
+                params.name(id)
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Weight initializers.
+
+use sagdfn_tensor::{Rng64, Tensor};
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng64) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform([fan_in, fan_out], -a, a, rng)
+}
+
+/// Kaiming/He uniform for ReLU fan-in: `U(-a, a)`, `a = sqrt(6 / fan_in)`.
+pub fn kaiming_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng64) -> Tensor {
+    let a = (6.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform([fan_in, fan_out], -a, a, rng)
+}
+
+/// Uniform in `[-bound, bound]` with an arbitrary shape.
+pub fn uniform(shape: &[usize], bound: f32, rng: &mut Rng64) -> Tensor {
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Standard-normal scaled embeddings, the init the paper uses for the node
+/// embedding matrix E.
+pub fn normal_embedding(n: usize, d: usize, rng: &mut Rng64) -> Tensor {
+    Tensor::rand_normal([n, d], 0.0, 1.0, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = Rng64::new(1);
+        let t = xavier_uniform(100, 50, &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= a));
+        assert_eq!(t.dims(), &[100, 50]);
+    }
+
+    #[test]
+    fn xavier_not_degenerate() {
+        let mut rng = Rng64::new(2);
+        let t = xavier_uniform(64, 64, &mut rng);
+        let var = {
+            let m = t.mean();
+            t.as_slice().iter().map(|v| (v - m).powi(2)).sum::<f32>() / t.numel() as f32
+        };
+        assert!(var > 1e-4, "weights collapsed: var {var}");
+    }
+
+    #[test]
+    fn kaiming_bound_depends_on_fan_in_only() {
+        let mut rng = Rng64::new(3);
+        let t = kaiming_uniform(6, 1000, &mut rng);
+        assert!(t.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn embedding_shape() {
+        let mut rng = Rng64::new(4);
+        assert_eq!(normal_embedding(207, 100, &mut rng).dims(), &[207, 100]);
+    }
+}

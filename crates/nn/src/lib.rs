@@ -1,0 +1,39 @@
+//! # sagdfn-nn
+//!
+//! Neural-network building blocks over `sagdfn-autodiff`: parameter
+//! registry, layers (Linear, FFN, GRU, LSTM, dropout), initializers,
+//! optimizers (SGD, Adam), learning-rate schedules, gradient clipping and
+//! losses — the equivalents of `torch.nn` / `torch.optim` that the SAGDFN
+//! model and every deep baseline are assembled from.
+//!
+//! ## Parameter model
+//!
+//! Because a fresh [`sagdfn_autodiff::Tape`] is built every training step,
+//! layers do not own tensors. Instead all trainable tensors live in a
+//! [`Params`] registry; layers hold [`ParamId`]s. Each step:
+//!
+//! 1. [`Params::bind`] creates one tape leaf per parameter ([`Binding`]);
+//! 2. layers run `forward(&binding, ...)` producing the loss var;
+//! 3. `loss.backward()` yields gradients;
+//! 4. the optimizer ([`Adam`] / [`Sgd`]) reads gradients via the binding
+//!    and updates the registry tensors in place.
+
+pub mod checkpoint;
+pub mod gru;
+pub mod init;
+pub mod linear;
+pub mod loss;
+pub mod lstm;
+pub mod mlp;
+pub mod optim;
+pub mod params;
+pub mod schedule;
+
+pub use gru::GruCell;
+pub use linear::Linear;
+pub use loss::{mae, masked_mae, mse, rmse_from_mse};
+pub use lstm::LstmCell;
+pub use mlp::{Activation, Mlp};
+pub use optim::{Adam, GradClip, Optimizer, Sgd};
+pub use params::{Binding, ParamId, Params};
+pub use schedule::LrSchedule;

@@ -1,0 +1,102 @@
+//! Forecasting losses.
+//!
+//! The paper trains with MAE (Eq. 11); the masked variants replicate the
+//! METR-LA convention of excluding zero-valued (missing) observations from
+//! both the loss and the evaluation metrics.
+
+use sagdfn_autodiff::Var;
+use sagdfn_tensor::Tensor;
+
+/// Mean absolute error between a prediction var and a constant target.
+pub fn mae<'t>(pred: Var<'t>, target: &Tensor) -> Var<'t> {
+    let t = constant_like(pred, target);
+    pred.sub(&t).abs().mean()
+}
+
+/// Mean squared error between a prediction var and a constant target.
+pub fn mse<'t>(pred: Var<'t>, target: &Tensor) -> Var<'t> {
+    let t = constant_like(pred, target);
+    pred.sub(&t).square().mean()
+}
+
+/// RMSE from an MSE value (plain f32 helper for reporting).
+pub fn rmse_from_mse(mse: f32) -> f32 {
+    mse.max(0.0).sqrt()
+}
+
+/// MAE restricted to entries where `mask != 0`; the mean is over unmasked
+/// entries only.
+pub fn masked_mae<'t>(pred: Var<'t>, target: &Tensor, mask: &Tensor) -> Var<'t> {
+    let count = mask.as_slice().iter().filter(|&&m| m != 0.0).count().max(1);
+    let t = constant_like(pred, target);
+    pred.sub(&t)
+        .abs()
+        .mul_const(mask)
+        .sum()
+        .scale(1.0 / count as f32)
+}
+
+fn constant_like<'t>(pred: Var<'t>, target: &Tensor) -> Var<'t> {
+    assert_eq!(
+        pred.dims(),
+        target.dims(),
+        "loss target shape {:?} must match prediction {:?}",
+        target.dims(),
+        pred.dims()
+    );
+    pred.tape().constant(target.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_autodiff::Tape;
+
+    #[test]
+    fn mae_value() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]));
+        let target = Tensor::from_vec(vec![2.0, 2.0, 1.0], [3]);
+        let loss = mae(pred, &target);
+        assert!((loss.value().item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mae_gradient_is_sign_over_n() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec(vec![1.0, 5.0], [2]));
+        let target = Tensor::from_vec(vec![3.0, 3.0], [2]);
+        let grads = mae(pred, &target).backward();
+        assert_eq!(grads.expect(pred).as_slice(), &[-0.5, 0.5]);
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec(vec![2.0], [1]));
+        let target = Tensor::from_vec(vec![0.0], [1]);
+        let loss = mse(pred, &target);
+        assert!((loss.value().item() - 4.0).abs() < 1e-6);
+        let grads = loss.backward();
+        assert_eq!(grads.expect(pred).as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn masked_mae_ignores_masked_entries() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec(vec![1.0, 100.0], [2]));
+        let target = Tensor::from_vec(vec![0.0, 0.0], [2]);
+        let mask = Tensor::from_vec(vec![1.0, 0.0], [2]);
+        let loss = masked_mae(pred, &target, &mask);
+        // Only the first entry counts: |1 - 0| / 1 = 1.
+        assert!((loss.value().item() - 1.0).abs() < 1e-6);
+        let grads = loss.backward();
+        assert_eq!(grads.expect(pred).as_slice()[1], 0.0);
+    }
+
+    #[test]
+    fn rmse_helper() {
+        assert_eq!(rmse_from_mse(4.0), 2.0);
+        assert_eq!(rmse_from_mse(-0.1), 0.0);
+    }
+}

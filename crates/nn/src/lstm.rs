@@ -1,0 +1,150 @@
+//! Long Short-Term Memory cell (the LSTM baseline's substrate).
+
+use crate::linear::Linear;
+use crate::params::{Binding, Params};
+use sagdfn_autodiff::Var;
+use sagdfn_tensor::Rng64;
+
+/// A standard LSTM cell on `(batch, features)` slices:
+///
+/// ```text
+/// i = σ(W_i [x ‖ h]),  f = σ(W_f [x ‖ h]),  o = σ(W_o [x ‖ h])
+/// g = tanh(W_g [x ‖ h])
+/// c' = f ⊙ c + i ⊙ g
+/// h' = o ⊙ tanh(c')
+/// ```
+pub struct LstmCell {
+    wi: Linear,
+    wf: Linear,
+    wo: Linear,
+    wg: Linear,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+/// `(h, c)` state pair of an LSTM.
+pub struct LstmState<'t> {
+    /// Hidden state, `(batch, hidden)`.
+    pub h: Var<'t>,
+    /// Cell state, `(batch, hidden)`.
+    pub c: Var<'t>,
+}
+
+impl LstmCell {
+    /// Registers the four gate transforms. The forget-gate bias starts at
+    /// +1, the standard trick to preserve memory early in training.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        let cat = input_dim + hidden_dim;
+        let wf = Linear::new(params, &format!("{name}.wf"), cat, hidden_dim, true, rng);
+        if let Some(b) = wf.bias() {
+            params.set(b, sagdfn_tensor::Tensor::ones([hidden_dim]));
+        }
+        LstmCell {
+            wi: Linear::new(params, &format!("{name}.wi"), cat, hidden_dim, true, rng),
+            wf,
+            wo: Linear::new(params, &format!("{name}.wo"), cat, hidden_dim, true, rng),
+            wg: Linear::new(params, &format!("{name}.wg"), cat, hidden_dim, true, rng),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// One step: `(x_t, state_{t-1}) -> state_t`.
+    pub fn step<'t>(&self, bind: &Binding<'t>, x: Var<'t>, state: &LstmState<'t>) -> LstmState<'t> {
+        assert_eq!(*x.dims().last().unwrap(), self.input_dim, "LSTM input dim");
+        let axis = x.dims().len() - 1;
+        let xh = Var::concat(&[x, state.h], axis);
+        let i = self.wi.forward(bind, xh).sigmoid();
+        let f = self.wf.forward(bind, xh).sigmoid();
+        let o = self.wo.forward(bind, xh).sigmoid();
+        let g = self.wg.forward(bind, xh).tanh();
+        let c = f.mul(&state.c).add(&i.mul(&g));
+        let h = o.mul(&c.tanh());
+        LstmState { h, c }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_autodiff::Tape;
+    use sagdfn_tensor::Tensor;
+
+    fn zero_state<'t>(tape: &'t Tape, batch: usize, hidden: usize) -> LstmState<'t> {
+        LstmState {
+            h: tape.constant(Tensor::zeros([batch, hidden])),
+            c: tape.constant(Tensor::zeros([batch, hidden])),
+        }
+    }
+
+    #[test]
+    fn step_shapes() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(0);
+        let cell = LstmCell::new(&mut params, "lstm", 3, 6, &mut rng);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let x = tape.constant(Tensor::ones([2, 3]));
+        let s = cell.step(&bind, x, &zero_state(&tape, 2, 6));
+        assert_eq!(s.h.dims(), vec![2, 6]);
+        assert_eq!(s.c.dims(), vec![2, 6]);
+    }
+
+    #[test]
+    fn hidden_bounded_by_one() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(1);
+        let cell = LstmCell::new(&mut params, "lstm", 2, 4, &mut rng);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let x = tape.constant(Tensor::full([1, 2], 50.0));
+        let mut s = zero_state(&tape, 1, 4);
+        for _ in 0..10 {
+            s = cell.step(&bind, x, &s);
+        }
+        // h = o ⊙ tanh(c), so |h| < 1 even when |c| grows.
+        assert!(s.h.value().as_slice().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(2);
+        let cell = LstmCell::new(&mut params, "lstm", 1, 3, &mut rng);
+        let b = params.get(cell.wf.bias().unwrap());
+        assert!(b.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn gradients_flow_through_unrolled_steps() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(3);
+        let cell = LstmCell::new(&mut params, "lstm", 1, 3, &mut rng);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let x = tape.constant(Tensor::ones([1, 1]));
+        let mut s = zero_state(&tape, 1, 3);
+        for _ in 0..4 {
+            s = cell.step(&bind, x, &s);
+        }
+        let grads = s.h.sum().backward();
+        for id in params.ids() {
+            assert!(
+                bind.grad(&grads, id).is_some(),
+                "missing grad for {}",
+                params.name(id)
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Multi-layer perceptron (the paper's FFN_p blocks, Eq. 2).
+
+use crate::linear::Linear;
+use crate::params::{Binding, Params};
+use sagdfn_autodiff::Var;
+use sagdfn_tensor::Rng64;
+
+/// Elementwise nonlinearity between MLP layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No nonlinearity.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a var.
+    pub fn apply<'t>(&self, x: Var<'t>) -> Var<'t> {
+        match self {
+            Activation::Relu => x.relu(),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => x.sigmoid(),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// A stack of [`Linear`] layers with an activation between them (but not
+/// after the last layer).
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP mapping `dims[0] -> dims[1] -> ... -> dims.last()`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dims are given.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(params, &format!("{name}.{i}"), w[0], w[1], true, rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Applies the stack to the last dimension of `x`.
+    pub fn forward<'t>(&self, bind: &Binding<'t>, x: Var<'t>) -> Var<'t> {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(bind, h);
+            if i < last {
+                h = self.activation.apply(h);
+            }
+        }
+        h
+    }
+
+    /// Input feature size.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output feature size.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_autodiff::Tape;
+    use sagdfn_tensor::Tensor;
+
+    #[test]
+    fn shapes_through_stack() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(0);
+        let mlp = Mlp::new(&mut params, "ffn", &[8, 16, 2], Activation::Relu, &mut rng);
+        assert_eq!(mlp.in_dim(), 8);
+        assert_eq!(mlp.out_dim(), 2);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let x = tape.constant(Tensor::ones([5, 8]));
+        assert_eq!(mlp.forward(&bind, x).dims(), vec![5, 2]);
+    }
+
+    #[test]
+    fn identity_single_layer_is_linear() {
+        let mut params = Params::new();
+        let mut rng = Rng64::new(1);
+        let mlp = Mlp::new(&mut params, "ffn", &[3, 3], Activation::Relu, &mut rng);
+        // With one layer, activation must NOT be applied (it follows the
+        // "no nonlinearity after the last layer" rule).
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let x = tape.constant(Tensor::full([1, 3], -100.0));
+        let y = mlp.forward(&bind, x).value();
+        // If ReLU were applied, large-negative outputs would be clipped to
+        // zero for every input; check at least one negative survives.
+        assert!(
+            y.as_slice().iter().any(|&v| v < 0.0),
+            "last-layer activation should be skipped: {y:?}"
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_regression() {
+        // Tiny end-to-end sanity check: fit y = 2x - 1 with Adam.
+        use crate::optim::{Adam, Optimizer};
+        let mut params = Params::new();
+        let mut rng = Rng64::new(2);
+        let mlp = Mlp::new(&mut params, "f", &[1, 8, 1], Activation::Tanh, &mut rng);
+        let xs = Tensor::from_vec((0..16).map(|i| i as f32 / 8.0 - 1.0).collect(), [16, 1]);
+        let ys = Tensor::from_vec(
+            xs.as_slice().iter().map(|&x| 2.0 * x - 1.0).collect(),
+            [16, 1],
+        );
+        let mut opt = Adam::new(0.05);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..150 {
+            let tape = Tape::new();
+            let bind = params.bind(&tape);
+            let x = tape.constant(xs.clone());
+            let pred = mlp.forward(&bind, x);
+            let target = tape.constant(ys.clone());
+            let loss = pred.sub(&target).square().mean();
+            last = loss.value().item();
+            first.get_or_insert(last);
+            let grads = loss.backward();
+            opt.step(&mut params, &bind, &grads);
+        }
+        let first = first.unwrap();
+        assert!(
+            last < first * 0.05,
+            "loss should fall by 20x: first {first}, last {last}"
+        );
+    }
+}

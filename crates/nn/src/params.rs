@@ -1,0 +1,191 @@
+//! The trainable-parameter registry and per-step tape binding.
+
+use sagdfn_autodiff::{Gradients, Tape, Var};
+use sagdfn_tensor::Tensor;
+
+/// Stable handle to one trainable tensor in a [`Params`] registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+struct Entry {
+    name: String,
+    value: Tensor,
+}
+
+/// Registry of all trainable tensors of a model.
+#[derive(Default)]
+pub struct Params {
+    entries: Vec<Entry>,
+}
+
+impl Params {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Registers a tensor under `name` and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = ParamId(self.entries.len());
+        self.entries.push(Entry {
+            name: name.into(),
+            value,
+        });
+        id
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable access (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// Overwrites a parameter value (e.g. when loading a checkpoint).
+    pub fn set(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            self.entries[id.0].value.shape(),
+            value.shape(),
+            "set() must preserve parameter shape for {}",
+            self.entries[id.0].name
+        );
+        self.entries[id.0].value = value;
+    }
+
+    /// Name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameter is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All parameter handles.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Total scalar count across all parameters — the "# Parameters" column
+    /// of the paper's Table X.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.numel()).sum()
+    }
+
+    /// Copies all current parameter values (for best-epoch checkpoints).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.entries.iter().map(|e| e.value.clone()).collect()
+    }
+
+    /// Restores values captured by [`snapshot`](Self::snapshot).
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the registry's layout.
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(snapshot.len(), self.entries.len(), "snapshot size mismatch");
+        for (entry, saved) in self.entries.iter_mut().zip(snapshot) {
+            assert_eq!(
+                entry.value.shape(),
+                saved.shape(),
+                "snapshot shape mismatch for {}",
+                entry.name
+            );
+            entry.value = saved.clone();
+        }
+    }
+
+    /// Creates one tape leaf per parameter for this training step.
+    pub fn bind<'t>(&self, tape: &'t Tape) -> Binding<'t> {
+        Binding {
+            vars: self
+                .entries
+                .iter()
+                .map(|e| tape.leaf(e.value.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Per-step mapping from [`ParamId`] to tape [`Var`].
+pub struct Binding<'t> {
+    vars: Vec<Var<'t>>,
+}
+
+impl<'t> Binding<'t> {
+    /// The tape var bound to `id` this step.
+    pub fn var(&self, id: ParamId) -> Var<'t> {
+        self.vars[id.0]
+    }
+
+    /// All bound vars, in registration order.
+    pub fn vars(&self) -> &[Var<'t>] {
+        &self.vars
+    }
+
+    /// Gradient of the loss w.r.t. parameter `id`, if it participated.
+    pub fn grad<'g>(&self, grads: &'g Gradients, id: ParamId) -> Option<&'g Tensor> {
+        grads.get(self.vars[id.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_autodiff::Tape;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::ones([2, 3]));
+        assert_eq!(params.name(w), "w");
+        assert_eq!(params.get(w).dims(), &[2, 3]);
+        assert_eq!(params.num_scalars(), 6);
+        assert_eq!(params.len(), 1);
+    }
+
+    #[test]
+    fn bind_creates_leaves_with_current_values() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let tape = Tape::new();
+        let binding = params.bind(&tape);
+        assert_eq!(binding.var(w).value().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn grads_flow_to_parameters() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::from_vec(vec![3.0, -1.0], [2]));
+        let tape = Tape::new();
+        let binding = params.bind(&tape);
+        let loss = binding.var(w).square().sum();
+        let grads = loss.backward();
+        let g = binding.grad(&grads, w).expect("grad");
+        assert_eq!(g.as_slice(), &[6.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve parameter shape")]
+    fn set_rejects_shape_change() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::ones([2]));
+        params.set(w, Tensor::ones([3]));
+    }
+
+    #[test]
+    fn num_scalars_sums_all() {
+        let mut params = Params::new();
+        params.add("a", Tensor::ones([10, 10]));
+        params.add("b", Tensor::ones([5]));
+        assert_eq!(params.num_scalars(), 105);
+    }
+}

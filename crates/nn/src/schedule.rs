@@ -1,0 +1,78 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule mapping epoch → lr.
+#[derive(Clone, Debug)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant(f32),
+    /// Multiplies the base lr by `gamma` at every milestone epoch — the
+    /// MultiStepLR schedule used by DCRNN-family training recipes.
+    MultiStep {
+        /// Initial learning rate.
+        base: f32,
+        /// Epochs at which the rate decays.
+        milestones: Vec<usize>,
+        /// Multiplicative decay factor per milestone.
+        gamma: f32,
+    },
+    /// Exponential decay: `base * gamma^epoch`.
+    Exponential {
+        /// Initial learning rate.
+        base: f32,
+        /// Per-epoch decay factor.
+        gamma: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at a (0-based) epoch.
+    pub fn at(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant(lr) => *lr,
+            LrSchedule::MultiStep {
+                base,
+                milestones,
+                gamma,
+            } => {
+                let hits = milestones.iter().filter(|&&m| epoch >= m).count();
+                base * gamma.powi(hits as i32)
+            }
+            LrSchedule::Exponential { base, gamma } => base * gamma.powi(epoch as i32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.01);
+        assert_eq!(s.at(0), 0.01);
+        assert_eq!(s.at(100), 0.01);
+    }
+
+    #[test]
+    fn multistep_decays_at_milestones() {
+        let s = LrSchedule::MultiStep {
+            base: 1.0,
+            milestones: vec![10, 20],
+            gamma: 0.1,
+        };
+        assert_eq!(s.at(9), 1.0);
+        assert!((s.at(10) - 0.1).abs() < 1e-9);
+        assert!((s.at(19) - 0.1).abs() < 1e-9);
+        assert!((s.at(20) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_decay() {
+        let s = LrSchedule::Exponential {
+            base: 1.0,
+            gamma: 0.5,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(2), 0.25);
+    }
+}

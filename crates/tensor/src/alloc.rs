@@ -1,0 +1,66 @@
+//! Allocation bookkeeping for tensors.
+//!
+//! `sagdfn-memsim` predicts GPU memory use analytically; this module lets
+//! tests cross-check those predictions against the bytes a real (CPU) run
+//! actually touches. Counters are global atomics — cheap enough to leave on
+//! permanently — and track both currently-live and peak bytes attributed to
+//! tensor buffers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Records `bytes` of tensor buffer coming alive.
+pub(crate) fn record_alloc(bytes: usize) {
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+/// Records `bytes` of tensor buffer being dropped.
+pub(crate) fn record_free(bytes: usize) {
+    LIVE.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// Bytes of tensor buffers currently alive.
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live byte count, so a subsequent
+/// [`peak_bytes`] reflects only allocations made after this call.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn live_and_peak_track_tensor_buffers() {
+        // Other tests run concurrently, so assert deltas with slack rather
+        // than absolute values: allocate, check growth, drop, check release.
+        let before = super::live_bytes();
+        let t = Tensor::zeros([256, 256]);
+        let after = super::live_bytes();
+        assert!(
+            after >= before + 256 * 256 * 4,
+            "live bytes should grow by at least the buffer size"
+        );
+        drop(t);
+        // Dropping must return those bytes.
+        assert!(super::live_bytes() <= after - 256 * 256 * 4 + 1024);
+    }
+
+    #[test]
+    fn peak_never_below_live() {
+        let _t = Tensor::zeros([64, 64]);
+        assert!(super::peak_bytes() >= super::live_bytes());
+    }
+}

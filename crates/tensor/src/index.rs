@@ -1,0 +1,398 @@
+//! Indexing, gathering, concatenation, stacking and slicing.
+//!
+//! The SAGDFN model leans on two of these heavily: `index_select` along the
+//! node axis implements the E_I / X_I gathers of the slim adjacency, and
+//! `scatter_add` is its adjoint in the backward pass.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Gathers slices along `axis` at the given `indices` (PyTorch
+    /// `index_select`). The output's `axis` dimension is `indices.len()`.
+    pub fn index_select(&self, axis: usize, indices: &[usize]) -> Tensor {
+        let rank = self.rank();
+        assert!(axis < rank, "axis {axis} out of range for {}", self.shape());
+        let dims = self.dims();
+        let axis_len = dims[axis];
+        for &i in indices {
+            assert!(
+                i < axis_len,
+                "index {i} out of bounds for axis {axis} of {}",
+                self.shape()
+            );
+        }
+        let outer: usize = dims[..axis].iter().product();
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out = Vec::with_capacity(outer * indices.len() * inner);
+        let src = self.as_slice();
+        for o in 0..outer {
+            for &i in indices {
+                let base = (o * axis_len + i) * inner;
+                out.extend_from_slice(&src[base..base + inner]);
+            }
+        }
+        let mut out_dims = dims.to_vec();
+        out_dims[axis] = indices.len();
+        Tensor::from_vec(out, out_dims.as_slice())
+    }
+
+    /// Adjoint of [`index_select`](Self::index_select): accumulates the
+    /// slices of `src` back into `self` at `indices` along `axis`. Repeated
+    /// indices accumulate.
+    pub fn scatter_add(&mut self, axis: usize, indices: &[usize], src: &Tensor) {
+        let rank = self.rank();
+        assert!(axis < rank, "axis {axis} out of range for {}", self.shape());
+        assert_eq!(src.rank(), rank, "scatter_add rank mismatch");
+        assert_eq!(
+            src.dim(axis),
+            indices.len(),
+            "src axis dim {} must equal indices len {}",
+            src.dim(axis),
+            indices.len()
+        );
+        let dims = self.dims().to_vec();
+        let axis_len = dims[axis];
+        let outer: usize = dims[..axis].iter().product();
+        let inner: usize = dims[axis + 1..].iter().product();
+        let s = src.as_slice().to_vec();
+        let d = self.as_mut_slice();
+        for o in 0..outer {
+            for (pos, &i) in indices.iter().enumerate() {
+                assert!(i < axis_len, "scatter index {i} out of bounds");
+                let src_base = (o * indices.len() + pos) * inner;
+                let dst_base = (o * axis_len + i) * inner;
+                for x in 0..inner {
+                    d[dst_base + x] += s[src_base + x];
+                }
+            }
+        }
+    }
+
+    /// Concatenates tensors along `axis`. All other dimensions must match.
+    pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let rank = parts[0].rank();
+        assert!(axis < rank, "axis {axis} out of range");
+        for p in parts {
+            assert_eq!(p.rank(), rank, "concat rank mismatch");
+            for d in 0..rank {
+                if d != axis {
+                    assert_eq!(
+                        p.dim(d),
+                        parts[0].dim(d),
+                        "concat non-axis dim {d} mismatch: {} vs {}",
+                        p.shape(),
+                        parts[0].shape()
+                    );
+                }
+            }
+        }
+        let dims = parts[0].dims();
+        let outer: usize = dims[..axis].iter().product();
+        let inner: usize = dims[axis + 1..].iter().product();
+        let total_axis: usize = parts.iter().map(|p| p.dim(axis)).sum();
+        let mut out = Vec::with_capacity(outer * total_axis * inner);
+        for o in 0..outer {
+            for p in parts {
+                let a = p.dim(axis);
+                let src = p.as_slice();
+                out.extend_from_slice(&src[o * a * inner..(o + 1) * a * inner]);
+            }
+        }
+        let mut out_dims = dims.to_vec();
+        out_dims[axis] = total_axis;
+        Tensor::from_vec(out, out_dims.as_slice())
+    }
+
+    /// Splits `self` along `axis` into pieces of the given sizes
+    /// (inverse of [`concat`](Self::concat)).
+    pub fn split(&self, axis: usize, sizes: &[usize]) -> Vec<Tensor> {
+        let rank = self.rank();
+        assert!(axis < rank);
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            self.dim(axis),
+            "split sizes {:?} do not sum to axis dim {}",
+            sizes,
+            self.dim(axis)
+        );
+        let mut out = Vec::with_capacity(sizes.len());
+        let mut start = 0;
+        for &s in sizes {
+            out.push(self.slice_axis(axis, start, start + s));
+            start += s;
+        }
+        out
+    }
+
+    /// Copies the half-open range `[start, end)` along `axis`.
+    pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Tensor {
+        let rank = self.rank();
+        assert!(axis < rank, "axis {axis} out of range for {}", self.shape());
+        assert!(
+            start < end && end <= self.dim(axis),
+            "invalid slice [{start}, {end}) on axis {axis} of {}",
+            self.shape()
+        );
+        let dims = self.dims();
+        let axis_len = dims[axis];
+        let outer: usize = dims[..axis].iter().product();
+        let inner: usize = dims[axis + 1..].iter().product();
+        let len = end - start;
+        let mut out = Vec::with_capacity(outer * len * inner);
+        let src = self.as_slice();
+        for o in 0..outer {
+            let base = (o * axis_len + start) * inner;
+            out.extend_from_slice(&src[base..base + len * inner]);
+        }
+        let mut out_dims = dims.to_vec();
+        out_dims[axis] = len;
+        Tensor::from_vec(out, out_dims.as_slice())
+    }
+
+    /// Stacks equally-shaped tensors along a new leading `axis`.
+    pub fn stack(parts: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!parts.is_empty(), "stack of zero tensors");
+        let rank = parts[0].rank();
+        assert!(axis <= rank, "stack axis {axis} out of range");
+        for p in parts {
+            assert_eq!(
+                p.shape(),
+                parts[0].shape(),
+                "stack requires identical shapes"
+            );
+        }
+        // Stack = unsqueeze each then concat.
+        let mut new_dims = parts[0].dims().to_vec();
+        new_dims.insert(axis, 1);
+        let unsqueezed: Vec<Tensor> = parts
+            .iter()
+            .map(|p| p.reshape(new_dims.as_slice()))
+            .collect();
+        let refs: Vec<&Tensor> = unsqueezed.iter().collect();
+        Tensor::concat(&refs, axis)
+    }
+
+    /// Repeats the whole tensor `times` along a new leading dimension,
+    /// i.e. `(d0, ..) -> (times, d0, ..)`.
+    pub fn repeat_leading(&self, times: usize) -> Tensor {
+        assert!(times > 0, "repeat_leading(0)");
+        let mut out = Vec::with_capacity(self.numel() * times);
+        for _ in 0..times {
+            out.extend_from_slice(self.as_slice());
+        }
+        let mut dims = vec![times];
+        dims.extend_from_slice(self.dims());
+        Tensor::from_vec(out, dims.as_slice())
+    }
+
+    /// Extracts row `i` of a rank-2 tensor as a rank-1 tensor.
+    pub fn row(&self, i: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "row() requires rank 2");
+        self.slice_axis(0, i, i + 1).into_reshape([self.dim(1)])
+    }
+
+    /// General axis permutation, materialized: output axis `i` is input
+    /// axis `perm[i]` (NumPy `transpose` semantics). `perm` must be a
+    /// permutation of `0..rank`.
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        let rank = self.rank();
+        assert_eq!(perm.len(), rank, "permute needs one entry per axis");
+        let mut seen = vec![false; rank];
+        for &p in perm {
+            assert!(p < rank && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let in_dims = self.dims();
+        let in_strides = self.shape().strides();
+        let out_dims: Vec<usize> = perm.iter().map(|&p| in_dims[p]).collect();
+        let src = self.as_slice();
+        let mut out = Vec::with_capacity(self.numel());
+        // Odometer over the output index space, reading via permuted strides.
+        let mut idx = vec![0usize; rank];
+        let read_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let mut offset = 0usize;
+        loop {
+            out.push(src[offset]);
+            let mut d = rank;
+            loop {
+                if d == 0 {
+                    return Tensor::from_vec(out, out_dims.as_slice());
+                }
+                d -= 1;
+                idx[d] += 1;
+                offset += read_strides[d];
+                if idx[d] < out_dims[d] {
+                    break;
+                }
+                offset -= read_strides[d] * idx[d];
+                idx[d] = 0;
+            }
+        }
+    }
+}
+
+/// Inverse of a permutation: `inverse[perm[i]] = i`.
+pub fn inverse_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn index_select_rows() {
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[3, 2]);
+        let g = a.index_select(0, &[2, 0]);
+        assert_eq!(g.dims(), &[2, 2]);
+        assert_eq!(g.as_slice(), &[5., 6., 1., 2.]);
+    }
+
+    #[test]
+    fn index_select_with_repeats() {
+        let a = t(&[1., 2., 3.], &[3]);
+        let g = a.index_select(0, &[1, 1, 1]);
+        assert_eq!(g.as_slice(), &[2., 2., 2.]);
+    }
+
+    #[test]
+    fn index_select_middle_axis() {
+        // (2,3,2): select along axis 1.
+        let a = t(&(0..12).map(|x| x as f32).collect::<Vec<_>>(), &[2, 3, 2]);
+        let g = a.index_select(1, &[2, 0]);
+        assert_eq!(g.dims(), &[2, 2, 2]);
+        assert_eq!(g.as_slice(), &[4., 5., 0., 1., 10., 11., 6., 7.]);
+    }
+
+    #[test]
+    fn scatter_add_is_adjoint_of_select() {
+        let mut acc = Tensor::zeros([4, 2]);
+        let src = t(&[1., 1., 2., 2.], &[2, 2]);
+        acc.scatter_add(0, &[3, 1], &src);
+        assert_eq!(
+            acc.as_slice(),
+            &[0., 0., 2., 2., 0., 0., 1., 1.]
+        );
+    }
+
+    #[test]
+    fn scatter_add_accumulates_repeats() {
+        let mut acc = Tensor::zeros([2]);
+        let src = t(&[5., 7.], &[2]);
+        acc.scatter_add(0, &[0, 0], &src);
+        assert_eq!(acc.as_slice(), &[12., 0.]);
+    }
+
+    #[test]
+    fn concat_axis0() {
+        let a = t(&[1., 2.], &[1, 2]);
+        let b = t(&[3., 4., 5., 6.], &[2, 2]);
+        let c = Tensor::concat(&[&a, &b], 0);
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.as_slice(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn concat_axis1() {
+        let a = t(&[1., 2., 3., 4.], &[2, 2]);
+        let b = t(&[9., 10.], &[2, 1]);
+        let c = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.as_slice(), &[1., 2., 9., 3., 4., 10.]);
+    }
+
+    #[test]
+    fn split_inverts_concat() {
+        let a = t(&[1., 2., 3., 4.], &[2, 2]);
+        let b = t(&[9., 10.], &[2, 1]);
+        let c = Tensor::concat(&[&a, &b], 1);
+        let parts = c.split(1, &[2, 1]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn slice_axis_copies_range() {
+        let a = t(&(0..12).map(|x| x as f32).collect::<Vec<_>>(), &[3, 4]);
+        let s = a.slice_axis(1, 1, 3);
+        assert_eq!(s.dims(), &[3, 2]);
+        assert_eq!(s.as_slice(), &[1., 2., 5., 6., 9., 10.]);
+    }
+
+    #[test]
+    fn stack_new_axis() {
+        let a = t(&[1., 2.], &[2]);
+        let b = t(&[3., 4.], &[2]);
+        let s = Tensor::stack(&[&a, &b], 0);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[1., 2., 3., 4.]);
+        let s1 = Tensor::stack(&[&a, &b], 1);
+        assert_eq!(s1.dims(), &[2, 2]);
+        assert_eq!(s1.as_slice(), &[1., 3., 2., 4.]);
+    }
+
+    #[test]
+    fn repeat_leading_tiles() {
+        let a = t(&[1., 2.], &[2]);
+        let r = a.repeat_leading(3);
+        assert_eq!(r.dims(), &[3, 2]);
+        assert_eq!(r.as_slice(), &[1., 2., 1., 2., 1., 2.]);
+    }
+
+    #[test]
+    fn row_extraction() {
+        let a = t(&[1., 2., 3., 4.], &[2, 2]);
+        assert_eq!(a.row(1).as_slice(), &[3., 4.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_select_oob_panics() {
+        t(&[1., 2.], &[2]).index_select(0, &[2]);
+    }
+
+    #[test]
+    fn permute_matches_transpose_on_rank2() {
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        assert_eq!(a.permute(&[1, 0]), a.t());
+        assert_eq!(a.permute(&[0, 1]), a);
+    }
+
+    #[test]
+    fn permute_rank3_axes_rotation() {
+        // (2,3,4) -> (4,2,3): out[i,j,k] = in[j,k,i].
+        let a = t(&(0..24).map(|x| x as f32).collect::<Vec<_>>(), &[2, 3, 4]);
+        let p = a.permute(&[2, 0, 1]);
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        for i in 0..4 {
+            for j in 0..2 {
+                for k in 0..3 {
+                    assert_eq!(p.at(&[i, j, k]), a.at(&[j, k, i]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_then_inverse_is_identity() {
+        let a = t(&(0..24).map(|x| x as f32).collect::<Vec<_>>(), &[2, 3, 4]);
+        let perm = [2usize, 0, 1];
+        let inv = inverse_permutation(&perm);
+        assert_eq!(a.permute(&perm).permute(&inv), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn permute_rejects_duplicates() {
+        t(&[1., 2., 3., 4.], &[2, 2]).permute(&[0, 0]);
+    }
+}

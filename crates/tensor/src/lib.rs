@@ -1,0 +1,36 @@
+//! # sagdfn-tensor
+//!
+//! Dense `f32` tensor math substrate for the SAGDFN reproduction.
+//!
+//! This crate stands in for the tensor runtime a deep-learning framework
+//! (PyTorch) would normally provide. It deliberately keeps a small, strict
+//! design that favors predictability over generality:
+//!
+//! * all tensors are **row-major and contiguous** — `transpose`,
+//!   `permute` and friends materialize a new buffer instead of creating
+//!   strided views, which keeps every kernel a straight loop over memory;
+//! * the element type is fixed to `f32` (what the paper's models train in);
+//! * shape errors are programming errors and **panic** with a precise
+//!   message — forecasting model code should never construct mismatched
+//!   shapes at runtime;
+//! * every allocation is routed through [`alloc`] so the
+//!   `sagdfn-memsim` crate can audit live/peak bytes of a real run.
+//!
+//! The API surface is what the autodiff tape (`sagdfn-autodiff`) and the
+//! model crates need: broadcast elementwise arithmetic, blocked matrix
+//! multiplication, reductions, row gather/scatter, concatenation, stacking
+//! and random initialization.
+
+pub mod alloc;
+pub mod index;
+pub mod matmul;
+pub mod ops;
+pub mod reduce;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use alloc::{live_bytes, peak_bytes, reset_peak};
+pub use rng::Rng64;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,273 @@
+//! Matrix multiplication kernels.
+//!
+//! The 2-D kernel is a cache-blocked i-k-j loop: the inner loop runs over
+//! contiguous rows of both `b` and the output, which auto-vectorizes well
+//! and avoids any transposition. Batched matmul maps the 2-D kernel over
+//! leading dimensions. For large outputs the row range is split across
+//! `crossbeam` scoped threads.
+
+use crate::tensor::Tensor;
+
+/// Below this many output elements the parallel path isn't worth spawning.
+const PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+/// `C[m×n] = A[m×k] · B[k×n]` into a caller-provided buffer.
+fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m * n >= PARALLEL_THRESHOLD && m >= 8 {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(m);
+        let rows_per = m.div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (chunk_i, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
+                let row0 = chunk_i * rows_per;
+                let rows = c_chunk.len() / n;
+                let a_chunk = &a[row0 * k..(row0 + rows) * k];
+                s.spawn(move |_| {
+                    matmul_serial(a_chunk, b, c_chunk, rows, k, n);
+                });
+            }
+        })
+        .expect("matmul worker thread panicked");
+    } else {
+        matmul_serial(a, b, c, m, k, n);
+    }
+}
+
+/// Serial i-k-j kernel with a 4-wide k unroll.
+fn matmul_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+            let b0 = &b[kk * n..(kk + 1) * n];
+            let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+            let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+            let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+            for j in 0..n {
+                c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let av = a_row[kk];
+            if av != 0.0 {
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    c_row[j] += av * b_row[j];
+                }
+            }
+            kk += 1;
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product.
+    ///
+    /// Supported rank combinations:
+    /// * `(m,k) · (k,n) -> (m,n)`
+    /// * `(..batch, m, k) · (k, n) -> (..batch, m, n)` — shared right matrix
+    /// * `(..batch, m, k) · (..batch, k, n) -> (..batch, m, n)` — per-batch
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or unsupported rank pairing.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (ra, rb) = (self.rank(), other.rank());
+        assert!(ra >= 2 && rb >= 2, "matmul requires rank >= 2 operands");
+        let (m, k) = (self.dim(ra - 2), self.dim(ra - 1));
+        let (k2, n) = (other.dim(rb - 2), other.dim(rb - 1));
+        assert_eq!(
+            k, k2,
+            "matmul inner dimensions differ: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+
+        let batch_a: usize = self.dims()[..ra - 2].iter().product();
+        let batch_b: usize = other.dims()[..rb - 2].iter().product();
+
+        let mut out_dims: Vec<usize> = if batch_b == 1 && rb == 2 {
+            let mut d = self.dims()[..ra - 2].to_vec();
+            d.extend_from_slice(&[m, n]);
+            d
+        } else {
+            assert_eq!(
+                self.dims()[..ra - 2],
+                other.dims()[..rb - 2],
+                "batched matmul requires identical leading dims: {} vs {}",
+                self.shape(),
+                other.shape()
+            );
+            let mut d = self.dims()[..ra - 2].to_vec();
+            d.extend_from_slice(&[m, n]);
+            d
+        };
+        if out_dims.is_empty() {
+            out_dims = vec![m, n];
+        }
+
+        let mut out = vec![0.0f32; batch_a * m * n];
+        let a = self.as_slice();
+        let b = other.as_slice();
+        for bi in 0..batch_a {
+            let a_sl = &a[bi * m * k..(bi + 1) * m * k];
+            let b_sl = if batch_b == 1 && rb == 2 {
+                b
+            } else {
+                &b[bi * k * n..(bi + 1) * k * n]
+            };
+            matmul_into(a_sl, b_sl, &mut out[bi * m * n..(bi + 1) * m * n], m, k, n);
+        }
+        Tensor::from_vec(out, out_dims.as_slice())
+    }
+
+    /// 2-D transpose (materialized). For higher ranks use
+    /// [`transpose_last2`](Self::transpose_last2).
+    pub fn t(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "t() requires a rank-2 tensor, got {}", self.shape());
+        self.transpose_last2()
+    }
+
+    /// Swaps the last two dimensions, materializing the result.
+    pub fn transpose_last2(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 2, "transpose_last2 requires rank >= 2");
+        let (m, n) = (self.dim(r - 2), self.dim(r - 1));
+        let batch: usize = self.dims()[..r - 2].iter().product();
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; src.len()];
+        for bi in 0..batch {
+            let s = &src[bi * m * n..(bi + 1) * m * n];
+            let d = &mut out[bi * m * n..(bi + 1) * m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    d[j * m + i] = s[i * n + j];
+                }
+            }
+        }
+        let mut dims = self.dims().to_vec();
+        dims.swap(r - 2, r - 1);
+        Tensor::from_vec(out, dims.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn matmul_2x2() {
+        let a = t(&[1., 2., 3., 4.], &[2, 2]);
+        let b = t(&[5., 6., 7., 8.], &[2, 2]);
+        assert_eq!(a.matmul(&b).as_slice(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = t(&[7., 8., 9., 10., 11., 12.], &[3, 2]);
+        assert_eq!(a.matmul(&b).as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[1., 2., 3., 4.], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+    }
+
+    #[test]
+    fn matmul_batched_shared_rhs() {
+        // (2,2,3) @ (3,1)
+        let a = t(&(0..12).map(|x| x as f32).collect::<Vec<_>>(), &[2, 2, 3]);
+        let b = t(&[1., 1., 1.], &[3, 1]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2, 1]);
+        assert_eq!(c.as_slice(), &[3., 12., 21., 30.]);
+    }
+
+    #[test]
+    fn matmul_batched_per_batch() {
+        let a = t(&[1., 0., 0., 1., 2., 0., 0., 2.], &[2, 2, 2]);
+        let b = t(&[1., 2., 3., 4., 1., 2., 3., 4.], &[2, 2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        assert_eq!(c.as_slice(), &[1., 2., 3., 4., 2., 4., 6., 8.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_mismatch_panics() {
+        t(&[1., 2.], &[1, 2]).matmul(&t(&[1., 2., 3.], &[3, 1]));
+    }
+
+    #[test]
+    fn matmul_matches_naive_large() {
+        // Cross-check the unrolled/parallel kernel against a naive triple
+        // loop on a size that exercises the k-remainder path.
+        let mut rng = crate::Rng64::new(99);
+        let (m, k, n) = (37, 23, 41);
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        let c = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for x in 0..k {
+                    acc += a.as_slice()[i * k + x] * b.as_slice()[x * n + j];
+                }
+                let got = c.as_slice()[i * n + j];
+                assert!((got - acc).abs() < 1e-3, "({i},{j}): {got} vs {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Big enough to trigger the threaded path.
+        let mut rng = crate::Rng64::new(5);
+        let a = Tensor::rand_uniform([300, 64], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([64, 300], -1.0, 1.0, &mut rng);
+        let c = a.matmul(&b);
+        // Spot check a few entries against a naive dot product.
+        for &(i, j) in &[(0usize, 0usize), (150, 150), (299, 299), (7, 250)] {
+            let mut acc = 0.0f32;
+            for x in 0..64 {
+                acc += a.as_slice()[i * 64 + x] * b.as_slice()[x * 300 + j];
+            }
+            assert!((c.as_slice()[i * 300 + j] - acc).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = a.t();
+        assert_eq!(b.dims(), &[3, 2]);
+        assert_eq!(b.as_slice(), &[1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn transpose_last2_batched() {
+        let a = t(&(0..8).map(|x| x as f32).collect::<Vec<_>>(), &[2, 2, 2]);
+        let b = a.transpose_last2();
+        assert_eq!(b.as_slice(), &[0., 2., 1., 3., 4., 6., 5., 7.]);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let mut rng = crate::Rng64::new(1);
+        let a = Tensor::rand_uniform([5, 7], 0.0, 1.0, &mut rng);
+        assert_eq!(a.t().t(), a);
+    }
+}

@@ -1,0 +1,342 @@
+//! Elementwise and broadcast arithmetic.
+//!
+//! Binary ops broadcast under NumPy rules via [`Shape::broadcast`]. The
+//! implementation has three tiers: same-shape (single fused loop), scalar
+//! operand (fused loop with a constant), and the general right-aligned
+//! strided walk. All tiers produce a fresh contiguous tensor.
+
+use crate::shape::{Shape, MAX_RANK};
+use crate::tensor::Tensor;
+
+/// Applies `f` elementwise over the broadcast of `a` and `b`.
+pub fn broadcast_binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    let out_shape = a
+        .shape()
+        .broadcast(b.shape())
+        .unwrap_or_else(|| panic!("cannot broadcast {} with {}", a.shape(), b.shape()));
+
+    // Tier 1: identical shapes.
+    if a.shape() == b.shape() {
+        let data = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        return Tensor::from_vec(data, out_shape);
+    }
+    // Tier 2: one side is a single element.
+    if b.numel() == 1 {
+        let y = b.as_slice()[0];
+        let data = a.as_slice().iter().map(|&x| f(x, y)).collect();
+        return Tensor::from_vec(data, out_shape);
+    }
+    if a.numel() == 1 {
+        let x = a.as_slice()[0];
+        let data = b.as_slice().iter().map(|&y| f(x, y)).collect();
+        return Tensor::from_vec(data, out_shape);
+    }
+
+    // Tier 3: general broadcast walk with per-operand strides (stride 0 on
+    // broadcast dimensions).
+    let rank = out_shape.rank();
+    let strides_for = |t: &Tensor| -> [usize; MAX_RANK] {
+        let mut s = [0usize; MAX_RANK];
+        let tdims = t.shape().dims();
+        let tstrides = t.shape().strides();
+        let offset = rank - tdims.len();
+        for i in 0..tdims.len() {
+            s[offset + i] = if tdims[i] == 1 { 0 } else { tstrides[i] };
+        }
+        s
+    };
+    let sa = strides_for(a);
+    let sb = strides_for(b);
+    let odims = out_shape.dims().to_vec();
+    let mut out = Vec::with_capacity(out_shape.numel());
+    let mut idx = [0usize; MAX_RANK];
+    let (da, db) = (a.as_slice(), b.as_slice());
+    let mut off_a = 0usize;
+    let mut off_b = 0usize;
+    loop {
+        out.push(f(da[off_a], db[off_b]));
+        // Odometer increment.
+        let mut d = rank;
+        loop {
+            if d == 0 {
+                return Tensor::from_vec(out, out_shape);
+            }
+            d -= 1;
+            idx[d] += 1;
+            off_a += sa[d];
+            off_b += sb[d];
+            if idx[d] < odims[d] {
+                break;
+            }
+            off_a -= sa[d] * idx[d];
+            off_b -= sb[d] * idx[d];
+            idx[d] = 0;
+        }
+    }
+}
+
+/// Applies `f` elementwise, producing a new tensor.
+pub fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let data = a.as_slice().iter().map(|&x| f(x)).collect();
+    Tensor::from_vec(data, a.shape().clone())
+}
+
+/// Applies `f` elementwise in place.
+pub fn map_inplace(a: &mut Tensor, f: impl Fn(f32) -> f32) {
+    for v in a.as_mut_slice() {
+        *v = f(*v);
+    }
+}
+
+impl Tensor {
+    /// Elementwise sum with broadcasting.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(self, other, |x, y| x + y)
+    }
+
+    /// Elementwise difference with broadcasting.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(self, other, |x, y| x - y)
+    }
+
+    /// Elementwise (Hadamard) product with broadcasting.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(self, other, |x, y| x * y)
+    }
+
+    /// Elementwise quotient with broadcasting.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(self, other, |x, y| x / y)
+    }
+
+    /// Elementwise maximum with broadcasting.
+    pub fn maximum(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(self, other, f32::max)
+    }
+
+    /// Elementwise minimum with broadcasting.
+    pub fn minimum(&self, other: &Tensor) -> Tensor {
+        broadcast_binary(self, other, f32::min)
+    }
+
+    /// Adds a scalar.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        map(self, |x| x + s)
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        map(self, |x| x * s)
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Tensor {
+        map(self, |x| -x)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        map(self, f32::abs)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        map(self, f32::exp)
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&self) -> Tensor {
+        map(self, f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        map(self, f32::sqrt)
+    }
+
+    /// Elementwise power with a float exponent.
+    pub fn powf(&self, p: f32) -> Tensor {
+        map(self, |x| x.powf(p))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        map(self, |x| x * x)
+    }
+
+    /// Elementwise reciprocal.
+    pub fn recip(&self) -> Tensor {
+        map(self, |x| 1.0 / x)
+    }
+
+    /// Logistic sigmoid, numerically stable for large |x|.
+    pub fn sigmoid(&self) -> Tensor {
+        map(self, |x| {
+            if x >= 0.0 {
+                1.0 / (1.0 + (-x).exp())
+            } else {
+                let e = x.exp();
+                e / (1.0 + e)
+            }
+        })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        map(self, f32::tanh)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        map(self, |x| x.max(0.0))
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        map(self, |x| x.clamp(lo, hi))
+    }
+
+    /// In-place scaled accumulate: `self += alpha * other` (same shape only —
+    /// this is the optimizer hot path, no broadcasting).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "axpy requires identical shapes: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Materializes `self` broadcast to `target`.
+    pub fn broadcast_to(&self, target: &Shape) -> Tensor {
+        assert!(
+            self.shape().broadcasts_to(target),
+            "{} does not broadcast to {}",
+            self.shape(),
+            target
+        );
+        // Reuse the general binary walk against a virtual zeros tensor by
+        // adding zero; cheap and correct, though it allocates one extra
+        // buffer only when shapes differ.
+        if self.shape() == target {
+            return self.clone();
+        }
+        broadcast_binary(self, &Tensor::zeros(target.clone()), |x, _| x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[10.0, 20.0, 30.0, 40.0], &[2, 2]);
+        assert_eq!(a.add(&b).as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn add_scalar_tensor_broadcast() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let s = Tensor::scalar(5.0);
+        assert_eq!(a.add(&s).as_slice(), &[6.0, 7.0]);
+        assert_eq!(s.sub(&a).as_slice(), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_row_vector() {
+        // (2,3) + (3,) adds the row to each row.
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = t(&[10., 20., 30.], &[3]);
+        assert_eq!(a.add(&b).as_slice(), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn broadcast_column_vector() {
+        // (2,3) * (2,1) scales each row.
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = t(&[2., 10.], &[2, 1]);
+        assert_eq!(a.mul(&b).as_slice(), &[2., 4., 6., 40., 50., 60.]);
+    }
+
+    #[test]
+    fn broadcast_both_sides() {
+        // (2,1) + (1,3) -> (2,3) outer sum.
+        let a = t(&[1., 2.], &[2, 1]);
+        let b = t(&[10., 20., 30.], &[1, 3]);
+        assert_eq!(a.add(&b).as_slice(), &[11., 21., 31., 12., 22., 32.]);
+    }
+
+    #[test]
+    fn broadcast_3d() {
+        let a = t(&(0..12).map(|x| x as f32).collect::<Vec<_>>(), &[2, 2, 3]);
+        let b = t(&[1., 2., 3.], &[3]);
+        let c = a.add(&b);
+        assert_eq!(c.dims(), &[2, 2, 3]);
+        assert_eq!(c.at(&[1, 1, 2]), 11.0 + 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn incompatible_broadcast_panics() {
+        t(&[1., 2.], &[2]).add(&t(&[1., 2., 3.], &[3]));
+    }
+
+    #[test]
+    fn sigmoid_stable_extremes() {
+        let a = t(&[-100.0, 0.0, 100.0], &[3]);
+        let s = a.sigmoid();
+        assert!(s.as_slice()[0].abs() < 1e-30);
+        assert!((s.as_slice()[1] - 0.5).abs() < 1e-7);
+        assert!((s.as_slice()[2] - 1.0).abs() < 1e-7);
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(t(&[-1.0, 0.0, 2.0], &[3]).relu().as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 2.0], &[2]);
+        a.axpy(0.5, &t(&[4.0, 8.0], &[2]));
+        assert_eq!(a.as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn broadcast_to_materializes() {
+        let a = t(&[1.0, 2.0], &[1, 2]);
+        let b = a.broadcast_to(&Shape::new(&[3, 2]));
+        assert_eq!(b.as_slice(), &[1., 2., 1., 2., 1., 2.]);
+    }
+
+    #[test]
+    fn div_by_tensor() {
+        let a = t(&[2.0, 9.0], &[2]);
+        let b = t(&[2.0, 3.0], &[2]);
+        assert_eq!(a.div(&b).as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn maximum_minimum() {
+        let a = t(&[1.0, 5.0], &[2]);
+        let b = t(&[3.0, 2.0], &[2]);
+        assert_eq!(a.maximum(&b).as_slice(), &[3.0, 5.0]);
+        assert_eq!(a.minimum(&b).as_slice(), &[1.0, 2.0]);
+    }
+}

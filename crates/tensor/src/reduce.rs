@@ -1,0 +1,173 @@
+//! Reductions: sum, mean, max, and axis-wise variants.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        // Pairwise-ish accumulation in f64 keeps error small for the large
+        // loss sums the training loop computes.
+        self.as_slice().iter().map(|&v| v as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element.
+    pub fn max(&self) -> f32 {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sum along `axis`, removing that dimension.
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        self.reduce_axis(axis, 0.0, |acc, v| acc + v)
+    }
+
+    /// Mean along `axis`, removing that dimension.
+    pub fn mean_axis(&self, axis: usize) -> Tensor {
+        let n = self.dim(axis) as f32;
+        self.sum_axis(axis).scale(1.0 / n)
+    }
+
+    /// Max along `axis`, removing that dimension.
+    pub fn max_axis(&self, axis: usize) -> Tensor {
+        self.reduce_axis(axis, f32::NEG_INFINITY, f32::max)
+    }
+
+    fn reduce_axis(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let rank = self.rank();
+        assert!(axis < rank, "axis {axis} out of range for {}", self.shape());
+        let dims = self.dims();
+        let outer: usize = dims[..axis].iter().product();
+        let axis_len = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out = vec![init; outer * inner];
+        let src = self.as_slice();
+        for o in 0..outer {
+            for a in 0..axis_len {
+                let base = (o * axis_len + a) * inner;
+                let dst = &mut out[o * inner..(o + 1) * inner];
+                for i in 0..inner {
+                    dst[i] = f(dst[i], src[base + i]);
+                }
+            }
+        }
+        let mut out_dims: Vec<usize> = dims[..axis].to_vec();
+        out_dims.extend_from_slice(&dims[axis + 1..]);
+        if out_dims.is_empty() {
+            return Tensor::from_vec(out, crate::Shape::scalar());
+        }
+        Tensor::from_vec(out, out_dims.as_slice())
+    }
+
+    /// Index of the maximum element along the last axis, one per row.
+    pub fn argmax_last(&self) -> Vec<usize> {
+        let rank = self.rank();
+        assert!(rank >= 1);
+        let n = self.dim(rank - 1);
+        self.as_slice()
+            .chunks(n)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in argmax"))
+                    .map(|(i, _)| i)
+                    .expect("empty row")
+            })
+            .collect()
+    }
+
+    /// Frobenius / L2 norm of all elements.
+    pub fn norm_l2(&self) -> f32 {
+        (self
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>())
+        .sqrt() as f32
+    }
+
+    /// Sum of absolute values.
+    pub fn norm_l1(&self) -> f32 {
+        self.as_slice().iter().map(|&v| v.abs() as f64).sum::<f64>() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn total_reductions() {
+        let a = t(&[1., 2., 3., 4.], &[2, 2]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+    }
+
+    #[test]
+    fn sum_axis0_collapses_rows() {
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let s = a.sum_axis(0);
+        assert_eq!(s.dims(), &[3]);
+        assert_eq!(s.as_slice(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    fn sum_axis1_collapses_cols() {
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let s = a.sum_axis(1);
+        assert_eq!(s.dims(), &[2]);
+        assert_eq!(s.as_slice(), &[6., 15.]);
+    }
+
+    #[test]
+    fn mean_axis_divides() {
+        let a = t(&[2., 4., 6., 8.], &[2, 2]);
+        assert_eq!(a.mean_axis(0).as_slice(), &[4., 6.]);
+    }
+
+    #[test]
+    fn max_axis_middle_of_3d() {
+        let a = t(&(0..12).map(|x| x as f32).collect::<Vec<_>>(), &[2, 3, 2]);
+        let m = a.max_axis(1);
+        assert_eq!(m.dims(), &[2, 2]);
+        assert_eq!(m.as_slice(), &[4., 5., 10., 11.]);
+    }
+
+    #[test]
+    fn reduce_to_scalar_shape() {
+        let a = t(&[1., 2., 3.], &[3]);
+        let s = a.sum_axis(0);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.item(), 6.0);
+    }
+
+    #[test]
+    fn argmax_last_per_row() {
+        let a = t(&[1., 9., 2., 8., 0., 3.], &[2, 3]);
+        assert_eq!(a.argmax_last(), vec![1, 0]);
+    }
+
+    #[test]
+    fn norms() {
+        let a = t(&[3., -4.], &[2]);
+        assert!((a.norm_l2() - 5.0).abs() < 1e-6);
+        assert!((a.norm_l1() - 7.0).abs() < 1e-6);
+    }
+}

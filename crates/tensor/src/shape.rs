@@ -1,0 +1,224 @@
+//! Tensor shapes and broadcasting rules.
+//!
+//! A [`Shape`] is an ordered list of dimension sizes. Rank 0 (a scalar) is
+//! represented by an empty dimension list and has one element. Broadcasting
+//! follows the NumPy/PyTorch convention: shapes are right-aligned and a
+//! dimension of size 1 stretches to match its counterpart.
+
+use std::fmt;
+
+/// Maximum rank we ever need: `(batch, time, node, channel)` plus one spare.
+pub const MAX_RANK: usize = 5;
+
+/// An ordered list of dimension sizes, stored inline to avoid a heap
+/// allocation per tensor.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: usize,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    ///
+    /// # Panics
+    /// Panics if `dims.len() > MAX_RANK` or any dimension is zero.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "shape rank {} exceeds MAX_RANK {}",
+            dims.len(),
+            MAX_RANK
+        );
+        for (i, &d) in dims.iter().enumerate() {
+            assert!(d > 0, "dimension {i} is zero in shape {dims:?}");
+        }
+        let mut arr = [1usize; MAX_RANK];
+        arr[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: arr,
+            rank: dims.len(),
+        }
+    }
+
+    /// The scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape {
+            dims: [1; MAX_RANK],
+            rank: 0,
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Dimension sizes as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank]
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        assert!(i < self.rank, "dim index {i} out of range for {self}");
+        self.dims[i]
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.dims[..self.rank].iter().product()
+    }
+
+    /// Row-major strides (in elements) of a contiguous tensor of this shape.
+    pub fn strides(&self) -> [usize; MAX_RANK] {
+        let mut s = [0usize; MAX_RANK];
+        let mut acc = 1usize;
+        for i in (0..self.rank).rev() {
+            s[i] = acc;
+            acc *= self.dims[i];
+        }
+        s
+    }
+
+    /// Returns the broadcast result of `self` and `other` under NumPy
+    /// right-aligned broadcasting, or `None` if incompatible.
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        let rank = self.rank.max(other.rank);
+        let mut out = [1usize; MAX_RANK];
+        for i in 0..rank {
+            // Right-aligned: compare trailing dimensions.
+            let a = if i < self.rank {
+                self.dims[self.rank - 1 - i]
+            } else {
+                1
+            };
+            let b = if i < other.rank {
+                other.dims[other.rank - 1 - i]
+            } else {
+                1
+            };
+            let d = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return None;
+            };
+            out[rank - 1 - i] = d;
+        }
+        Some(Shape {
+            dims: {
+                let mut arr = [1usize; MAX_RANK];
+                arr[..rank].copy_from_slice(&out[..rank]);
+                arr
+            },
+            rank,
+        })
+    }
+
+    /// True if a tensor of this shape can broadcast to `target` without
+    /// shrinking any dimension.
+    pub fn broadcasts_to(&self, target: &Shape) -> bool {
+        match self.broadcast(target) {
+            Some(b) => &b == target,
+            None => false,
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims())
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.dims(), &[] as &[usize]);
+    }
+
+    #[test]
+    fn numel_is_product() {
+        assert_eq!(Shape::new(&[2, 3, 4]).numel(), 24);
+        assert_eq!(Shape::new(&[7]).numel(), 7);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(&s.strides()[..3], &[12, 4, 1]);
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        let a = Shape::new(&[2, 3]);
+        assert_eq!(a.broadcast(&a), Some(a.clone()));
+    }
+
+    #[test]
+    fn broadcast_stretches_ones() {
+        let a = Shape::new(&[2, 1, 4]);
+        let b = Shape::new(&[3, 1]);
+        assert_eq!(a.broadcast(&b), Some(Shape::new(&[2, 3, 4])));
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Shape::new(&[5, 6]);
+        assert_eq!(a.broadcast(&Shape::scalar()), Some(a.clone()));
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a = Shape::new(&[2, 3]);
+        let b = Shape::new(&[4, 3]);
+        assert_eq!(a.broadcast(&b), None);
+    }
+
+    #[test]
+    fn broadcasts_to_target() {
+        assert!(Shape::new(&[1, 4]).broadcasts_to(&Shape::new(&[3, 4])));
+        assert!(!Shape::new(&[3, 4]).broadcasts_to(&Shape::new(&[1, 4])));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension 1 is zero")]
+    fn zero_dim_panics() {
+        Shape::new(&[2, 0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the tensor substrate.
+
+use proptest::prelude::*;
+use sagdfn_tensor::{Rng64, Shape, Tensor};
+
+/// Strategy: a small tensor with its data.
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-50.0f32..50.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, [r, c]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_commutes(a in small_tensor()) {
+        let b = a.scale(0.5).add_scalar(1.0);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn mul_by_one_is_identity(a in small_tensor()) {
+        let one = Tensor::ones(a.shape().clone());
+        prop_assert_eq!(a.mul(&one), a.clone());
+    }
+
+    #[test]
+    fn neg_is_involution(a in small_tensor()) {
+        prop_assert_eq!(a.neg().neg(), a.clone());
+    }
+
+    #[test]
+    fn transpose_is_involution(a in small_tensor()) {
+        prop_assert_eq!(a.t().t(), a.clone());
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in small_tensor()) {
+        let n = a.numel();
+        let flat = a.reshape([n]);
+        prop_assert!((a.sum() - flat.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sum_axis_totals_match(a in small_tensor()) {
+        let by_rows = a.sum_axis(0).sum();
+        let by_cols = a.sum_axis(1).sum();
+        prop_assert!((by_rows - by_cols).abs() < 1e-2, "{by_rows} vs {by_cols}");
+        prop_assert!((by_rows - a.sum()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..500, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        // (A B)^T == B^T A^T
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::rand_uniform([m, k], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -2.0, 2.0, &mut rng);
+        let lhs = a.matmul(&b).t();
+        let rhs = b.t().matmul(&a.t());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn concat_split_roundtrip(a in small_tensor(), b in small_tensor()) {
+        // Force compatible shapes by reshaping b to a's row count.
+        let rows = a.dim(0);
+        let b_cols = b.numel() / rows;
+        if b_cols == 0 { return Ok(()); }
+        let b = Tensor::from_vec(
+            b.as_slice()[..rows * b_cols].to_vec(),
+            [rows, b_cols],
+        );
+        let cat = Tensor::concat(&[&a, &b], 1);
+        let parts = cat.split(1, &[a.dim(1), b_cols]);
+        prop_assert_eq!(&parts[0], &a);
+        prop_assert_eq!(&parts[1], &b);
+    }
+
+    #[test]
+    fn index_select_all_rows_is_identity(a in small_tensor()) {
+        let idx: Vec<usize> = (0..a.dim(0)).collect();
+        prop_assert_eq!(a.index_select(0, &idx), a.clone());
+    }
+
+    #[test]
+    fn broadcast_to_then_reduce_recovers_scale(
+        data in prop::collection::vec(-10.0f32..10.0, 1..6),
+        reps in 1usize..5,
+    ) {
+        let n = data.len();
+        let a = Tensor::from_vec(data, [1, n]);
+        let big = a.broadcast_to(&Shape::new(&[reps, n]));
+        let back = big.sum_axis(0).scale(1.0 / reps as f32);
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn clamp_bounds_hold(a in small_tensor(), lo in -5.0f32..0.0, width in 0.1f32..5.0) {
+        let hi = lo + width;
+        let c = a.clamp(lo, hi);
+        prop_assert!(c.as_slice().iter().all(|&v| v >= lo && v <= hi));
+    }
+
+    #[test]
+    fn norm_triangle_inequality(a in small_tensor()) {
+        let b = a.scale(-0.3).add_scalar(0.7);
+        prop_assert!(a.add(&b).norm_l2() <= a.norm_l2() + b.norm_l2() + 1e-4);
+    }
+}

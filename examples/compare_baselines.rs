@@ -1,0 +1,58 @@
+//! Baseline shoot-out on one dataset: trains a representative roster
+//! (classical, temporal, predefined-graph, adaptive-graph, SAGDFN) and
+//! prints a mini leaderboard — the workflow behind the paper's Table III.
+//!
+//! ```sh
+//! cargo run --release --example compare_baselines
+//! ```
+
+use sagdfn_repro::baselines::registry::{build, build_extra, BuildContext};
+use sagdfn_repro::baselines::Forecaster;
+use sagdfn_repro::data::{average, metr_la_like, Scale, SplitSpec, ThreeWaySplit};
+use sagdfn_repro::memsim::ModelFamily;
+
+fn main() {
+    let data = metr_la_like(Scale::Tiny);
+    let n = data.dataset.nodes();
+    let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(12, 12));
+    let ctx = BuildContext {
+        n,
+        h: 12,
+        f: 12,
+        scale: Scale::Tiny,
+        topology: data.graph.adj.topk_rows(6).weights().clone(),
+    };
+
+    let mut roster: Vec<Box<dyn Forecaster>> = vec![
+        build_extra("HA", &ctx).unwrap(),
+        build(ModelFamily::Arima, &ctx),
+        build(ModelFamily::Lstm, &ctx),
+        build(ModelFamily::Dcrnn, &ctx),
+        build(ModelFamily::Agcrn, &ctx),
+        build(ModelFamily::Gts, &ctx),
+        build(ModelFamily::Sagdfn, &ctx),
+    ];
+
+    println!("training {} models on {} ({} nodes)...\n", roster.len(), "metr-la-like", n);
+    let mut rows = Vec::new();
+    for model in roster.iter_mut() {
+        let summary = model.fit(&split);
+        let avg = average(&model.evaluate(&split.test));
+        println!(
+            "{:>8}: avg MAE {:.3}  RMSE {:.3}  MAPE {:.1}%  ({} params, {:.1}s train)",
+            model.name(),
+            avg.mae,
+            avg.rmse,
+            avg.mape * 100.0,
+            summary.param_count,
+            summary.train_seconds
+        );
+        rows.push((model.name().to_string(), avg.mae));
+    }
+
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("\nleaderboard (avg MAE over horizons):");
+    for (rank, (name, mae)) in rows.iter().enumerate() {
+        println!("  {}. {name} ({mae:.3})", rank + 1);
+    }
+}

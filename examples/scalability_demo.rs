@@ -1,0 +1,101 @@
+//! Scalability demo: the crossover the paper's Table I promises.
+//!
+//! Measures one training iteration of SAGDFN (slim N×M graph) against an
+//! AGCRN-style dense N×N recurrent model as N grows, and prints the
+//! memory-model predictions for the paper-scale datasets alongside.
+//!
+//! ```sh
+//! cargo run --release --example scalability_demo
+//! ```
+
+use sagdfn_repro::autodiff::Tape;
+use sagdfn_repro::baselines::deep::{DeepConfig, DeepForecast};
+use sagdfn_repro::baselines::graph::RecurrentGraphNet;
+use sagdfn_repro::data::{Scale, SplitSpec, ThreeWaySplit};
+use sagdfn_repro::memsim::{ModelFamily, WorkloadDims, V100_32GB};
+use sagdfn_repro::nn::{masked_mae, Adam, Optimizer};
+use sagdfn_repro::sagdfn::{Sagdfn, SagdfnConfig};
+use std::time::Instant;
+
+fn main() {
+    println!("== measured: seconds per training iteration (CPU) ==");
+    println!("{:>6} {:>14} {:>14} {:>8}", "N", "SAGDFN (NxM)", "dense (NxN)", "ratio");
+    for n in [50usize, 100, 200, 400] {
+        let data = sagdfn_repro::data::synth::TrafficConfig {
+            nodes: n,
+            steps: 200,
+            ..Default::default()
+        }
+        .generate("scal");
+        let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(6, 6));
+        let batch = split.train.make_batch(&[0, 1, 2, 3]);
+
+        // SAGDFN with M = max(5% N, 4).
+        let mut cfg = SagdfnConfig::for_scale(Scale::Tiny, n);
+        cfg.m = (n / 20).max(4);
+        cfg.top_k = (cfg.m * 3 / 4).max(1).min(cfg.m - 1);
+        let mut sag = Sagdfn::new(n, cfg);
+        let mut opt = Adam::new(1e-3);
+        let sag_time = time_iters(3, || {
+            sag.maybe_resample();
+            let tape = Tape::new();
+            let bind = sag.params.bind(&tape);
+            let pred = sag.forward(&tape, &bind, &batch, split.scaler);
+            let mask = Sagdfn::loss_mask(&batch.y);
+            let grads = masked_mae(pred, &batch.y, &mask).backward();
+            opt.step(&mut sag.params, &bind, &grads);
+            sag.tick();
+        });
+
+        // AGCRN-lite: dense adaptive N×N adjacency, same GRU substrate.
+        let mut dense = RecurrentGraphNet::agcrn(n, DeepConfig::for_scale(Scale::Tiny));
+        let mut opt2 = Adam::new(1e-3);
+        let dense_time = time_iters(3, || {
+            let tape = Tape::new();
+            let bind = dense.params().bind(&tape);
+            let pred = dense.forward(&tape, &bind, &batch, split.scaler);
+            let mask = Sagdfn::loss_mask(&batch.y);
+            let grads = masked_mae(pred, &batch.y, &mask).backward();
+            opt2.step(dense.params_mut(), &bind, &grads);
+        });
+        println!(
+            "{n:>6} {sag_time:>13.3}s {dense_time:>13.3}s {:>7.2}x",
+            dense_time / sag_time
+        );
+    }
+
+    println!("\n== predicted: training memory at paper scale (32 GB V100) ==");
+    println!("{:>14} {:>10} {:>12} {:>8}", "model", "N", "memory", "fits?");
+    for (family, n) in [
+        (ModelFamily::Sagdfn, 2000usize),
+        (ModelFamily::Sagdfn, 5000),
+        (ModelFamily::Agcrn, 1750),
+        (ModelFamily::Agcrn, 2000),
+        (ModelFamily::Gts, 1000),
+        (ModelFamily::Gts, 2000),
+    ] {
+        let dims = WorkloadDims::paper(n, 64);
+        let gib = family.training_bytes(&dims) as f64 / (1u64 << 30) as f64;
+        println!(
+            "{:>14} {:>10} {:>10.1}Gi {:>8}",
+            family.name(),
+            n,
+            gib,
+            if family.would_oom(&dims, &V100_32GB) {
+                "OOM"
+            } else {
+                "yes"
+            }
+        );
+    }
+}
+
+fn time_iters(iters: usize, mut f: impl FnMut()) -> f64 {
+    // One warmup, then the timed average.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}

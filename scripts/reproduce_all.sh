@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the extension
+# experiments, at the given scale (default: tiny — minutes on a laptop;
+# small — about an hour; paper — CPU-days).
+#
+# Usage: scripts/reproduce_all.sh [tiny|small|paper] [out_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-tiny}"
+OUT="${2:-results}"
+
+echo "== building (release) =="
+cargo build --release -p sagdfn-bench
+
+run() {
+    echo
+    echo "== $1 =="
+    cargo run --release -q -p sagdfn-bench --bin "$1" -- --scale "$SCALE" --out "$OUT"
+}
+
+run table01_complexity
+run table03_metr_la
+run table04_london200
+run table05_carpark1918
+run table06_london2000
+run table07_newyork2000
+run table08_ablation
+run table09_non_gnn
+run table10_cost
+run fig02_threshold
+run fig03_sensitivity
+run fig04_visualization
+run ext_backbones
+run ext_oom_frontier
+run ext_robustness
+run ext_sparsity
+
+echo
+echo "all experiments done; CSVs in $OUT/"

@@ -1,0 +1,12 @@
+//! Workspace root crate: re-exports the full SAGDFN reproduction API so the
+//! `examples/` and cross-crate `tests/` have a single import point.
+
+pub use sagdfn_autodiff as autodiff;
+pub use sagdfn_baselines as baselines;
+pub use sagdfn_core as sagdfn;
+pub use sagdfn_data as data;
+pub use sagdfn_entmax as entmax;
+pub use sagdfn_graph as graph;
+pub use sagdfn_memsim as memsim;
+pub use sagdfn_nn as nn;
+pub use sagdfn_tensor as tensor;

@@ -1,0 +1,65 @@
+//! Integration matrix: every registry model fits and predicts on one
+//! shared tiny dataset without panicking, produces finite errors, and
+//! beats a wildly wrong constant predictor. This is the harness's safety
+//! net — a broken baseline would silently corrupt a paper table.
+
+use sagdfn_repro::baselines::registry::{build, build_extra, BuildContext};
+use sagdfn_repro::data::{average, Scale, SplitSpec, ThreeWaySplit};
+use sagdfn_repro::memsim::ModelFamily;
+
+fn context() -> (BuildContext, ThreeWaySplit) {
+    let data = sagdfn_repro::data::metr_la_like(Scale::Tiny);
+    let dataset = data.dataset.subset_steps(0, 400);
+    let n = dataset.nodes();
+    let split = ThreeWaySplit::new(dataset, SplitSpec::paper(6, 6));
+    (
+        BuildContext {
+            n,
+            h: 6,
+            f: 6,
+            scale: Scale::Tiny,
+            topology: data.graph.adj.topk_rows(6).weights().clone(),
+        },
+        split,
+    )
+}
+
+#[test]
+fn every_family_fits_and_predicts() {
+    let (ctx, split) = context();
+    // Mean speed is ~50; a model with MAE above it has effectively failed.
+    let fail_threshold = 50.0;
+    for family in ModelFamily::ALL {
+        let mut model = build(family, &ctx);
+        let summary = model.fit(&split);
+        let metrics = model.evaluate(&split.test);
+        assert_eq!(metrics.len(), 6, "{}", model.name());
+        let avg = average(&metrics);
+        assert!(
+            avg.mae.is_finite() && avg.mae < fail_threshold,
+            "{} produced MAE {}",
+            model.name(),
+            avg.mae
+        );
+        // Deep models must report parameter counts; classical may be 0.
+        if !family.is_classical() {
+            assert!(summary.param_count > 0, "{}", model.name());
+        }
+        // Prediction tensors must cover the whole split.
+        let (pred, target) = model.predict(&split.test);
+        assert_eq!(pred.dims(), target.dims(), "{}", model.name());
+        assert_eq!(pred.dim(1), split.test.len(), "{}", model.name());
+        assert!(pred.all_finite(), "{}", model.name());
+    }
+}
+
+#[test]
+fn extras_fit_and_predict() {
+    let (ctx, split) = context();
+    for name in ["HA", "ETS", "FED", "TIMESNET"] {
+        let mut model = build_extra(name, &ctx).expect(name);
+        model.fit(&split);
+        let avg = average(&model.evaluate(&split.test));
+        assert!(avg.mae.is_finite() && avg.mae < 50.0, "{name}: {}", avg.mae);
+    }
+}

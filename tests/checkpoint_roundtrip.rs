@@ -1,0 +1,72 @@
+//! Checkpoint integration: a trained SAGDFN saved and reloaded into a
+//! fresh model must make bit-identical predictions.
+
+use sagdfn_repro::data::{metr_la_like, Scale, SplitSpec, ThreeWaySplit};
+use sagdfn_repro::nn::checkpoint;
+use sagdfn_repro::sagdfn::{trainer, Backbone, Sagdfn, SagdfnConfig};
+
+fn setup() -> (usize, ThreeWaySplit, SagdfnConfig) {
+    let data = metr_la_like(Scale::Tiny);
+    let n = data.dataset.nodes();
+    let split = ThreeWaySplit::new(data.dataset.subset_steps(0, 400), SplitSpec::paper(6, 6));
+    let cfg = SagdfnConfig {
+        epochs: 2,
+        sns_every: 8,
+        ..SagdfnConfig::for_scale(Scale::Tiny, n)
+    };
+    (n, split, cfg)
+}
+
+#[test]
+fn save_load_reproduces_predictions_exactly() {
+    let (n, split, cfg) = setup();
+    let mut model = Sagdfn::new(n, cfg.clone());
+    trainer::fit(&mut model, &split);
+    let (pred_before, _) = trainer::predict(&model, &split.test, 16);
+
+    let mut buf = Vec::new();
+    checkpoint::save(&model.params, &mut buf).expect("save");
+
+    let mut restored = Sagdfn::new(n, cfg);
+    checkpoint::load(&mut restored.params, buf.as_slice()).expect("load");
+    restored.refresh_index();
+
+    let (pred_after, _) = trainer::predict(&restored, &split.test, 16);
+    assert_eq!(
+        pred_before.as_slice(),
+        pred_after.as_slice(),
+        "restored model must predict identically"
+    );
+}
+
+#[test]
+fn tcn_backbone_checkpoints_too() {
+    let (n, split, mut cfg) = setup();
+    cfg.backbone = Backbone::Tcn;
+    let mut model = Sagdfn::new(n, cfg.clone());
+    trainer::fit(&mut model, &split);
+    let (pred_before, _) = trainer::predict(&model, &split.test, 16);
+
+    let mut buf = Vec::new();
+    checkpoint::save(&model.params, &mut buf).expect("save");
+    let mut restored = Sagdfn::new(n, cfg);
+    checkpoint::load(&mut restored.params, buf.as_slice()).expect("load");
+    restored.refresh_index();
+    let (pred_after, _) = trainer::predict(&restored, &split.test, 16);
+    assert_eq!(pred_before.as_slice(), pred_after.as_slice());
+}
+
+#[test]
+fn checkpoint_rejects_architecture_mismatch() {
+    let (n, split, cfg) = setup();
+    let mut model = Sagdfn::new(n, cfg.clone());
+    trainer::fit(&mut model, &split);
+    let mut buf = Vec::new();
+    checkpoint::save(&model.params, &mut buf).expect("save");
+
+    // A model with a different hidden width must refuse the weights.
+    let mut other_cfg = cfg;
+    other_cfg.hidden += 4;
+    let mut wrong = Sagdfn::new(n, other_cfg);
+    assert!(checkpoint::load(&mut wrong.params, buf.as_slice()).is_err());
+}

@@ -1,0 +1,89 @@
+//! End-to-end integration: SAGDFN trains on synthetic data, beats the
+//! naive floor, and the full pipeline is deterministic per seed.
+
+use sagdfn_repro::baselines::classical::HistoricalAverage;
+use sagdfn_repro::baselines::Forecaster;
+use sagdfn_repro::data::{average, metr_la_like, Scale, SplitSpec, ThreeWaySplit};
+use sagdfn_repro::sagdfn::{trainer, Sagdfn, SagdfnConfig};
+
+fn tiny_split() -> (usize, ThreeWaySplit) {
+    let data = metr_la_like(Scale::Tiny);
+    let n = data.dataset.nodes();
+    (n, ThreeWaySplit::new(data.dataset, SplitSpec::paper(12, 12)))
+}
+
+fn quick_cfg(n: usize) -> SagdfnConfig {
+    SagdfnConfig {
+        epochs: 4,
+        sns_every: 8,
+        ..SagdfnConfig::for_scale(Scale::Tiny, n)
+    }
+}
+
+#[test]
+fn sagdfn_beats_historical_average() {
+    let (n, split) = tiny_split();
+    let mut model = Sagdfn::new(n, quick_cfg(n));
+    let report = trainer::fit(&mut model, &split);
+    let sag = average(&report.test);
+
+    let mut ha = HistoricalAverage;
+    ha.fit(&split);
+    let floor = average(&ha.evaluate(&split.test));
+
+    assert!(
+        sag.mae < floor.mae,
+        "SAGDFN MAE {} must beat the HA floor {}",
+        sag.mae,
+        floor.mae
+    );
+}
+
+#[test]
+fn training_is_deterministic_per_seed() {
+    let (n, split) = tiny_split();
+    let run = || {
+        let mut cfg = quick_cfg(n);
+        cfg.epochs = 2;
+        let mut model = Sagdfn::new(n, cfg);
+        let report = trainer::fit(&mut model, &split);
+        (
+            report.epochs.iter().map(|e| e.train_loss).collect::<Vec<_>>(),
+            report.test[0].mae,
+        )
+    };
+    let (losses_a, mae_a) = run();
+    let (losses_b, mae_b) = run();
+    assert_eq!(losses_a, losses_b, "loss curves must match bit-for-bit");
+    assert_eq!(mae_a, mae_b);
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let (n, split) = tiny_split();
+    let run = |seed: u64| {
+        let mut cfg = quick_cfg(n);
+        cfg.epochs = 1;
+        cfg.seed = seed;
+        let mut model = Sagdfn::new(n, cfg);
+        trainer::fit(&mut model, &split).epochs[0].train_loss
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn predictions_stay_in_physical_range() {
+    let (n, split) = tiny_split();
+    let mut model = Sagdfn::new(n, quick_cfg(n));
+    trainer::fit(&mut model, &split);
+    let (pred, _) = trainer::predict(&model, &split.test, 16);
+    assert!(pred.all_finite());
+    // Traffic speeds are 3..78 in the generator; allow generous slack but
+    // catch divergence.
+    assert!(
+        pred.min() > -50.0 && pred.max() < 200.0,
+        "pred range [{}, {}]",
+        pred.min(),
+        pred.max()
+    );
+}

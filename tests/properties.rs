@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) on the substrate invariants the model
+//! correctness rests on.
+
+use proptest::prelude::*;
+use sagdfn_repro::autodiff::Tape;
+use sagdfn_repro::entmax;
+use sagdfn_repro::tensor::{Shape, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// entmax output is always a probability distribution, for any alpha.
+    #[test]
+    fn entmax_is_simplex(
+        z in prop::collection::vec(-10.0f32..10.0, 1..40),
+        alpha in 1.0f32..2.5,
+    ) {
+        let p = entmax::entmax(&z, alpha);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+    }
+
+    /// entmax preserves the argmax of its input.
+    #[test]
+    fn entmax_preserves_argmax(
+        z in prop::collection::vec(-5.0f32..5.0, 2..30),
+        alpha in 1.0f32..2.5,
+    ) {
+        let p = entmax::entmax(&z, alpha);
+        let argmax_z = z
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let max_p = p.iter().cloned().fold(f32::MIN, f32::max);
+        prop_assert!(
+            p[argmax_z] >= max_p - 1e-5,
+            "argmax flipped: z argmax {argmax_z} has p {} < max {max_p}",
+            p[argmax_z]
+        );
+    }
+
+    /// The entmax backward is orthogonal to the all-ones direction
+    /// (distributions live on the simplex).
+    #[test]
+    fn entmax_grad_sums_to_zero(
+        z in prop::collection::vec(-3.0f32..3.0, 2..20),
+        g in prop::collection::vec(-2.0f32..2.0, 2..20),
+        alpha in 1.0f32..2.5,
+    ) {
+        let len = z.len().min(g.len());
+        let p = entmax::entmax(&z[..len], alpha);
+        let dz = entmax::entmax_backward(&p, &g[..len], alpha);
+        let sum: f32 = dz.iter().sum();
+        prop_assert!(sum.abs() < 1e-3, "grad sum {sum}");
+    }
+
+    /// Broadcasting is commutative on the shape level.
+    #[test]
+    fn broadcast_commutes(
+        a in prop::collection::vec(1usize..5, 1..4),
+        b in prop::collection::vec(1usize..5, 1..4),
+    ) {
+        let sa = Shape::new(&a);
+        let sb = Shape::new(&b);
+        prop_assert_eq!(sa.broadcast(&sb), sb.broadcast(&sa));
+    }
+
+    /// add/mul agree with scalar math elementwise under equal shapes.
+    #[test]
+    fn tensor_arithmetic_matches_scalar(
+        data in prop::collection::vec(-100.0f32..100.0, 1..50),
+    ) {
+        let t = Tensor::from_vec(data.clone(), [data.len()]);
+        let sum = t.add(&t);
+        let prod = t.mul(&t);
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert_eq!(sum.as_slice()[i], v + v);
+            prop_assert_eq!(prod.as_slice()[i], v * v);
+        }
+    }
+
+    /// matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributes(
+        seed in 0u64..1000,
+        m in 1usize..6,
+        k in 1usize..6,
+        n in 1usize..6,
+    ) {
+        let mut rng = sagdfn_repro::tensor::Rng64::new(seed);
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let c = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// index_select then scatter_add is the exact adjoint: for any index
+    /// list, <select(x), g> == <x, scatter(g)>.
+    #[test]
+    fn gather_scatter_adjoint(
+        seed in 0u64..1000,
+        rows in 2usize..8,
+        picks in prop::collection::vec(0usize..8, 1..10),
+    ) {
+        let picks: Vec<usize> = picks.into_iter().map(|p| p % rows).collect();
+        let mut rng = sagdfn_repro::tensor::Rng64::new(seed);
+        let x = Tensor::rand_uniform([rows, 3], -1.0, 1.0, &mut rng);
+        let g = Tensor::rand_uniform([picks.len(), 3], -1.0, 1.0, &mut rng);
+        let picked = x.index_select(0, &picks);
+        let lhs: f32 = picked
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let mut scat = Tensor::zeros([rows, 3]);
+        scat.scatter_add(0, &picks, &g);
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(scat.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// Autodiff gradients of a random composite agree with finite
+    /// differences (spot check on the integration level).
+    #[test]
+    fn autodiff_matches_finite_difference(
+        seed in 0u64..200,
+    ) {
+        let mut rng = sagdfn_repro::tensor::Rng64::new(seed);
+        let x0 = Tensor::rand_uniform([3, 4], -1.0, 1.0, &mut rng);
+        let eval = |x: &Tensor| -> (f32, Option<Tensor>) {
+            let tape = Tape::new();
+            let v = tape.leaf(x.clone());
+            let loss = v.sigmoid().mul(&v.tanh()).sum_axis(1).square().sum();
+            let val = loss.value().item();
+            let g = loss.backward().get(v).cloned();
+            (val, g)
+        };
+        let (_, grad) = eval(&x0);
+        let grad = grad.expect("grad exists");
+        let eps = 1e-2f32;
+        for i in [0usize, 5, 11] {
+            let mut plus = x0.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x0.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let numeric = (eval(&plus).0 - eval(&minus).0) / (2.0 * eps);
+            let got = grad.as_slice()[i];
+            prop_assert!(
+                (got - numeric).abs() < 0.02 + 0.05 * numeric.abs(),
+                "elem {i}: {got} vs {numeric}"
+            );
+        }
+    }
+}
