@@ -411,27 +411,26 @@ impl<'t> Var<'t> {
     // ---------------------------------------------------------------------
 
     /// Applies α-entmax independently to every row of the last axis.
-    /// α = 1 is softmax, α = 2 is sparsemax. Backward uses the closed-form
-    /// Jacobian-vector product from `sagdfn-entmax`.
+    /// α = 1 is softmax, α = 2 is sparsemax. Rows run in parallel on the
+    /// persistent worker pool in both directions; backward uses the
+    /// closed-form Jacobian-vector product from `sagdfn-entmax`.
     pub fn entmax_rows(&self, alpha: f32) -> Var<'t> {
         let value = self.with_value(|a| {
             let n = a.dim(a.rank() - 1);
-            let mut out = Vec::with_capacity(a.numel());
-            for row in a.as_slice().chunks(n) {
-                out.extend(sagdfn_entmax::entmax(row, alpha));
-            }
-            Tensor::from_vec(out, a.shape().clone())
+            Tensor::from_vec(
+                sagdfn_entmax::entmax_rows(a.as_slice(), n, alpha),
+                a.shape().clone(),
+            )
         });
         self.tape.push(
             value,
             vec![self.id],
             Some(Box::new(move |g, _, own| {
                 let n = own.dim(own.rank() - 1);
-                let mut out = Vec::with_capacity(own.numel());
-                for (p_row, g_row) in own.as_slice().chunks(n).zip(g.as_slice().chunks(n)) {
-                    out.extend(sagdfn_entmax::entmax_backward(p_row, g_row, alpha));
-                }
-                vec![Tensor::from_vec(out, own.shape().clone())]
+                vec![Tensor::from_vec(
+                    sagdfn_entmax::entmax_backward_rows(own.as_slice(), g.as_slice(), n, alpha),
+                    own.shape().clone(),
+                )]
             })),
         )
     }
@@ -476,6 +475,19 @@ impl<'t> Var<'t> {
                 })]
             })),
         )
+    }
+}
+
+#[cfg(test)]
+impl<'t> Var<'t> {
+    /// Test helper: a fixed constant weight tensor shaped like `self`,
+    /// placed on the same tape.
+    fn tape_constant_weights(&self) -> Var<'t> {
+        let dims = self.dims();
+        let n: usize = dims.iter().product();
+        let w: Vec<f32> = (0..n).map(|i| ((i % 7) as f32) - 3.0).collect();
+        self.tape
+            .constant(Tensor::from_vec(w, dims.as_slice()))
     }
 }
 
@@ -686,18 +698,5 @@ mod tests {
             let expect = 2.0 * s * (1.0 - s);
             assert!((g.as_slice()[i] - expect).abs() < 1e-5);
         }
-    }
-}
-
-#[cfg(test)]
-impl<'t> Var<'t> {
-    /// Test helper: a fixed constant weight tensor shaped like `self`,
-    /// placed on the same tape.
-    fn tape_constant_weights(&self) -> Var<'t> {
-        let dims = self.dims();
-        let n: usize = dims.iter().product();
-        let w: Vec<f32> = (0..n).map(|i| ((i % 7) as f32) - 3.0).collect();
-        self.tape
-            .constant(Tensor::from_vec(w, dims.as_slice()))
     }
 }

@@ -1,0 +1,167 @@
+//! Worker-pool dispatch benchmarks: the same kernels pooled vs forced
+//! serial vs the old per-call scoped-spawn strategy the pool replaced.
+//! Backs the claim that persistent workers beat both a single core
+//! (throughput) and per-call thread spawning (dispatch latency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sagdfn_entmax::entmax_rows;
+use sagdfn_tensor::{pool, Rng64, Tensor};
+use std::hint::black_box;
+
+fn rand(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    Tensor::rand_uniform(shape, -1.0, 1.0, &mut rng)
+}
+
+/// The strategy the pool replaced: spawn OS threads on every call, one
+/// row-chunk each, then join. Same chunking as the pooled kernel, so the
+/// difference measured is purely spawn/join overhead vs persistent
+/// workers.
+fn scoped_spawn_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    let threads = pool::num_threads().min(m).max(1);
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ci, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let rows = c_chunk.len() / n;
+            let a_chunk = &a[ci * rows_per * k..ci * rows_per * k + rows * k];
+            s.spawn(move || {
+                for i in 0..rows {
+                    let out = &mut c_chunk[i * n..(i + 1) * n];
+                    for (x, bv) in a_chunk[i * k..(i + 1) * k].iter().zip(b.chunks_exact(n)) {
+                        for (o, bj) in out.iter_mut().zip(bv) {
+                            *o += x * bj;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    c
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_matmul");
+    group.sample_size(15);
+    for size in [128usize, 256, 512] {
+        let a = rand(&[size, size], 1);
+        let b = rand(&[size, size], 2);
+        group.throughput(Throughput::Elements((size * size * size) as u64));
+        group.bench_with_input(BenchmarkId::new("pooled", size), &size, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("serial", size), &size, |bch, _| {
+            bch.iter(|| pool::run_serial(|| black_box(a.matmul(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("scoped_spawn", size), &size, |bch, _| {
+            bch.iter(|| {
+                black_box(scoped_spawn_matmul(
+                    a.as_slice(),
+                    b.as_slice(),
+                    size,
+                    size,
+                    size,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_batched_matmul");
+    group.sample_size(15);
+    for (batch, size) in [(16usize, 64usize), (8, 128)] {
+        let a = rand(&[batch, size, size], 3);
+        let b = rand(&[batch, size, size], 4);
+        group.throughput(Throughput::Elements((batch * size * size * size) as u64));
+        let id = format!("{batch}x{size}");
+        group.bench_with_input(BenchmarkId::new("pooled", &id), &size, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("serial", &id), &size, |bch, _| {
+            bch.iter(|| pool::run_serial(|| black_box(a.matmul(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_entmax_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_entmax_rows");
+    for (rows, len) in [(512usize, 100usize), (2000, 100)] {
+        let z: Vec<f32> = {
+            let mut rng = Rng64::new(5);
+            (0..rows * len).map(|_| rng.next_gaussian()).collect()
+        };
+        group.throughput(Throughput::Elements((rows * len) as u64));
+        let id = format!("{rows}x{len}");
+        group.bench_with_input(BenchmarkId::new("pooled", &id), &rows, |bch, _| {
+            bch.iter(|| black_box(entmax_rows(black_box(&z), len, 1.5)))
+        });
+        group.bench_with_input(BenchmarkId::new("serial", &id), &rows, |bch, _| {
+            bch.iter(|| pool::run_serial(|| black_box(entmax_rows(black_box(&z), len, 1.5))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_elementwise");
+    let a = rand(&[4096, 2048], 6);
+    let b = rand(&[4096, 2048], 7);
+    group.throughput(Throughput::Elements(a.numel() as u64));
+    group.bench_with_input(BenchmarkId::new("add_pooled", "4096x2048"), &0, |bch, _| {
+        bch.iter(|| black_box(a.add(&b)))
+    });
+    group.bench_with_input(BenchmarkId::new("add_serial", "4096x2048"), &0, |bch, _| {
+        bch.iter(|| pool::run_serial(|| black_box(a.add(&b))))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("sigmoid_pooled", "4096x2048"),
+        &0,
+        |bch, _| bch.iter(|| black_box(a.sigmoid())),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("sigmoid_serial", "4096x2048"),
+        &0,
+        |bch, _| bch.iter(|| pool::run_serial(|| black_box(a.sigmoid()))),
+    );
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_reduce");
+    let a = rand(&[4_000_000], 8);
+    group.throughput(Throughput::Elements(a.numel() as u64));
+    group.bench_with_input(BenchmarkId::new("sum_pooled", "4M"), &0, |bch, _| {
+        bch.iter(|| black_box(a.sum()))
+    });
+    group.bench_with_input(BenchmarkId::new("sum_serial", "4M"), &0, |bch, _| {
+        bch.iter(|| pool::run_serial(|| black_box(a.sum())))
+    });
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_transpose");
+    let a = rand(&[1024, 1024], 9);
+    group.throughput(Throughput::Elements(a.numel() as u64));
+    group.bench_with_input(BenchmarkId::new("pooled", "1024x1024"), &0, |bch, _| {
+        bch.iter(|| black_box(a.transpose_last2()))
+    });
+    group.bench_with_input(BenchmarkId::new("serial", "1024x1024"), &0, |bch, _| {
+        bch.iter(|| pool::run_serial(|| black_box(a.transpose_last2())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_batched_matmul,
+    bench_entmax_rows,
+    bench_elementwise,
+    bench_reduce,
+    bench_transpose
+);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Tensor-substrate perf baseline: times the pooled hot kernels against
+//! their forced-serial paths and writes `BENCH_tensor.json`, giving
+//! later PRs a trajectory to compare against.
+//!
+//! Usage: `bench_tensor [--out FILE] [--reps N]` (defaults:
+//! `BENCH_tensor.json`, 7 repetitions — the minimum wall time is kept).
+
+use sagdfn_entmax::entmax_rows;
+use sagdfn_json::Json;
+use sagdfn_tensor::{pool, Rng64, Tensor};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn rand(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    Tensor::rand_uniform(shape, -1.0, 1.0, &mut rng)
+}
+
+/// Minimum wall-clock seconds of `f` over `reps` runs (after one warmup).
+fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Case {
+    name: &'static str,
+    pooled_s: f64,
+    serial_s: f64,
+}
+
+impl Case {
+    fn measure(name: &'static str, reps: usize, mut f: impl FnMut()) -> Case {
+        let pooled_s = time_min(reps, &mut f);
+        let serial_s = pool::run_serial(|| time_min(reps, &mut f));
+        Case {
+            name,
+            pooled_s,
+            serial_s,
+        }
+    }
+
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.pooled_s
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name)),
+            ("pooled_s", Json::from(self.pooled_s)),
+            ("serial_s", Json::from(self.serial_s)),
+            ("speedup", Json::from(self.speedup())),
+        ])
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_path = "BENCH_tensor.json".to_string();
+    let mut reps = 7usize;
+    let mut it = args.iter().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--reps" => reps = it.next().expect("--reps needs a value").parse().expect("reps"),
+            other => panic!("unknown flag '{other}' (expected --out / --reps)"),
+        }
+    }
+
+    println!(
+        "tensor perf baseline: {} worker threads, {} reps (min kept)",
+        pool::num_threads(),
+        reps
+    );
+
+    let m512 = (rand(&[512, 512], 1), rand(&[512, 512], 2));
+    let m256 = (rand(&[256, 256], 3), rand(&[256, 256], 4));
+    let batched = (rand(&[16, 64, 64], 5), rand(&[16, 64, 64], 6));
+    let wide = (rand(&[4096, 2048], 7), rand(&[4096, 2048], 8));
+    let reduce_in = rand(&[4_000_000], 9);
+    let trans_in = rand(&[1024, 1024], 10);
+    let entmax_in: Vec<f32> = {
+        let mut rng = Rng64::new(11);
+        (0..2000 * 100).map(|_| rng.next_gaussian()).collect()
+    };
+
+    let cases = vec![
+        Case::measure("matmul_512", reps, || {
+            black_box(m512.0.matmul(&m512.1));
+        }),
+        Case::measure("matmul_256", reps, || {
+            black_box(m256.0.matmul(&m256.1));
+        }),
+        Case::measure("batched_matmul_16x64", reps, || {
+            black_box(batched.0.matmul(&batched.1));
+        }),
+        Case::measure("elementwise_add_4096x2048", reps, || {
+            black_box(wide.0.add(&wide.1));
+        }),
+        Case::measure("sigmoid_4096x2048", reps, || {
+            black_box(wide.0.sigmoid());
+        }),
+        Case::measure("sum_4M", reps, || {
+            black_box(reduce_in.sum());
+        }),
+        Case::measure("transpose_1024", reps, || {
+            black_box(trans_in.transpose_last2());
+        }),
+        Case::measure("entmax_rows_2000x100", reps, || {
+            black_box(entmax_rows(&entmax_in, 100, 1.5));
+        }),
+    ];
+
+    for c in &cases {
+        println!(
+            "  {:<28} pooled {:>9.3} ms   serial {:>9.3} ms   speedup {:>5.2}x",
+            c.name,
+            c.pooled_s * 1e3,
+            c.serial_s * 1e3,
+            c.speedup()
+        );
+    }
+
+    let doc = Json::obj([
+        ("threads", Json::from(pool::num_threads())),
+        ("reps", Json::from(reps)),
+        (
+            "cases",
+            Json::Arr(cases.iter().map(Case::to_json).collect()),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty().expect("serialize"))
+        .expect("write BENCH_tensor.json");
+    println!("wrote {out_path}");
+}

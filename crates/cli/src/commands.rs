@@ -2,7 +2,7 @@
 
 use sagdfn_core::{trainer, Backbone, Sagdfn, SagdfnConfig};
 use sagdfn_data::{io as dataio, Scale, SplitSpec, ThreeWaySplit};
-use serde::{Deserialize, Serialize};
+use sagdfn_json::{Json, JsonError};
 use std::collections::HashMap;
 
 /// Top-level usage text.
@@ -19,12 +19,31 @@ USAGE:
   sagdfn help";
 
 /// Sidecar metadata saved next to the weights.
-#[derive(Serialize, Deserialize)]
 struct ModelMeta {
     n: usize,
     h: usize,
     f: usize,
     config: SagdfnConfig,
+}
+
+impl ModelMeta {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::from(self.n)),
+            ("h", Json::from(self.h)),
+            ("f", Json::from(self.f)),
+            ("config", self.config.to_json()),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<ModelMeta, JsonError> {
+        Ok(ModelMeta {
+            n: doc.req("n")?.as_usize()?,
+            h: doc.req("h")?.as_usize()?,
+            f: doc.req("f")?.as_usize()?,
+            config: SagdfnConfig::from_json(doc.req("config")?)?,
+        })
+    }
 }
 
 /// Tiny flag parser: `--key value` pairs into a map.
@@ -148,7 +167,7 @@ pub fn train(args: &[String]) -> Result<(), String> {
     let meta = ModelMeta { n, h, f, config: cfg };
     std::fs::write(
         format!("{stem}.config.json"),
-        serde_json::to_string_pretty(&meta).map_err(|e| e.to_string())?,
+        meta.to_json().to_string_pretty().map_err(|e| e.to_string())?,
     )
     .map_err(|e| e.to_string())?;
     println!("\nsaved {stem}.params.json and {stem}.config.json");
@@ -157,10 +176,11 @@ pub fn train(args: &[String]) -> Result<(), String> {
 
 fn load_model(flags: &HashMap<String, String>) -> Result<(Sagdfn, ModelMeta), String> {
     let stem = required(flags, "model")?;
-    let meta: ModelMeta = serde_json::from_str(
-        &std::fs::read_to_string(format!("{stem}.config.json")).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
+    let text =
+        std::fs::read_to_string(format!("{stem}.config.json")).map_err(|e| e.to_string())?;
+    let meta = Json::parse(&text)
+        .and_then(|doc| ModelMeta::from_json(&doc))
+        .map_err(|e| e.to_string())?;
     let mut model = Sagdfn::new(meta.n, meta.config.clone());
     sagdfn_nn::checkpoint::load_path(&mut model.params, format!("{stem}.params.json"))
         .map_err(|e| e.to_string())?;

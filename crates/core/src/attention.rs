@@ -13,6 +13,10 @@
 //! The α-entmax normalization runs down each *column* (over the `M`
 //! neighbors), so each head produces a sparse distribution of "likely" and
 //! "unlikely" correlation mass over the significant neighbor set.
+//!
+//! Rows are independent, so the `entmax_rows` calls below fan out over
+//! the persistent worker pool (`sagdfn_tensor::pool`) — with `N` in the
+//! hundreds-to-thousands this is the dominant per-head cost.
 
 use crate::config::SagdfnConfig;
 use sagdfn_autodiff::Var;

@@ -116,7 +116,7 @@ mod tests {
     use sagdfn_autodiff::Tape;
     use sagdfn_tensor::Tensor;
 
-    fn build(n: usize) -> (Params, OneStepFastGConv, Rng64) {
+    fn build(_n: usize) -> (Params, OneStepFastGConv, Rng64) {
         let mut params = Params::new();
         let mut rng = Rng64::new(7);
         let cell = OneStepFastGConv::new(&mut params, "cell", 3, 8, Some(1), 2, &mut rng);

@@ -1,13 +1,13 @@
 //! SAGDFN hyper-parameters.
 
 use sagdfn_data::Scale;
-use serde::{Deserialize, Serialize};
+use sagdfn_json::{Json, JsonError};
 
 /// Temporal backbone of the forecaster. The paper's main model is the
 /// GRU encoder-decoder (Eq. 10), but Section IV-C notes the fast graph
 /// convolution composes with "RNNs, TCNs, and attention mechanisms"; the
 /// TCN backbone realizes that claim with dilated causal convolutions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backbone {
     /// Encoder-decoder GRU of OneStepFastGConv cells (the paper's model).
     Gru,
@@ -24,7 +24,7 @@ pub enum Backbone {
 /// Defaults follow the paper's Implementation section: `d = 100`,
 /// `M = 100`, `K = 80`, 8 attention heads, GRU hidden size 64, diffusion
 /// depth `J = 3`, one encoder-decoder layer, Adam.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SagdfnConfig {
     /// Node embedding dimension `d`.
     pub embed_dim: usize,
@@ -101,7 +101,82 @@ impl Default for SagdfnConfig {
     }
 }
 
+impl Backbone {
+    /// JSON representation: the variant name as a string (the same wire
+    /// format serde's external tagging used for this unit enum).
+    pub fn to_json(&self) -> Json {
+        Json::from(match self {
+            Backbone::Gru => "Gru",
+            Backbone::Tcn => "Tcn",
+            Backbone::SelfAttention => "SelfAttention",
+        })
+    }
+
+    /// Parses the variant-name string representation.
+    pub fn from_json(doc: &Json) -> Result<Backbone, JsonError> {
+        match doc.as_str()? {
+            "Gru" => Ok(Backbone::Gru),
+            "Tcn" => Ok(Backbone::Tcn),
+            "SelfAttention" => Ok(Backbone::SelfAttention),
+            other => Err(JsonError(format!("unknown backbone '{other}'"))),
+        }
+    }
+}
+
 impl SagdfnConfig {
+    /// Serializes every hyper-parameter under its field name (the same
+    /// wire format a serde derive produced for this struct).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("embed_dim", Json::from(self.embed_dim)),
+            ("m", Json::from(self.m)),
+            ("top_k", Json::from(self.top_k)),
+            ("heads", Json::from(self.heads)),
+            ("attn_hidden", Json::from(self.attn_hidden)),
+            ("alpha", Json::from(self.alpha)),
+            ("hidden", Json::from(self.hidden)),
+            ("diffusion_steps", Json::from(self.diffusion_steps)),
+            ("convergence_iter", Json::from(self.convergence_iter)),
+            ("sns_every", Json::from(self.sns_every)),
+            ("lr", Json::from(self.lr)),
+            ("grad_clip", Json::from(self.grad_clip)),
+            ("epochs", Json::from(self.epochs)),
+            ("batch_size", Json::from(self.batch_size)),
+            ("patience", Json::from(self.patience)),
+            ("seed", Json::from(self.seed)),
+            ("backbone", self.backbone.to_json()),
+            ("layers", Json::from(self.layers)),
+            ("scheduled_sampling", Json::from(self.scheduled_sampling)),
+            ("ss_decay", Json::from(self.ss_decay)),
+        ])
+    }
+
+    /// Deserializes a config; every field is required.
+    pub fn from_json(doc: &Json) -> Result<SagdfnConfig, JsonError> {
+        Ok(SagdfnConfig {
+            embed_dim: doc.req("embed_dim")?.as_usize()?,
+            m: doc.req("m")?.as_usize()?,
+            top_k: doc.req("top_k")?.as_usize()?,
+            heads: doc.req("heads")?.as_usize()?,
+            attn_hidden: doc.req("attn_hidden")?.as_usize()?,
+            alpha: doc.req("alpha")?.as_f32()?,
+            hidden: doc.req("hidden")?.as_usize()?,
+            diffusion_steps: doc.req("diffusion_steps")?.as_usize()?,
+            convergence_iter: doc.req("convergence_iter")?.as_usize()?,
+            sns_every: doc.req("sns_every")?.as_usize()?,
+            lr: doc.req("lr")?.as_f32()?,
+            grad_clip: doc.req("grad_clip")?.as_f32()?,
+            epochs: doc.req("epochs")?.as_usize()?,
+            batch_size: doc.req("batch_size")?.as_usize()?,
+            patience: doc.req("patience")?.as_usize()?,
+            seed: doc.req("seed")?.as_u64()?,
+            backbone: Backbone::from_json(doc.req("backbone")?)?,
+            layers: doc.req("layers")?.as_usize()?,
+            scheduled_sampling: doc.req("scheduled_sampling")?.as_bool()?,
+            ss_decay: doc.req("ss_decay")?.as_f32()?,
+        })
+    }
+
     /// A configuration sized for a dataset with `n` nodes at the given run
     /// scale. `M` tracks the paper's ≈5 % of N guidance (floored so tiny
     /// runs keep a meaningful neighborhood), and tiny/small shrink widths
@@ -202,5 +277,23 @@ mod tests {
     #[should_panic(expected = "cannot exceed")]
     fn validate_rejects_m_above_n() {
         SagdfnConfig::default().validate(50);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let mut c = SagdfnConfig::for_scale(Scale::Small, 207);
+        c.backbone = Backbone::SelfAttention;
+        c.scheduled_sampling = true;
+        c.lr = 3.5e-4;
+        let text = c.to_json().to_string_pretty().unwrap();
+        let back = SagdfnConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(format!("{c:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn from_json_reports_missing_field() {
+        let doc = Json::parse(r#"{"embed_dim": 4}"#).unwrap();
+        let err = SagdfnConfig::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
     }
 }

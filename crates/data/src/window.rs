@@ -259,9 +259,9 @@ mod tests {
         let split = ThreeWaySplit::new(dataset(100, 2), SplitSpec::paper(6, 6));
         // train: starts 0..=58 (70-12), val: 70..=76-? etc. Just check
         // no overlap in *target* coverage and non-empty splits.
-        assert!(split.train.len() > 0);
-        assert!(split.val.len() > 0);
-        assert!(split.test.len() > 0);
+        assert!(!split.train.is_empty());
+        assert!(!split.val.is_empty());
+        assert!(!split.test.is_empty());
         assert!(split.train.len() > split.test.len());
     }
 

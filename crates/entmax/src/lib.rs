@@ -20,8 +20,14 @@
 //! which reduces to the familiar softmax Jacobian at α = 1 and the
 //! support-restricted mean-subtraction of sparsemax at α = 2.
 //!
-//! All functions operate on plain `&[f32]` rows so this crate has zero
-//! dependencies; `sagdfn-autodiff` lifts them onto tensors.
+//! All scalar-row functions operate on plain `&[f32]` rows;
+//! `sagdfn-autodiff` lifts them onto tensors. The batch entry points
+//! [`entmax_rows`] / [`entmax_backward_rows`] run independent rows across
+//! the persistent worker pool of `sagdfn-tensor` — rows are embarrassingly
+//! parallel and sit inside every attention head — with bit-identical
+//! results to the per-row serial loop.
+
+use sagdfn_tensor::pool;
 
 /// Numerical tolerance for the bisection: |Σp − 1| after convergence.
 const BISECT_TOL: f64 = 1e-7;
@@ -239,6 +245,70 @@ pub fn entmax_backward(p: &[f32], grad_p: &[f32], alpha: f32) -> Vec<f32> {
         .zip(grad_p)
         .map(|(&si, &gi)| (si * (gi as f64 - mean)) as f32)
         .collect()
+}
+
+/// Minimum number of rows before a batch entmax pays the pool round-trip
+/// (each row already costs a sort, so the bar is low).
+const ROWS_PARALLEL_THRESHOLD: usize = 8;
+
+/// Applies [`entmax`] to every `row_len`-sized row of `z`, running rows
+/// in parallel on the `sagdfn-tensor` worker pool. Each row is computed
+/// by the identical serial routine, so the output is bit-identical to a
+/// per-row loop regardless of `SAGDFN_THREADS`.
+///
+/// # Panics
+/// Panics if `row_len` is zero or does not divide `z.len()`.
+pub fn entmax_rows(z: &[f32], row_len: usize, alpha: f32) -> Vec<f32> {
+    batch_rows(z, row_len, |_, row, out| {
+        out.copy_from_slice(&entmax(row, alpha));
+    })
+}
+
+/// Batch form of [`entmax_backward`]: row-parallel Jacobian-vector
+/// products over `row_len`-sized rows of the forward output `p` and the
+/// upstream gradient `grad_p`.
+///
+/// # Panics
+/// Panics if lengths differ, or `row_len` is zero or does not divide them.
+pub fn entmax_backward_rows(p: &[f32], grad_p: &[f32], row_len: usize, alpha: f32) -> Vec<f32> {
+    assert_eq!(p.len(), grad_p.len(), "entmax_backward_rows length mismatch");
+    batch_rows(p, row_len, |r, p_row, out| {
+        let g_row = &grad_p[r * row_len..(r + 1) * row_len];
+        out.copy_from_slice(&entmax_backward(p_row, g_row, alpha));
+    })
+}
+
+/// Shared row-batch driver: splits `z` into rows and maps
+/// `per_row(row_index, row, out_row)` over them on the worker pool.
+fn batch_rows(
+    z: &[f32],
+    row_len: usize,
+    per_row: impl Fn(usize, &[f32], &mut [f32]) + Sync,
+) -> Vec<f32> {
+    assert!(row_len > 0, "batch entmax requires row_len > 0");
+    assert_eq!(
+        z.len() % row_len,
+        0,
+        "row_len {row_len} does not divide input length {}",
+        z.len()
+    );
+    let rows = z.len() / row_len;
+    let mut out = vec![0.0f32; z.len()];
+    if rows >= ROWS_PARALLEL_THRESHOLD && !pool::is_serial() {
+        let chunk = pool::chunk_len(z.len(), row_len, 1);
+        pool::par_chunks_mut(&mut out, chunk, |ci, out_chunk| {
+            let r0 = ci * chunk / row_len;
+            for (rr, out_row) in out_chunk.chunks_mut(row_len).enumerate() {
+                let r = r0 + rr;
+                per_row(r, &z[r * row_len..(r + 1) * row_len], out_row);
+            }
+        });
+    } else {
+        for (r, (z_row, out_row)) in z.chunks(row_len).zip(out.chunks_mut(row_len)).enumerate() {
+            per_row(r, z_row, out_row);
+        }
+    }
+    out
 }
 
 /// Fraction of exactly-zero entries in a probability row — the sparsity

@@ -419,6 +419,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberately checks preset constants
     fn gpu_presets_ordered() {
         assert!(V100_16GB.capacity_bytes < V100_32GB.capacity_bytes);
         assert!(V100_32GB.capacity_bytes < A100_40GB.capacity_bytes);

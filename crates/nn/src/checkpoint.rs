@@ -5,21 +5,55 @@
 //! as names are unchanged. Loading matches by name and verifies shapes.
 
 use crate::params::Params;
+use sagdfn_json::{Json, JsonError};
 use sagdfn_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 
 /// One serialized parameter tensor.
-#[derive(Serialize, Deserialize)]
 struct SavedParam {
     name: String,
     shape: Vec<usize>,
     data: Vec<f32>,
 }
 
+impl SavedParam {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            (
+                "shape",
+                Json::Arr(self.shape.iter().map(|&d| Json::from(d)).collect()),
+            ),
+            (
+                "data",
+                Json::Arr(self.data.iter().map(|&v| Json::from(v)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<SavedParam, JsonError> {
+        let shape = doc
+            .req("shape")?
+            .as_arr()?
+            .iter()
+            .map(|d| d.as_usize())
+            .collect::<Result<Vec<_>, _>>()?;
+        let data = doc
+            .req("data")?
+            .as_arr()?
+            .iter()
+            .map(|v| v.as_f32())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SavedParam {
+            name: doc.req("name")?.as_str()?.to_string(),
+            shape,
+            data,
+        })
+    }
+}
+
 /// A serialized registry plus format metadata.
-#[derive(Serialize, Deserialize)]
 struct Checkpoint {
     format_version: u32,
     params: Vec<SavedParam>,
@@ -93,15 +127,30 @@ pub fn save(params: &Params, writer: impl Write) -> Result<(), CheckpointError> 
             })
             .collect(),
     };
-    serde_json::to_writer(writer, &ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))
+    let doc = Json::obj([
+        ("format_version", Json::from(ckpt.format_version)),
+        (
+            "params",
+            Json::Arr(ckpt.params.iter().map(SavedParam::to_json).collect()),
+        ),
+    ]);
+    let text = doc
+        .to_compact()
+        .map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    let mut writer = writer;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
 }
 
 /// Loads values into an already-constructed registry, matching by name.
 /// Every registry parameter must be present with the right shape; extra
 /// checkpoint entries are ignored (forward compatibility).
 pub fn load(params: &mut Params, reader: impl Read) -> Result<(), CheckpointError> {
-    let ckpt: Checkpoint =
-        serde_json::from_reader(reader).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    let mut text = String::new();
+    let mut reader = reader;
+    reader.read_to_string(&mut text)?;
+    let doc = Json::parse(&text).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    let ckpt = parse_checkpoint(&doc).map_err(|e| CheckpointError::Parse(e.to_string()))?;
     if ckpt.format_version != FORMAT_VERSION {
         return Err(CheckpointError::Version(ckpt.format_version));
     }
@@ -130,6 +179,18 @@ pub fn load(params: &mut Params, reader: impl Read) -> Result<(), CheckpointErro
         );
     }
     Ok(())
+}
+
+fn parse_checkpoint(doc: &Json) -> Result<Checkpoint, JsonError> {
+    Ok(Checkpoint {
+        format_version: doc.req("format_version")?.as_u32()?,
+        params: doc
+            .req("params")?
+            .as_arr()?
+            .iter()
+            .map(SavedParam::from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
 }
 
 /// Convenience: save to a filesystem path.

@@ -1,0 +1,434 @@
+//! # sagdfn-proptest
+//!
+//! A small, deterministic property-testing harness exposing the subset of
+//! the `proptest` crate's API that this workspace's test suites use. The
+//! workspace must build with **no external crates** (no registry access),
+//! so the real `proptest` is replaced by this shim via Cargo dependency
+//! renaming (`proptest = { package = "sagdfn-proptest", ... }`); the test
+//! files themselves are unchanged.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * No shrinking. A failing case reports its case number and generated
+//!   inputs; the run is fully deterministic (the RNG is seeded from the
+//!   test function's name), so failures reproduce exactly.
+//! * No persistence files, forking, or timeout handling.
+//! * Only the strategies the suites use: numeric ranges, tuples,
+//!   `prop_map` / `prop_flat_map`, and `prop::collection::vec`.
+
+use std::fmt;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator used to drive strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name so each property test draws an
+    /// independent, reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then one splitmix step to spread bits.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next raw 64-bit draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`; `hi > lo` required.
+    pub fn next_in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of test values. Unlike real proptest there is no value
+/// tree / shrinking: `generate` produces the final value directly.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, builds a dependent strategy from it, and draws
+    /// from that.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.next_in_range(self.start as u64, self.end as u64) as usize
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.next_in_range(self.start, self.end)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let span = (self.end - self.start) as f64;
+        let v = self.start as f64 + span * rng.next_unit_f64();
+        // Clamp against round-up to the (exclusive) end.
+        (v as f32).min(self.end - self.end.abs() * f32::EPSILON)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Anything usable as a vector-length specification: an exact length
+    /// or a half-open range of lengths.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.next_in_range(self.start as u64, self.end as u64) as usize
+        }
+    }
+
+    /// Strategy producing a `Vec` of values drawn from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `len` (exact or ranged) elements of `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner plumbing
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property case (produced by `prop_assert!`-family macros).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Defines property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(...)]` header followed by `fn name(arg in strategy,
+/// ...) { body }` items (each usually carrying its own `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property '{}' failed at case {}/{}: {}",
+                            stringify!($name), case, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (with the
+/// condition text or a formatted message) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// The import surface test files pull in with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+    /// Lets `prop::collection::vec(...)` resolve, as in real proptest.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        let mut c = crate::TestRng::from_name("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let u = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&u));
+            let f = (-2.0f32..5.0).generate(&mut rng);
+            assert!((-2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = crate::TestRng::from_name("vec");
+        let exact = prop::collection::vec(0.0f32..1.0, 4usize).generate(&mut rng);
+        assert_eq!(exact.len(), 4);
+        for _ in 0..100 {
+            let ranged = prop::collection::vec(0u64..9, 1usize..6).generate(&mut rng);
+            assert!((1..6).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = crate::TestRng::from_name("compose");
+        let s = (1usize..4, 1usize..4)
+            .prop_flat_map(|(r, c)| prop::collection::vec(0.0f32..1.0, r * c));
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((1..=9).contains(&v.len()));
+        }
+        let doubled = (1u64..10).prop_map(|x| x * 2).generate(&mut rng);
+        assert_eq!(doubled % 2, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(a in 0u64..100, b in 0u64..100) {
+            prop_assert!(a < 100 && b < 100, "out of range: {a} {b}");
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 0.0f32..1.0) {
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

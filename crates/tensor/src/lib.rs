@@ -20,11 +20,16 @@
 //! model crates need: broadcast elementwise arithmetic, blocked matrix
 //! multiplication, reductions, row gather/scatter, concatenation, stacking
 //! and random initialization.
+//!
+//! Hot kernels run on the process-wide persistent worker [`pool`]
+//! (`SAGDFN_THREADS` controls its size) with a determinism guarantee:
+//! parallel results are bit-identical to the serial paths.
 
 pub mod alloc;
 pub mod index;
 pub mod matmul;
 pub mod ops;
+pub mod pool;
 pub mod reduce;
 pub mod rng;
 pub mod shape;

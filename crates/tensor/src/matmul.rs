@@ -3,42 +3,52 @@
 //! The 2-D kernel is a cache-blocked i-k-j loop: the inner loop runs over
 //! contiguous rows of both `b` and the output, which auto-vectorizes well
 //! and avoids any transposition. Batched matmul maps the 2-D kernel over
-//! leading dimensions. For large outputs the row range is split across
-//! `crossbeam` scoped threads.
+//! leading dimensions. Large outputs split their row range (2-D) or batch
+//! range (batched) across the persistent worker [`pool`](crate::pool) —
+//! no per-call thread spawning — and each chunk runs the identical serial
+//! kernel, so parallel results are bit-identical to serial ones.
 
+use crate::pool;
 use crate::tensor::Tensor;
 
-/// Below this many output elements the parallel path isn't worth spawning.
+/// Below this many output elements the parallel path isn't worth the
+/// pool round-trip.
 const PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+/// Below this many *total* output elements a batched matmul stays serial.
+const BATCH_PARALLEL_THRESHOLD: usize = 32 * 1024;
+
+/// Tile edge of the cache-blocked transpose kernel (32² f32 = 4 KiB,
+/// comfortably inside L1 for source and destination tiles together).
+const TRANSPOSE_BLOCK: usize = 32;
+
+/// Below this many elements a transpose stays serial.
+const TRANSPOSE_PARALLEL_THRESHOLD: usize = 64 * 1024;
 
 /// `C[m×n] = A[m×k] · B[k×n]` into a caller-provided buffer.
 fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    if m * n >= PARALLEL_THRESHOLD && m >= 8 {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(m);
-        let rows_per = m.div_ceil(threads);
-        crossbeam::thread::scope(|s| {
-            for (chunk_i, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
-                let row0 = chunk_i * rows_per;
-                let rows = c_chunk.len() / n;
-                let a_chunk = &a[row0 * k..(row0 + rows) * k];
-                s.spawn(move |_| {
-                    matmul_serial(a_chunk, b, c_chunk, rows, k, n);
-                });
-            }
-        })
-        .expect("matmul worker thread panicked");
+    if m * n >= PARALLEL_THRESHOLD && m >= 8 && !pool::is_serial() {
+        // Rows of C are independent; chunk boundaries only decide which
+        // worker computes which rows, never the arithmetic within a row.
+        let rows_per = m.div_ceil(pool::num_threads().min(m));
+        pool::par_chunks_mut(c, rows_per * n, |chunk_i, c_chunk| {
+            let row0 = chunk_i * rows_per;
+            let rows = c_chunk.len() / n;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            matmul_serial(a_chunk, b, c_chunk, rows, k, n);
+        });
     } else {
         matmul_serial(a, b, c, m, k, n);
     }
 }
 
-/// Serial i-k-j kernel with a 4-wide k unroll.
+/// Serial i-k-j kernel with a 4-wide k unroll. The k-remainder loop runs
+/// the same unconditional multiply-accumulate as the unrolled body (no
+/// zero-skip), so results do not depend on where the unroll boundary
+/// lands relative to zero entries of `a`.
 fn matmul_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -57,13 +67,31 @@ fn matmul_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
         }
         while kk < k {
             let av = a_row[kk];
-            if av != 0.0 {
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for j in 0..n {
-                    c_row[j] += av * b_row[j];
-                }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for j in 0..n {
+                c_row[j] += av * b_row[j];
             }
             kk += 1;
+        }
+    }
+}
+
+/// Tiled transpose of the source columns `[j0, j1)` of an `m×n` matrix
+/// into `d`, which holds destination rows `j0..j1` (each of length `m`).
+/// Pure scatter — every output element is written exactly once, so any
+/// tiling or threading of this kernel is bit-identical.
+fn transpose_blocked(s: &[f32], d: &mut [f32], m: usize, n: usize, j0: usize, j1: usize) {
+    debug_assert_eq!(d.len(), (j1 - j0) * m);
+    for ib in (0..m).step_by(TRANSPOSE_BLOCK) {
+        let i_end = (ib + TRANSPOSE_BLOCK).min(m);
+        for jb in (j0..j1).step_by(TRANSPOSE_BLOCK) {
+            let j_end = (jb + TRANSPOSE_BLOCK).min(j1);
+            for i in ib..i_end {
+                let s_row = &s[i * n..i * n + n];
+                for j in jb..j_end {
+                    d[(j - j0) * m + i] = s_row[j];
+                }
+            }
         }
     }
 }
@@ -116,14 +144,33 @@ impl Tensor {
         let mut out = vec![0.0f32; batch_a * m * n];
         let a = self.as_slice();
         let b = other.as_slice();
-        for bi in 0..batch_a {
-            let a_sl = &a[bi * m * k..(bi + 1) * m * k];
-            let b_sl = if batch_b == 1 && rb == 2 {
-                b
-            } else {
-                &b[bi * k * n..(bi + 1) * k * n]
-            };
-            matmul_into(a_sl, b_sl, &mut out[bi * m * n..(bi + 1) * m * n], m, k, n);
+        let shared_rhs = batch_b == 1 && rb == 2;
+        // Few large batch elements parallelize better over rows (the
+        // serial loop below, whose matmul_into splits rows); many batch
+        // elements parallelize better over the batch dimension.
+        if batch_a >= 4 && batch_a * m * n >= BATCH_PARALLEL_THRESHOLD && !pool::is_serial() {
+            // Parallelize over the batch dimension: every batch element is
+            // an independent 2-D product, each computed by the serial
+            // kernel (nested pooling would be refused anyway).
+            pool::par_chunks_mut(&mut out, m * n, |bi, c_chunk| {
+                let a_sl = &a[bi * m * k..(bi + 1) * m * k];
+                let b_sl = if shared_rhs {
+                    b
+                } else {
+                    &b[bi * k * n..(bi + 1) * k * n]
+                };
+                matmul_serial(a_sl, b_sl, c_chunk, m, k, n);
+            });
+        } else {
+            for bi in 0..batch_a {
+                let a_sl = &a[bi * m * k..(bi + 1) * m * k];
+                let b_sl = if shared_rhs {
+                    b
+                } else {
+                    &b[bi * k * n..(bi + 1) * k * n]
+                };
+                matmul_into(a_sl, b_sl, &mut out[bi * m * n..(bi + 1) * m * n], m, k, n);
+            }
         }
         Tensor::from_vec(out, out_dims.as_slice())
     }
@@ -136,6 +183,11 @@ impl Tensor {
     }
 
     /// Swaps the last two dimensions, materializing the result.
+    ///
+    /// Uses a cache-blocked tile kernel ([`TRANSPOSE_BLOCK`]² tiles keep
+    /// both the source rows and destination rows resident in L1) and runs
+    /// on the worker pool: over the batch dimension when batched, over
+    /// destination row blocks for a single large matrix.
     pub fn transpose_last2(&self) -> Tensor {
         let r = self.rank();
         assert!(r >= 2, "transpose_last2 requires rank >= 2");
@@ -143,13 +195,24 @@ impl Tensor {
         let batch: usize = self.dims()[..r - 2].iter().product();
         let src = self.as_slice();
         let mut out = vec![0.0f32; src.len()];
-        for bi in 0..batch {
-            let s = &src[bi * m * n..(bi + 1) * m * n];
-            let d = &mut out[bi * m * n..(bi + 1) * m * n];
-            for i in 0..m {
-                for j in 0..n {
-                    d[j * m + i] = s[i * n + j];
-                }
+        let parallel = src.len() >= TRANSPOSE_PARALLEL_THRESHOLD && !pool::is_serial();
+        if parallel && batch > 1 {
+            pool::par_chunks_mut(&mut out, m * n, |bi, d| {
+                transpose_blocked(&src[bi * m * n..(bi + 1) * m * n], d, m, n, 0, n);
+            });
+        } else if parallel && m * n > 0 {
+            // Single matrix: each task owns TRANSPOSE_BLOCK destination
+            // rows, i.e. source columns [j0, j1).
+            pool::par_chunks_mut(&mut out, TRANSPOSE_BLOCK * m, |ci, d_chunk| {
+                let j0 = ci * TRANSPOSE_BLOCK;
+                let j1 = j0 + d_chunk.len() / m;
+                transpose_blocked(src, d_chunk, m, n, j0, j1);
+            });
+        } else {
+            for bi in 0..batch {
+                let s = &src[bi * m * n..(bi + 1) * m * n];
+                let d = &mut out[bi * m * n..(bi + 1) * m * n];
+                transpose_blocked(s, d, m, n, 0, n);
             }
         }
         let mut dims = self.dims().to_vec();

@@ -3,38 +3,58 @@
 //! Binary ops broadcast under NumPy rules via [`Shape::broadcast`]. The
 //! implementation has three tiers: same-shape (single fused loop), scalar
 //! operand (fused loop with a constant), and the general right-aligned
-//! strided walk. All tiers produce a fresh contiguous tensor.
+//! strided walk. All tiers produce a fresh contiguous tensor, and all
+//! tiers split large outputs across the persistent worker
+//! [`pool`](crate::pool). Every element is a pure function of its input
+//! elements, so chunking cannot change results: parallel output is
+//! bit-identical to serial.
 
+use crate::pool;
 use crate::shape::{Shape, MAX_RANK};
 use crate::tensor::Tensor;
 
+/// Below this many output elements an elementwise kernel stays serial —
+/// these ops are memory-bound, so the pool only pays off on buffers well
+/// past L2.
+const ELEMWISE_PARALLEL_THRESHOLD: usize = 32 * 1024;
+
 /// Applies `f` elementwise over the broadcast of `a` and `b`.
-pub fn broadcast_binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+pub fn broadcast_binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
     let out_shape = a
         .shape()
         .broadcast(b.shape())
         .unwrap_or_else(|| panic!("cannot broadcast {} with {}", a.shape(), b.shape()));
+    let numel = out_shape.numel();
+    let parallel = numel >= ELEMWISE_PARALLEL_THRESHOLD && !pool::is_serial();
 
     // Tier 1: identical shapes.
     if a.shape() == b.shape() {
-        let data = a
-            .as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(&x, &y)| f(x, y))
-            .collect();
+        let (da, db) = (a.as_slice(), b.as_slice());
+        if parallel {
+            let mut out = vec![0.0f32; numel];
+            let chunk_len = pool::chunk_len(numel, 1, 4096);
+            pool::par_chunks_mut(&mut out, chunk_len, |ci, chunk| {
+                let start = ci * chunk_len;
+                for (o, (x, y)) in chunk
+                    .iter_mut()
+                    .zip(da[start..].iter().zip(&db[start..]))
+                {
+                    *o = f(*x, *y);
+                }
+            });
+            return Tensor::from_vec(out, out_shape);
+        }
+        let data = da.iter().zip(db).map(|(&x, &y)| f(x, y)).collect();
         return Tensor::from_vec(data, out_shape);
     }
     // Tier 2: one side is a single element.
     if b.numel() == 1 {
         let y = b.as_slice()[0];
-        let data = a.as_slice().iter().map(|&x| f(x, y)).collect();
-        return Tensor::from_vec(data, out_shape);
+        return map(a, move |x| f(x, y));
     }
     if a.numel() == 1 {
         let x = a.as_slice()[0];
-        let data = b.as_slice().iter().map(|&y| f(x, y)).collect();
-        return Tensor::from_vec(data, out_shape);
+        return map(b, move |y| f(x, y));
     }
 
     // Tier 3: general broadcast walk with per-operand strides (stride 0 on
@@ -53,18 +73,55 @@ pub fn broadcast_binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> 
     let sa = strides_for(a);
     let sb = strides_for(b);
     let odims = out_shape.dims().to_vec();
-    let mut out = Vec::with_capacity(out_shape.numel());
-    let mut idx = [0usize; MAX_RANK];
     let (da, db) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; numel];
+    if parallel {
+        let chunk = pool::chunk_len(numel, 1, 4096);
+        pool::par_chunks_mut(&mut out, chunk, |ci, out_chunk| {
+            broadcast_walk(out_chunk, ci * chunk, da, db, &sa, &sb, &odims, rank, &f);
+        });
+    } else {
+        broadcast_walk(&mut out, 0, da, db, &sa, &sb, &odims, rank, &f);
+    }
+    Tensor::from_vec(out, out_shape)
+}
+
+/// Fills `out` with `f(a[..], b[..])` for the linear output positions
+/// `[start, start + out.len())` of the broadcast walk. The starting
+/// multi-index is recovered from `start`, then the odometer runs exactly
+/// as the serial walk does — the chunk boundary never changes which
+/// source elements feed which output element.
+#[allow(clippy::too_many_arguments)]
+fn broadcast_walk(
+    out: &mut [f32],
+    start: usize,
+    da: &[f32],
+    db: &[f32],
+    sa: &[usize; MAX_RANK],
+    sb: &[usize; MAX_RANK],
+    odims: &[usize],
+    rank: usize,
+    f: &(impl Fn(f32, f32) -> f32 + Sync),
+) {
+    // Decompose `start` into a multi-index and the two source offsets.
+    let mut idx = [0usize; MAX_RANK];
     let mut off_a = 0usize;
     let mut off_b = 0usize;
-    loop {
-        out.push(f(da[off_a], db[off_b]));
+    let mut rem = start;
+    for d in (0..rank).rev() {
+        let i = rem % odims[d];
+        rem /= odims[d];
+        idx[d] = i;
+        off_a += sa[d] * i;
+        off_b += sb[d] * i;
+    }
+    for o in out.iter_mut() {
+        *o = f(da[off_a], db[off_b]);
         // Odometer increment.
         let mut d = rank;
         loop {
             if d == 0 {
-                return Tensor::from_vec(out, out_shape);
+                return; // walked off the end of the full output
             }
             d -= 1;
             idx[d] += 1;
@@ -81,14 +138,37 @@ pub fn broadcast_binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> 
 }
 
 /// Applies `f` elementwise, producing a new tensor.
-pub fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
-    let data = a.as_slice().iter().map(|&x| f(x)).collect();
+pub fn map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let src = a.as_slice();
+    let numel = src.len();
+    if numel >= ELEMWISE_PARALLEL_THRESHOLD && !pool::is_serial() {
+        let mut out = vec![0.0f32; numel];
+        let chunk = pool::chunk_len(numel, 1, 4096);
+        pool::par_chunks_mut(&mut out, chunk, |ci, out_chunk| {
+            let start = ci * chunk;
+            for (o, &x) in out_chunk.iter_mut().zip(&src[start..]) {
+                *o = f(x);
+            }
+        });
+        return Tensor::from_vec(out, a.shape().clone());
+    }
+    let data = src.iter().map(|&x| f(x)).collect();
     Tensor::from_vec(data, a.shape().clone())
 }
 
 /// Applies `f` elementwise in place.
-pub fn map_inplace(a: &mut Tensor, f: impl Fn(f32) -> f32) {
-    for v in a.as_mut_slice() {
+pub fn map_inplace(a: &mut Tensor, f: impl Fn(f32) -> f32 + Sync) {
+    let data = a.as_mut_slice();
+    if data.len() >= ELEMWISE_PARALLEL_THRESHOLD && !pool::is_serial() {
+        let chunk = pool::chunk_len(data.len(), 1, 4096);
+        pool::par_chunks_mut(data, chunk, |_, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
+        return;
+    }
+    for v in data {
         *v = f(*v);
     }
 }
@@ -211,7 +291,19 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+        let src = other.as_slice();
+        let dst = self.as_mut_slice();
+        if dst.len() >= ELEMWISE_PARALLEL_THRESHOLD && !pool::is_serial() {
+            let chunk = pool::chunk_len(dst.len(), 1, 4096);
+            pool::par_chunks_mut(dst, chunk, |ci, chunk_dst| {
+                let start = ci * chunk;
+                for (a, &b) in chunk_dst.iter_mut().zip(&src[start..]) {
+                    *a += alpha * b;
+                }
+            });
+            return;
+        }
+        for (a, &b) in dst.iter_mut().zip(src) {
             *a += alpha * b;
         }
     }

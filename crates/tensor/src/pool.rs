@@ -1,0 +1,378 @@
+//! Process-wide persistent worker pool for tensor kernels.
+//!
+//! Every parallel kernel in the workspace (matmul, batched matmul,
+//! broadcast elementwise, axis reductions, transpose, per-row entmax)
+//! routes through this one pool instead of spawning scoped threads per
+//! call. The pool is created lazily on first use and lives for the rest
+//! of the process; workers block on a condvar-backed job queue between
+//! jobs, so an idle pool costs nothing but the parked threads. The queue
+//! is built on `std::sync` only — the workspace is fully self-contained
+//! and compiles with no external crates.
+//!
+//! ## Determinism
+//!
+//! The primitives here guarantee a **deterministic chunk-to-output
+//! mapping**: task index `i` always covers the same output range, no
+//! matter which worker executes it or in what order tasks are grabbed.
+//! Kernels built on top therefore produce **bit-identical** results to
+//! their serial paths — parallelism only changes *who* computes an
+//! output element, never the sequence of float operations that produce
+//! it. (Kernels that need an accumulation order, e.g. global sums, fix
+//! their chunk boundaries independently of the thread count for the same
+//! reason.)
+//!
+//! ## Sizing
+//!
+//! The pool size is read once from the `SAGDFN_THREADS` environment
+//! variable; when unset (or unparsable) it defaults to
+//! `std::thread::available_parallelism()`. `SAGDFN_THREADS=1` disables
+//! parallelism entirely — no worker threads are ever spawned and every
+//! kernel takes its serial path.
+//!
+//! ## Re-entrancy
+//!
+//! Pool worker threads, and the calling thread while it participates in
+//! a parallel region, are flagged thread-locally. Any pooled primitive
+//! invoked from inside a pool task (e.g. a 2-D matmul called from a
+//! batched-matmul task) sees the flag and runs serially instead of
+//! re-submitting to the pool, so nesting can never deadlock.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+thread_local! {
+    /// True on pool workers (always) and on caller threads while they
+    /// execute tasks of a parallel region they submitted.
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Minimal MPMC job queue: a locked deque plus a condvar workers park on.
+/// Workers live for the whole process, so there is no close/shutdown path.
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        self.jobs.lock().expect("pool queue poisoned").push_back(job);
+        self.available.notify_one();
+    }
+
+    fn pop(&self) -> Job {
+        let mut jobs = self.jobs.lock().expect("pool queue poisoned");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return job;
+            }
+            jobs = self.available.wait(jobs).expect("pool queue poisoned");
+        }
+    }
+}
+
+struct Pool {
+    queue: Arc<JobQueue>,
+    /// Worker threads (excludes the calling thread, which participates).
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Number of threads the pool is configured for (workers + the caller).
+///
+/// Read once from `SAGDFN_THREADS`; defaults to
+/// `available_parallelism()`. Always >= 1.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("SAGDFN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = num_threads() - 1;
+        let queue = Arc::new(JobQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for i in 0..workers {
+            let q = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name(format!("sagdfn-pool-{i}"))
+                .spawn(move || {
+                    // Workers only ever run pool tasks, so the re-entrancy
+                    // flag stays set for the life of the thread.
+                    IN_POOL_TASK.with(|f| f.set(true));
+                    loop {
+                        q.pop()();
+                    }
+                })
+                .expect("failed to spawn sagdfn pool worker");
+        }
+        Pool { queue, workers }
+    })
+}
+
+/// True when the current context must not re-submit work to the pool:
+/// either this thread is already inside a pool task, or the pool is
+/// configured single-threaded. Kernels use this to pick their serial
+/// path.
+pub fn is_serial() -> bool {
+    num_threads() == 1 || IN_POOL_TASK.with(|f| f.get())
+}
+
+/// Runs `f` with all pooled kernels forced onto their serial paths on
+/// this thread. Used by determinism tests and benchmarks to obtain the
+/// serial reference result without touching the environment.
+pub fn run_serial<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_POOL_TASK.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(IN_POOL_TASK.with(|c| c.replace(true)));
+    f()
+}
+
+/// Shared state of one parallel region. Tasks are claimed via an atomic
+/// counter (dynamic scheduling), but task index -> output range is fixed
+/// by the caller, so scheduling order never affects results.
+struct TaskSet {
+    /// Lifetime-erased pointer to the caller's task body. Only valid
+    /// while the submitting call is blocked in [`par_for`]; the
+    /// `pending` latch guarantees every job entry has returned before
+    /// `par_for` does.
+    f: *const (dyn Fn(usize) + Sync),
+    n_tasks: usize,
+    next: AtomicUsize,
+    panicked: AtomicBool,
+    /// Job entries (one per enlisted worker) still running.
+    pending: Mutex<usize>,
+    done: Condvar,
+}
+
+// SAFETY: `f` points at a `Sync` closure and is only dereferenced while
+// the owning `par_for` frame is alive (enforced by the `pending` latch).
+unsafe impl Send for TaskSet {}
+unsafe impl Sync for TaskSet {}
+
+impl TaskSet {
+    /// Claims and runs tasks until none remain. Panics in the task body
+    /// are caught and recorded so a worker never unwinds into its
+    /// channel loop; the submitting thread re-raises.
+    fn run_tasks(&self) {
+        // SAFETY: see field invariant on `f`.
+        let f = unsafe { &*self.f };
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                return;
+            }
+            if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn run_as_worker(&self) {
+        self.run_tasks();
+        let mut pending = self.pending.lock().expect("pool latch poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut pending = self.pending.lock().expect("pool latch poisoned");
+        while *pending > 0 {
+            pending = self.done.wait(pending).expect("pool latch poisoned");
+        }
+    }
+}
+
+/// Runs `f(0), f(1), …, f(n_tasks - 1)` across the pool (the calling
+/// thread participates) and returns once all tasks have finished.
+///
+/// Falls back to a plain serial loop when the pool is single-threaded,
+/// when `n_tasks <= 1`, or when called from inside a pool task (see
+/// module docs on re-entrancy). Task-to-worker assignment is dynamic,
+/// but `f(i)` must derive its output location purely from `i`, which
+/// every caller in this crate does — that is the determinism contract.
+///
+/// # Panics
+/// Re-raises (as a single panic) if any task panicked.
+pub fn par_for(n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n_tasks == 0 {
+        return;
+    }
+    if n_tasks == 1 || is_serial() {
+        for i in 0..n_tasks {
+            f(i);
+        }
+        return;
+    }
+    let p = pool();
+    if p.workers == 0 {
+        for i in 0..n_tasks {
+            f(i);
+        }
+        return;
+    }
+    // Enlist at most (n_tasks - 1) workers; the caller runs tasks too.
+    let entries = p.workers.min(n_tasks - 1);
+    let set = Arc::new(TaskSet {
+        f: unsafe {
+            // SAFETY: erases the borrow lifetime; `set.wait()` below keeps
+            // this frame alive until every dereference has completed.
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                f as *const _,
+            )
+        },
+        n_tasks,
+        next: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        pending: Mutex::new(entries),
+        done: Condvar::new(),
+    });
+    for _ in 0..entries {
+        let s = Arc::clone(&set);
+        p.queue.push(Box::new(move || s.run_as_worker()));
+    }
+    // The caller participates with the re-entrancy flag raised so nested
+    // kernels inside `f` run serial rather than re-submitting.
+    run_serial(|| set.run_tasks());
+    set.wait();
+    if set.panicked.load(Ordering::Relaxed) {
+        panic!("sagdfn pool task panicked");
+    }
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the
+/// last may be shorter) and runs `f(chunk_index, chunk)` for each across
+/// the pool. Chunk boundaries depend only on `chunk_len`, never on the
+/// thread count, so the output mapping is deterministic.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`, or re-raises a task panic.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "par_chunks_mut requires chunk_len > 0");
+    let len = data.len();
+    let n_chunks = len.div_ceil(chunk_len);
+    if n_chunks <= 1 || is_serial() {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let base = data.as_mut_ptr() as usize;
+    par_for(n_chunks, &|i| {
+        let start = i * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: chunks [start, end) are pairwise disjoint across task
+        // indices and in-bounds of `data`, which outlives this call.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start) };
+        f(i, chunk);
+    });
+}
+
+/// Picks a chunk length that spreads `total` elements over the pool with
+/// a few tasks per thread (for load balance under dynamic scheduling)
+/// while keeping every chunk a multiple of `unit` (e.g. a row) and at
+/// least `min_units` units long.
+pub fn chunk_len(total: usize, unit: usize, min_units: usize) -> usize {
+    debug_assert!(unit > 0);
+    let units = total / unit.max(1);
+    let per_task = units.div_ceil(num_threads() * 4).max(min_units.max(1));
+    per_task * unit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        let n = 1000;
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        par_for(n, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_maps_chunks_deterministically() {
+        let mut data = vec![0u32; 103];
+        par_chunks_mut(&mut data, 10, |ci, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 10 + j) as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn nested_par_for_runs_serial_not_deadlocked() {
+        let outer = 16;
+        let inner = 64;
+        let count = AtomicUsize::new(0);
+        par_for(outer, &|_| {
+            // Inside a pool task this must take the serial fallback.
+            assert!(is_serial());
+            par_for(inner, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), outer * inner);
+    }
+
+    #[test]
+    fn run_serial_restores_flag() {
+        let before = is_serial();
+        run_serial(|| assert!(is_serial()));
+        assert_eq!(is_serial(), before);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_to_caller() {
+        let r = std::panic::catch_unwind(|| {
+            par_for(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn chunk_len_respects_unit_and_minimum() {
+        let c = chunk_len(1000, 7, 2);
+        assert_eq!(c % 7, 0);
+        assert!(c >= 14);
+    }
+}

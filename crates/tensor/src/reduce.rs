@@ -1,13 +1,52 @@
 //! Reductions: sum, mean, max, and axis-wise variants.
+//!
+//! Full reductions (`sum`, norms) accumulate per fixed-size chunk in f64
+//! and combine the partials in chunk order. The chunk grid depends only
+//! on [`REDUCE_CHUNK`] — never on the thread count — and the serial path
+//! walks the identical grid, so pooled results are bit-identical to
+//! serial ones at every `SAGDFN_THREADS` setting. Axis reductions
+//! parallelize over independent output slices, which preserves the exact
+//! per-element accumulation order by construction.
 
+use crate::pool;
 use crate::tensor::Tensor;
+
+/// Fixed accumulation-chunk size of the full reductions. Also the serial
+/// path's chunk size — the grid must not depend on the thread count or
+/// parallel and serial results could differ in rounding.
+const REDUCE_CHUNK: usize = 8 * 1024;
+
+/// Below this many elements a full reduction stays serial.
+const REDUCE_PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+/// Below this many elements an axis reduction stays serial.
+const AXIS_PARALLEL_THRESHOLD: usize = 32 * 1024;
+
+/// Chunked f64 accumulation of `per(v)` over `data`: partial sums per
+/// [`REDUCE_CHUNK`] block (parallel when large), combined left-to-right.
+fn chunked_reduce(data: &[f32], per: impl Fn(f32) -> f64 + Sync) -> f64 {
+    let n_chunks = data.len().div_ceil(REDUCE_CHUNK).max(1);
+    if data.len() >= REDUCE_PARALLEL_THRESHOLD && !pool::is_serial() {
+        let mut partials = vec![0.0f64; n_chunks];
+        pool::par_chunks_mut(&mut partials, 1, |ci, p| {
+            let start = ci * REDUCE_CHUNK;
+            let end = (start + REDUCE_CHUNK).min(data.len());
+            p[0] = data[start..end].iter().map(|&v| per(v)).sum::<f64>();
+        });
+        partials.into_iter().sum()
+    } else {
+        data.chunks(REDUCE_CHUNK)
+            .map(|c| c.iter().map(|&v| per(v)).sum::<f64>())
+            .sum()
+    }
+}
 
 impl Tensor {
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        // Pairwise-ish accumulation in f64 keeps error small for the large
+        // Chunked accumulation in f64 keeps error small for the large
         // loss sums the training loop computes.
-        self.as_slice().iter().map(|&v| v as f64).sum::<f64>() as f32
+        chunked_reduce(self.as_slice(), |v| v as f64) as f32
     }
 
     /// Mean of all elements.
@@ -44,7 +83,7 @@ impl Tensor {
         self.reduce_axis(axis, f32::NEG_INFINITY, f32::max)
     }
 
-    fn reduce_axis(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    fn reduce_axis(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         let rank = self.rank();
         assert!(axis < rank, "axis {axis} out of range for {}", self.shape());
         let dims = self.dims();
@@ -53,13 +92,38 @@ impl Tensor {
         let inner: usize = dims[axis + 1..].iter().product();
         let mut out = vec![init; outer * inner];
         let src = self.as_slice();
-        for o in 0..outer {
+        // Accumulates output columns [i0, i0+dst.len()) of outer slice `o`
+        // in the same a-ascending order as the serial triple loop — every
+        // output element sees the identical f-application sequence no
+        // matter how the work is chunked.
+        let accumulate = |o: usize, i0: usize, dst: &mut [f32]| {
             for a in 0..axis_len {
-                let base = (o * axis_len + a) * inner;
-                let dst = &mut out[o * inner..(o + 1) * inner];
-                for i in 0..inner {
-                    dst[i] = f(dst[i], src[base + i]);
+                let base = (o * axis_len + a) * inner + i0;
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = f(*d, src[base + i]);
                 }
+            }
+        };
+        let parallel = self.numel() >= AXIS_PARALLEL_THRESHOLD && !pool::is_serial();
+        if parallel && outer > 1 {
+            // Independent outer slices: one or more whole slices per task.
+            // (All dims are >= 1 here — numel cleared the threshold.)
+            let chunk = pool::chunk_len(outer * inner, inner, 1);
+            pool::par_chunks_mut(&mut out, chunk, |ci, dst| {
+                let o0 = ci * chunk / inner;
+                for (oo, dst_o) in dst.chunks_mut(inner).enumerate() {
+                    accumulate(o0 + oo, 0, dst_o);
+                }
+            });
+        } else if parallel && inner > 1 {
+            // Single outer slice (e.g. axis 0 of a matrix): split columns.
+            let chunk = pool::chunk_len(inner, 1, 1024);
+            pool::par_chunks_mut(&mut out, chunk, |ci, dst| {
+                accumulate(0, ci * chunk, dst);
+            });
+        } else {
+            for o in 0..outer {
+                accumulate(o, 0, &mut out[o * inner..(o + 1) * inner]);
             }
         }
         let mut out_dims: Vec<usize> = dims[..axis].to_vec();
@@ -89,17 +153,12 @@ impl Tensor {
 
     /// Frobenius / L2 norm of all elements.
     pub fn norm_l2(&self) -> f32 {
-        (self
-            .as_slice()
-            .iter()
-            .map(|&v| (v as f64) * (v as f64))
-            .sum::<f64>())
-        .sqrt() as f32
+        chunked_reduce(self.as_slice(), |v| (v as f64) * (v as f64)).sqrt() as f32
     }
 
     /// Sum of absolute values.
     pub fn norm_l1(&self) -> f32 {
-        self.as_slice().iter().map(|&v| v.abs() as f64).sum::<f64>() as f32
+        chunked_reduce(self.as_slice(), |v| v.abs() as f64) as f32
     }
 }
 

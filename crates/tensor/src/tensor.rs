@@ -266,7 +266,7 @@ mod tests {
         let mut t = Tensor::zeros([2, 3, 4]);
         t.set(&[1, 2, 3], 7.5);
         assert_eq!(t.at(&[1, 2, 3]), 7.5);
-        assert_eq!(t.as_slice()[1 * 12 + 2 * 4 + 3], 7.5);
+        assert_eq!(t.as_slice()[12 + 2 * 4 + 3], 7.5);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Shared determinism cases: every pooled kernel must produce outputs
+//! bit-identical to its serial path. Two test binaries include this
+//! module, one pinning `SAGDFN_THREADS=1` and one `SAGDFN_THREADS=8`,
+//! so the contract is checked both degenerate and genuinely parallel.
+
+// Each test binary uses a different subset of these cases.
+#![allow(dead_code)]
+
+use sagdfn_tensor::{pool, Rng64, Shape, Tensor};
+use std::sync::Once;
+
+/// Sets the thread-count env var exactly once, before any test in this
+/// process can touch the pool (every test calls this first; `call_once`
+/// blocks concurrent callers until the first finishes).
+pub fn init_threads(n: &str) {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| std::env::set_var("SAGDFN_THREADS", n));
+}
+
+fn rand(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    Tensor::rand_uniform(shape, -2.0, 2.0, &mut rng)
+}
+
+/// Bit-exact comparison: f32 payloads compared as raw bits so that
+/// `-0.0 != 0.0` and NaN payload differences would be caught too.
+fn assert_bits_eq(pooled: &[f32], serial: &[f32], what: &str) {
+    assert_eq!(pooled.len(), serial.len(), "{what}: length mismatch");
+    for (i, (p, s)) in pooled.iter().zip(serial).enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            s.to_bits(),
+            "{what}: bit mismatch at {i}: {p} vs {s}"
+        );
+    }
+}
+
+/// Runs `f` normally (pooled where kernels decide to be) and again under
+/// [`pool::run_serial`], asserting bit-identical tensor output.
+fn check(what: &str, f: impl Fn() -> Tensor) {
+    let pooled = f();
+    let serial = pool::run_serial(&f);
+    assert_bits_eq(pooled.as_slice(), serial.as_slice(), what);
+}
+
+pub fn case_matmul_2d() {
+    let a = rand(&[300, 257], 1);
+    let b = rand(&[257, 301], 2);
+    check("matmul 300x257x301", || a.matmul(&b));
+}
+
+pub fn case_matmul_2d_small() {
+    // Below every threshold: exercises that pooled and serial agree on
+    // the serial fast path too (they share one kernel).
+    let a = rand(&[5, 7], 3);
+    let b = rand(&[7, 3], 4);
+    check("matmul 5x7x3", || a.matmul(&b));
+}
+
+pub fn case_matmul_batched() {
+    let a = rand(&[8, 96, 64], 5);
+    let b = rand(&[8, 64, 96], 6);
+    check("batched matmul 8x96x64x96", || a.matmul(&b));
+}
+
+pub fn case_matmul_batched_shared_rhs() {
+    let a = rand(&[8, 96, 64], 7);
+    let b = rand(&[64, 96], 8);
+    check("batched matmul shared rhs", || a.matmul(&b));
+}
+
+pub fn case_transpose_single() {
+    let a = rand(&[600, 300], 9);
+    check("transpose 600x300", || a.transpose_last2());
+}
+
+pub fn case_transpose_batched() {
+    let a = rand(&[4, 200, 150], 10);
+    check("transpose 4x200x150", || a.transpose_last2());
+}
+
+pub fn case_elementwise_same_shape() {
+    let a = rand(&[100, 1000], 11);
+    let b = rand(&[100, 1000], 12);
+    check("add 100x1000", || a.add(&b));
+    check("mul 100x1000", || a.mul(&b));
+}
+
+pub fn case_elementwise_broadcast() {
+    let a = rand(&[64, 1000], 13);
+    let col = rand(&[64, 1], 14);
+    let row = rand(&[1000], 15);
+    check("broadcast col", || a.add(&col));
+    check("broadcast row", || a.mul(&row));
+}
+
+pub fn case_map_and_scalar() {
+    let a = rand(&[100_000], 16);
+    check("sigmoid 100k", || a.sigmoid());
+    check("scale 100k", || a.scale(0.37));
+    check("add_scalar 100k", || a.add_scalar(-1.25));
+}
+
+pub fn case_axpy() {
+    let a = rand(&[100_000], 17);
+    let b = rand(&[100_000], 18);
+    check("axpy 100k", || {
+        let mut acc = a.clone();
+        acc.axpy(0.73, &b);
+        acc
+    });
+}
+
+pub fn case_global_reductions() {
+    let a = rand(&[200_000], 19);
+    let pooled = (a.sum(), a.norm_l2(), a.norm_l1(), a.mean());
+    let serial = pool::run_serial(|| (a.sum(), a.norm_l2(), a.norm_l1(), a.mean()));
+    assert_eq!(pooled.0.to_bits(), serial.0.to_bits(), "sum");
+    assert_eq!(pooled.1.to_bits(), serial.1.to_bits(), "norm_l2");
+    assert_eq!(pooled.2.to_bits(), serial.2.to_bits(), "norm_l1");
+    assert_eq!(pooled.3.to_bits(), serial.3.to_bits(), "mean");
+}
+
+pub fn case_axis_reductions() {
+    let a = rand(&[500, 300], 20);
+    check("sum_axis outer", || a.sum_axis(1));
+    check("max_axis outer", || a.max_axis(1));
+    // axis 0 of a 2-D tensor has outer == 1: the column-parallel branch.
+    check("sum_axis columns", || a.sum_axis(0));
+    let flat = rand(&[4, 50_000], 21);
+    check("sum_axis wide columns", || flat.sum_axis(0));
+}
+
+pub fn case_broadcast_to() {
+    let a = rand(&[1, 500], 22);
+    let target = Shape::new(&[128, 500]);
+    check("broadcast_to 128x500", || a.broadcast_to(&target));
+}
+
+pub fn case_nested_tensor_ops() {
+    // Tensor ops issued from inside a pool task must run serially and
+    // still match: no deadlock, same bits.
+    let a = rand(&[64, 1000], 23);
+    let b = rand(&[64, 1000], 24);
+    let expected = pool::run_serial(|| a.add(&b));
+    let mut results: Vec<Option<Tensor>> = vec![None, None, None, None];
+    pool::par_chunks_mut(&mut results, 1, |_, slot| {
+        slot[0] = Some(a.add(&b));
+    });
+    for r in results {
+        assert_bits_eq(
+            r.expect("slot filled").as_slice(),
+            expected.as_slice(),
+            "nested add",
+        );
+    }
+}
+
+/// Every case, for binaries that want one entry point.
+pub fn run_all() {
+    case_matmul_2d();
+    case_matmul_2d_small();
+    case_matmul_batched();
+    case_matmul_batched_shared_rhs();
+    case_transpose_single();
+    case_transpose_batched();
+    case_elementwise_same_shape();
+    case_elementwise_broadcast();
+    case_map_and_scalar();
+    case_axpy();
+    case_global_reductions();
+    case_axis_reductions();
+    case_broadcast_to();
+    case_nested_tensor_ops();
+}

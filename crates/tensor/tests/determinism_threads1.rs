@@ -1,0 +1,11 @@
+//! The degenerate pool (`SAGDFN_THREADS=1`) must behave exactly like the
+//! serial paths — every kernel falls back without spawning work.
+
+mod common;
+
+#[test]
+fn all_cases_bit_identical_single_thread() {
+    common::init_threads("1");
+    assert!(sagdfn_tensor::pool::is_serial());
+    common::run_all();
+}

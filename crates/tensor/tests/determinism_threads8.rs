@@ -1,0 +1,35 @@
+//! Pooled kernels must be bit-identical to their serial paths with a
+//! genuinely parallel pool (`SAGDFN_THREADS=8`).
+
+mod common;
+
+macro_rules! case {
+    ($name:ident) => {
+        #[test]
+        fn $name() {
+            common::init_threads("8");
+            common::$name();
+        }
+    };
+}
+
+case!(case_matmul_2d);
+case!(case_matmul_2d_small);
+case!(case_matmul_batched);
+case!(case_matmul_batched_shared_rhs);
+case!(case_transpose_single);
+case!(case_transpose_batched);
+case!(case_elementwise_same_shape);
+case!(case_elementwise_broadcast);
+case!(case_map_and_scalar);
+case!(case_axpy);
+case!(case_global_reductions);
+case!(case_axis_reductions);
+case!(case_broadcast_to);
+case!(case_nested_tensor_ops);
+
+#[test]
+fn pool_reports_requested_width() {
+    common::init_threads("8");
+    assert_eq!(sagdfn_tensor::pool::num_threads(), 8);
+}

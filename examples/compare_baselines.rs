@@ -33,7 +33,7 @@ fn main() {
         build(ModelFamily::Sagdfn, &ctx),
     ];
 
-    println!("training {} models on {} ({} nodes)...\n", roster.len(), "metr-la-like", n);
+    println!("training {} models on metr-la-like ({n} nodes)...\n", roster.len());
     let mut rows = Vec::new();
     for model in roster.iter_mut() {
         let summary = model.fit(&split);

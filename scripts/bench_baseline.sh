@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Records the tensor-substrate perf baseline: pooled vs serial wall time
+# for the hot kernels, written to BENCH_tensor.json at the repo root so
+# later PRs have a trajectory to compare against. Also runs the criterion
+# pool benches for the detailed per-size picture.
+#
+# Usage: scripts/bench_baseline.sh [out_file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_tensor.json}"
+
+echo "== building (release) =="
+cargo build --release -p sagdfn-bench
+
+echo
+echo "== tensor perf baseline -> $OUT =="
+cargo run --release -q -p sagdfn-bench --bin bench_tensor -- --out "$OUT"
+
+echo
+echo "== criterion pool benches =="
+cargo bench -p sagdfn-bench --bench pool_bench

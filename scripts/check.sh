@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local pre-PR gate: release build, full test suite, clippy clean.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo
+echo "== cargo test -q =="
+cargo test -q
+
+echo
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "check.sh: all green"
