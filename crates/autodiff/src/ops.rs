@@ -319,7 +319,8 @@ impl<'t> Var<'t> {
                 let axis_len = dims[axis];
                 let inner: usize = dims[axis + 1..].iter().product();
                 let gsrc = g.as_slice();
-                let mut out = vec![0.0f32; orig.numel()];
+                // Recycled buffer: the tiling copies every output slice.
+                let mut out = sagdfn_tensor::alloc::acquire(orig.numel());
                 for o in 0..outer {
                     for a in 0..axis_len {
                         let dst = &mut out[(o * axis_len + a) * inner..][..inner];
@@ -348,13 +349,17 @@ impl<'t> Var<'t> {
         for p in parts {
             parts[0].same_tape(p);
         }
-        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
-        let refs: Vec<&Tensor> = values.iter().collect();
-        let value = Tensor::concat(&refs, axis);
-        let sizes: Vec<usize> = values.iter().map(|v| v.dim(axis)).collect();
+        let ids: Vec<usize> = parts.iter().map(|p| p.id).collect();
+        // Borrow the part values straight off the tape — no per-part clone.
+        let (value, sizes) = {
+            let nodes = tape.nodes.borrow();
+            let refs: Vec<&Tensor> = ids.iter().map(|&i| &nodes[i].value).collect();
+            let sizes: Vec<usize> = refs.iter().map(|v| v.dim(axis)).collect();
+            (Tensor::concat(&refs, axis), sizes)
+        };
         tape.push(
             value,
-            parts.iter().map(|p| p.id).collect(),
+            ids,
             Some(Box::new(move |g, _, _| g.split(axis, &sizes))),
         )
     }

@@ -15,10 +15,17 @@ pub(crate) struct Node {
     pub backward: Option<BackwardFn>,
 }
 
-/// Append-only computation graph. One tape per training step.
+/// Append-only computation graph.
+///
+/// A tape can serve one training step and then be [`reset`](Tape::reset)
+/// for the next: the node arena keeps its capacity, and the backward
+/// gradient table is recycled via [`recycle_gradients`](Tape::recycle_gradients),
+/// so steady-state steps re-record the graph without reallocating it.
 #[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: RefCell<Vec<Node>>,
+    /// Recycled backing storage for the backward gradient table.
+    grad_scratch: RefCell<Vec<Option<Tensor>>>,
 }
 
 /// A handle to one node on a tape. Cheap to copy; all tensor ops live on
@@ -43,6 +50,31 @@ impl Tape {
     /// True when no node has been recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Clears every recorded node while retaining the arena's capacity, so
+    /// the next step's graph is recorded into already-owned storage.
+    ///
+    /// All `Var` handles pointing at this tape are invalidated: their ids
+    /// refer to nodes that no longer exist. Callers must re-bind parameters
+    /// (and rebuild any cached vars) after a reset — `trainer::fit` does
+    /// this once per batch.
+    pub fn reset(&self) {
+        // Dropping the nodes releases their value tensors back to the
+        // tensor recycling pool; `clear` keeps the Vec allocation itself.
+        self.nodes.borrow_mut().clear();
+    }
+
+    /// Returns a spent gradient table's backing storage to the tape so the
+    /// next [`backward`](Var::backward) reuses it instead of reallocating.
+    /// Dropped gradient tensors go back to the tensor recycling pool.
+    pub fn recycle_gradients(&self, mut grads: Gradients) {
+        grads.grads.clear();
+        let mut scratch = self.grad_scratch.borrow_mut();
+        // Keep the larger of the two allocations.
+        if grads.grads.capacity() > scratch.capacity() {
+            *scratch = std::mem::take(&mut grads.grads);
+        }
     }
 
     /// Memory/size introspection: `(node count, total forward-value
@@ -100,7 +132,11 @@ impl Tape {
             "backward() requires a scalar output, got {}",
             nodes[output.id].value.shape()
         );
-        let mut grads: Vec<Option<Tensor>> = (0..nodes.len()).map(|_| None).collect();
+        // Reuse the recycled table from a previous backward pass when one
+        // is available (see `recycle_gradients`).
+        let mut grads = std::mem::take(&mut *self.grad_scratch.borrow_mut());
+        grads.clear();
+        grads.resize_with(nodes.len(), || None);
         grads[output.id] = Some(Tensor::ones(nodes[output.id].value.shape().clone()));
 
         for id in (0..=output.id).rev() {
@@ -151,6 +187,12 @@ impl<'t> Var<'t> {
     /// Applies `f` to the forward value without cloning it.
     pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
         f(&self.tape.nodes.borrow()[self.id].value)
+    }
+
+    /// The single value of a one-element var, read without cloning the
+    /// tensor out of the tape (the scalar-loss hot path).
+    pub fn item(&self) -> f32 {
+        self.with_value(|t| t.item())
     }
 
     /// Shape of the forward value.
@@ -239,25 +281,30 @@ impl Gradients {
 
 /// Reduces `grad` (shaped like the broadcast output) back to `target`
 /// (an operand's shape) by summing over stretched dimensions.
+///
+/// This is the single unreduce helper every broadcasting backward fn goes
+/// through. It materializes lazily: the first `sum_axis` output replaces
+/// what used to be an upfront full-size `grad.clone()`, and the
+/// no-broadcast fall-through copies into a buffer from the tensor
+/// recycling pool — so neither path hits the heap in steady state.
 pub(crate) fn reduce_grad_to_shape(grad: &Tensor, target: &Shape) -> Tensor {
-    if grad.shape() == target {
-        return grad.clone();
-    }
-    let mut g = grad.clone();
+    let mut g: Option<Tensor> = None;
     // Sum away leading dims the operand did not have.
-    while g.rank() > target.rank() {
-        g = g.sum_axis(0);
+    while g.as_ref().unwrap_or(grad).rank() > target.rank() {
+        g = Some(g.as_ref().unwrap_or(grad).sum_axis(0));
     }
     // Sum over dims where the operand had size 1.
     for axis in 0..target.rank() {
-        if target.dim(axis) == 1 && g.dim(axis) != 1 {
-            let summed = g.sum_axis(axis);
+        let cur = g.as_ref().unwrap_or(grad);
+        if target.dim(axis) == 1 && cur.dim(axis) != 1 {
+            let summed = cur.sum_axis(axis);
             // Re-insert the size-1 axis.
             let mut dims = summed.dims().to_vec();
             dims.insert(axis, 1);
-            g = summed.into_reshape(dims.as_slice());
+            g = Some(summed.into_reshape(dims.as_slice()));
         }
     }
+    let g = g.unwrap_or_else(|| grad.clone());
     assert_eq!(
         g.shape(),
         target,

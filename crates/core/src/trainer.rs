@@ -58,6 +58,11 @@ pub fn fit(model: &mut Sagdfn, split: &ThreeWaySplit) -> TrainReport {
     let mut stale = 0usize;
     let mut epochs = Vec::new();
     let train_start = Instant::now();
+    // One tape for the whole run: `reset()` clears the nodes per batch but
+    // keeps the arena's capacity, so steady-state steps record the graph
+    // into already-owned storage. Batch/teacher scratch persists likewise.
+    let tape = Tape::new();
+    let mut teacher: Vec<bool> = Vec::new();
 
     for epoch in 0..cfg.epochs {
         let epoch_start = Instant::now();
@@ -66,25 +71,25 @@ pub fn fit(model: &mut Sagdfn, split: &ThreeWaySplit) -> TrainReport {
         for ids in split.train.batch_ids(cfg.batch_size, Some(&mut shuffle_rng)) {
             let batch = split.train.make_batch(&ids);
             model.maybe_resample();
-            let tape = Tape::new();
+            tape.reset();
             let bind = model.params.bind(&tape);
             // Scheduled sampling (off unless configured): coin-flip per
             // decoder step with the decayed teacher probability.
             let p_teacher = model.teacher_probability(model.iterations());
-            let teacher: Vec<bool> = if p_teacher > 0.0 {
-                (0..batch.y.dim(0))
-                    .map(|_| shuffle_rng.next_f32() < p_teacher)
-                    .collect()
-            } else {
-                Vec::new()
-            };
+            teacher.clear();
+            if p_teacher > 0.0 {
+                teacher.extend(
+                    (0..batch.y.dim(0)).map(|_| shuffle_rng.next_f32() < p_teacher),
+                );
+            }
             let pred = model.forward_scheduled(&tape, &bind, &batch, split.scaler, &teacher);
             let mask = Sagdfn::loss_mask(&batch.y);
             let loss = masked_mae(pred, &batch.y, &mask);
-            loss_sum += loss.value().item() as f64;
+            loss_sum += loss.item() as f64;
             batches += 1;
             let grads = loss.backward();
             opt.step(&mut model.params, &bind, &grads);
+            tape.recycle_gradients(grads);
             model.tick();
         }
         let train_loss = (loss_sum / batches.max(1) as f64) as f32;
@@ -97,7 +102,7 @@ pub fn fit(model: &mut Sagdfn, split: &ThreeWaySplit) -> TrainReport {
         });
         if val_mae < best_val {
             best_val = val_mae;
-            best_weights = model.params.snapshot();
+            model.params.snapshot_into(&mut best_weights);
             stale = 0;
         } else {
             stale += 1;
@@ -143,9 +148,11 @@ pub fn predict(
     assert!(!windows.is_empty(), "cannot evaluate an empty split");
     let mut pred_parts = Vec::new();
     let mut target_parts = Vec::new();
+    // One reused tape across evaluation batches (see `fit`).
+    let tape = Tape::new();
     for ids in windows.batch_ids(batch_size, None) {
         let batch = windows.make_batch(&ids);
-        let tape = Tape::new();
+        tape.reset();
         let bind = model.params.bind(&tape);
         let pred = model.forward(&tape, &bind, &batch, windows.scaler());
         pred_parts.push(pred.value());

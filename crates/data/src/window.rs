@@ -171,10 +171,11 @@ impl SlidingWindows {
         let (h, f) = (self.h, self.f);
         let vals = self.data.values.as_slice();
 
-        let mut x = vec![0.0f32; h * b * n * 3];
-        let mut y = vec![0.0f32; f * b * n];
-        let mut x_last = vec![0.0f32; b * n];
-        let mut fut = vec![0.0f32; f * b * n * 2];
+        // Recycled buffers: the loops below write every element of all four.
+        let mut x = sagdfn_tensor::alloc::acquire(h * b * n * 3);
+        let mut y = sagdfn_tensor::alloc::acquire(f * b * n);
+        let mut x_last = sagdfn_tensor::alloc::acquire(b * n);
+        let mut fut = sagdfn_tensor::alloc::acquire(f * b * n * 2);
 
         for (bi, &wid) in window_ids.iter().enumerate() {
             let s = self.starts[wid];

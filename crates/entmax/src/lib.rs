@@ -27,7 +27,7 @@
 //! parallel and sit inside every attention head — with bit-identical
 //! results to the per-row serial loop.
 
-use sagdfn_tensor::pool;
+use sagdfn_tensor::{alloc, pool};
 
 /// Numerical tolerance for the bisection: |Σp − 1| after convergence.
 const BISECT_TOL: f64 = 1e-7;
@@ -293,7 +293,8 @@ fn batch_rows(
         z.len()
     );
     let rows = z.len() / row_len;
-    let mut out = vec![0.0f32; z.len()];
+    // Recycled buffer: `per_row` overwrites every output row in full.
+    let mut out = alloc::acquire(z.len());
     if rows >= ROWS_PARALLEL_THRESHOLD && !pool::is_serial() {
         let chunk = pool::chunk_len(z.len(), row_len, 1);
         pool::par_chunks_mut(&mut out, chunk, |ci, out_chunk| {

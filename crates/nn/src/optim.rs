@@ -66,25 +66,39 @@ impl Optimizer for Sgd {
         let scale = self.clip.map_or(1.0, |c| c.scale_for(binding, grads));
         let ids: Vec<_> = params.ids().collect();
         self.velocity.resize_with(ids.len(), || None);
+        let (lr, momentum, wd) = (self.lr, self.momentum, self.weight_decay);
         for (slot, id) in ids.into_iter().enumerate() {
             let Some(g) = binding.grad(grads, id) else {
                 continue;
             };
-            let mut g = g.scale(scale);
-            if self.weight_decay > 0.0 {
-                g.axpy(self.weight_decay, params.get(id));
-            }
-            let update = if self.momentum > 0.0 {
+            // Fused in-place update — no per-step `update` tensor and no
+            // velocity double-buffer. Each expression mirrors the former
+            // tensor-temporary formulation operation for operation, so the
+            // result is bit-identical (see `sgd_inplace_matches_reference`).
+            let gs = g.as_slice();
+            let ps = params.get_mut(id).as_mut_slice();
+            if momentum > 0.0 {
                 let v = self.velocity[slot]
                     .get_or_insert_with(|| Tensor::zeros(g.shape().clone()));
-                let mut new_v = v.scale(self.momentum);
-                new_v.axpy(1.0, &g);
-                *v = new_v.clone();
-                new_v
+                let vs = v.as_mut_slice();
+                for i in 0..gs.len() {
+                    let mut gi = gs[i] * scale;
+                    if wd > 0.0 {
+                        gi += wd * ps[i];
+                    }
+                    let vn = vs[i] * momentum + gi;
+                    vs[i] = vn;
+                    ps[i] += -lr * vn;
+                }
             } else {
-                g
-            };
-            params.get_mut(id).axpy(-self.lr, &update);
+                for i in 0..gs.len() {
+                    let mut gi = gs[i] * scale;
+                    if wd > 0.0 {
+                        gi += wd * ps[i];
+                    }
+                    ps[i] += -lr * gi;
+                }
+            }
         }
     }
 
@@ -148,36 +162,37 @@ impl Optimizer for Adam {
         let ids: Vec<_> = params.ids().collect();
         self.m.resize_with(ids.len(), || None);
         self.v.resize_with(ids.len(), || None);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
         for (slot, id) in ids.into_iter().enumerate() {
             let Some(g) = binding.grad(grads, id) else {
                 continue;
             };
-            let mut g = g.scale(scale);
-            if self.weight_decay > 0.0 {
-                g.axpy(self.weight_decay, params.get(id));
-            }
+            // Fused in-place update over the recycled moment buffers — no
+            // per-parameter `update` tensor. Each expression mirrors the
+            // former tensor-temporary formulation operation for operation,
+            // so the result is bit-identical (see
+            // `adam_inplace_matches_reference`).
+            let gs = g.as_slice();
+            let ps = params.get_mut(id).as_mut_slice();
             let m = self.m[slot].get_or_insert_with(|| Tensor::zeros(g.shape().clone()));
             let v = self.v[slot].get_or_insert_with(|| Tensor::zeros(g.shape().clone()));
-            // m = β1 m + (1-β1) g ; v = β2 v + (1-β2) g²
-            let mut new_m = m.scale(self.beta1);
-            new_m.axpy(1.0 - self.beta1, &g);
-            let mut new_v = v.scale(self.beta2);
-            new_v.axpy(1.0 - self.beta2, &g.square());
-            // θ -= lr * m̂ / (sqrt(v̂) + ε)
-            let update_data: Vec<f32> = new_m
-                .as_slice()
-                .iter()
-                .zip(new_v.as_slice())
-                .map(|(&mi, &vi)| {
-                    let m_hat = mi / bc1;
-                    let v_hat = vi / bc2;
-                    m_hat / (v_hat.sqrt() + self.eps)
-                })
-                .collect();
-            let update = Tensor::from_vec(update_data, g.shape().clone());
-            *m = new_m;
-            *v = new_v;
-            params.get_mut(id).axpy(-self.lr, &update);
+            let ms = m.as_mut_slice();
+            let vs = v.as_mut_slice();
+            for i in 0..gs.len() {
+                let mut gi = gs[i] * scale;
+                if wd > 0.0 {
+                    gi += wd * ps[i];
+                }
+                // m = β1 m + (1-β1) g ; v = β2 v + (1-β2) g²
+                let mi = ms[i] * b1 + (1.0 - b1) * gi;
+                let vi = vs[i] * b2 + (1.0 - b2) * (gi * gi);
+                ms[i] = mi;
+                vs[i] = vi;
+                // θ -= lr * m̂ / (sqrt(v̂) + ε)
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                ps[i] += -lr * (m_hat / (v_hat.sqrt() + eps));
+            }
         }
     }
 
@@ -296,5 +311,164 @@ mod tests {
         let mut opt = Adam::new(0.01);
         opt.set_lr(0.001);
         assert_eq!(opt.lr(), 0.001);
+    }
+
+    /// One optimizer step driven through a real tape on a fixed quadratic
+    /// loss, returning the raw parameter bits after `steps` steps.
+    fn run_steps<O: Optimizer>(opt: &mut O, steps: usize) -> Vec<u32> {
+        let mut params = Params::new();
+        let w = params.add(
+            "w",
+            Tensor::from_vec(vec![5.0, -3.0, 0.25, 1.75], [4]),
+        );
+        let target = Tensor::from_vec(vec![1.0, 2.0, -0.5, 0.125], [4]);
+        for _ in 0..steps {
+            let tape = Tape::new();
+            let bind = params.bind(&tape);
+            let t = tape.constant(target.clone());
+            let loss = bind.var(w).sub(&t).square().sum();
+            let grads = loss.backward();
+            opt.step(&mut params, &bind, &grads);
+        }
+        params.get(w).as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Reference SGD step in the former tensor-temporary formulation
+    /// (scale → weight-decay axpy → v·μ → +1·g → clone → −lr·update).
+    struct RefSgd {
+        lr: f32,
+        momentum: f32,
+        weight_decay: f32,
+        velocity: Vec<Option<Tensor>>,
+    }
+
+    impl Optimizer for RefSgd {
+        fn step(&mut self, params: &mut Params, binding: &Binding<'_>, grads: &Gradients) {
+            let ids: Vec<_> = params.ids().collect();
+            self.velocity.resize_with(ids.len(), || None);
+            for (slot, id) in ids.into_iter().enumerate() {
+                let Some(g) = binding.grad(grads, id) else {
+                    continue;
+                };
+                let mut g = g.scale(1.0);
+                if self.weight_decay > 0.0 {
+                    g.axpy(self.weight_decay, params.get(id));
+                }
+                let update = if self.momentum > 0.0 {
+                    let v = self.velocity[slot]
+                        .get_or_insert_with(|| Tensor::zeros(g.shape().clone()));
+                    let mut new_v = v.scale(self.momentum);
+                    new_v.axpy(1.0, &g);
+                    *v = new_v.clone();
+                    new_v
+                } else {
+                    g
+                };
+                params.get_mut(id).axpy(-self.lr, &update);
+            }
+        }
+        fn set_lr(&mut self, lr: f32) {
+            self.lr = lr;
+        }
+        fn lr(&self) -> f32 {
+            self.lr
+        }
+    }
+
+    /// Reference Adam step in the former tensor-temporary formulation.
+    struct RefAdam {
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+        t: u64,
+        m: Vec<Option<Tensor>>,
+        v: Vec<Option<Tensor>>,
+    }
+
+    impl Optimizer for RefAdam {
+        fn step(&mut self, params: &mut Params, binding: &Binding<'_>, grads: &Gradients) {
+            self.t += 1;
+            let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+            let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+            let ids: Vec<_> = params.ids().collect();
+            self.m.resize_with(ids.len(), || None);
+            self.v.resize_with(ids.len(), || None);
+            for (slot, id) in ids.into_iter().enumerate() {
+                let Some(g) = binding.grad(grads, id) else {
+                    continue;
+                };
+                let mut g = g.scale(1.0);
+                if self.weight_decay > 0.0 {
+                    g.axpy(self.weight_decay, params.get(id));
+                }
+                let m = self.m[slot].get_or_insert_with(|| Tensor::zeros(g.shape().clone()));
+                let v = self.v[slot].get_or_insert_with(|| Tensor::zeros(g.shape().clone()));
+                let mut new_m = m.scale(self.beta1);
+                new_m.axpy(1.0 - self.beta1, &g);
+                let mut new_v = v.scale(self.beta2);
+                new_v.axpy(1.0 - self.beta2, &g.square());
+                let update_data: Vec<f32> = new_m
+                    .as_slice()
+                    .iter()
+                    .zip(new_v.as_slice())
+                    .map(|(&mi, &vi)| {
+                        let m_hat = mi / bc1;
+                        let v_hat = vi / bc2;
+                        m_hat / (v_hat.sqrt() + self.eps)
+                    })
+                    .collect();
+                let update = Tensor::from_vec(update_data, g.shape().clone());
+                *m = new_m;
+                *v = new_v;
+                params.get_mut(id).axpy(-self.lr, &update);
+            }
+        }
+        fn set_lr(&mut self, lr: f32) {
+            self.lr = lr;
+        }
+        fn lr(&self) -> f32 {
+            self.lr
+        }
+    }
+
+    #[test]
+    fn sgd_inplace_matches_reference() {
+        let mut opt = Sgd::new(0.05);
+        opt.momentum = 0.9;
+        opt.weight_decay = 0.01;
+        let mut reference = RefSgd {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.01,
+            velocity: Vec::new(),
+        };
+        assert_eq!(
+            run_steps(&mut opt, 25),
+            run_steps(&mut reference, 25),
+            "fused in-place SGD must be bit-identical to the tensor-temporary formulation"
+        );
+    }
+
+    #[test]
+    fn adam_inplace_matches_reference() {
+        let mut opt = Adam::new(0.01);
+        opt.weight_decay = 0.02;
+        let mut reference = RefAdam {
+            lr: 0.01,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.02,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        };
+        assert_eq!(
+            run_steps(&mut opt, 25),
+            run_steps(&mut reference, 25),
+            "fused in-place Adam must be bit-identical to the tensor-temporary formulation"
+        );
     }
 }

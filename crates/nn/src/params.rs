@@ -86,7 +86,26 @@ impl Params {
         self.entries.iter().map(|e| e.value.clone()).collect()
     }
 
-    /// Restores values captured by [`snapshot`](Self::snapshot).
+    /// Like [`snapshot`](Self::snapshot) but copies into `buf`'s existing
+    /// tensor storage when the layout matches — the trainer calls this once
+    /// per improving epoch without allocating.
+    pub fn snapshot_into(&self, buf: &mut Vec<Tensor>) {
+        let layout_matches = buf.len() == self.entries.len()
+            && buf
+                .iter()
+                .zip(&self.entries)
+                .all(|(b, e)| b.shape() == e.value.shape());
+        if layout_matches {
+            for (b, e) in buf.iter_mut().zip(&self.entries) {
+                b.as_mut_slice().copy_from_slice(e.value.as_slice());
+            }
+        } else {
+            *buf = self.snapshot();
+        }
+    }
+
+    /// Restores values captured by [`snapshot`](Self::snapshot), copying
+    /// into the parameters' existing storage.
     ///
     /// # Panics
     /// Panics if the snapshot does not match the registry's layout.
@@ -99,7 +118,7 @@ impl Params {
                 "snapshot shape mismatch for {}",
                 entry.name
             );
-            entry.value = saved.clone();
+            entry.value.as_mut_slice().copy_from_slice(saved.as_slice());
         }
     }
 

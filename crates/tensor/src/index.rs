@@ -4,6 +4,7 @@
 //! node axis implements the E_I / X_I gathers of the slim adjacency, and
 //! `scatter_add` is its adjoint in the backward pass.
 
+use crate::alloc;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -23,12 +24,15 @@ impl Tensor {
         }
         let outer: usize = dims[..axis].iter().product();
         let inner: usize = dims[axis + 1..].iter().product();
-        let mut out = Vec::with_capacity(outer * indices.len() * inner);
+        // Recycled buffer: the gather writes every output slice.
+        let mut out = alloc::acquire(outer * indices.len() * inner);
         let src = self.as_slice();
+        let mut at = 0;
         for o in 0..outer {
             for &i in indices {
                 let base = (o * axis_len + i) * inner;
-                out.extend_from_slice(&src[base..base + inner]);
+                out[at..at + inner].copy_from_slice(&src[base..base + inner]);
+                at += inner;
             }
         }
         let mut out_dims = dims.to_vec();
@@ -54,7 +58,7 @@ impl Tensor {
         let axis_len = dims[axis];
         let outer: usize = dims[..axis].iter().product();
         let inner: usize = dims[axis + 1..].iter().product();
-        let s = src.as_slice().to_vec();
+        let s = src.as_slice();
         let d = self.as_mut_slice();
         for o in 0..outer {
             for (pos, &i) in indices.iter().enumerate() {
@@ -91,12 +95,15 @@ impl Tensor {
         let outer: usize = dims[..axis].iter().product();
         let inner: usize = dims[axis + 1..].iter().product();
         let total_axis: usize = parts.iter().map(|p| p.dim(axis)).sum();
-        let mut out = Vec::with_capacity(outer * total_axis * inner);
+        // Recycled buffer: the segment copies cover every output element.
+        let mut out = alloc::acquire(outer * total_axis * inner);
+        let mut at = 0;
         for o in 0..outer {
             for p in parts {
                 let a = p.dim(axis);
-                let src = p.as_slice();
-                out.extend_from_slice(&src[o * a * inner..(o + 1) * a * inner]);
+                let src = &p.as_slice()[o * a * inner..(o + 1) * a * inner];
+                out[at..at + src.len()].copy_from_slice(src);
+                at += src.len();
             }
         }
         let mut out_dims = dims.to_vec();
@@ -139,11 +146,13 @@ impl Tensor {
         let outer: usize = dims[..axis].iter().product();
         let inner: usize = dims[axis + 1..].iter().product();
         let len = end - start;
-        let mut out = Vec::with_capacity(outer * len * inner);
+        // Recycled buffer: the range copies cover every output element.
+        let mut out = alloc::acquire(outer * len * inner);
         let src = self.as_slice();
         for o in 0..outer {
             let base = (o * axis_len + start) * inner;
-            out.extend_from_slice(&src[base..base + len * inner]);
+            out[o * len * inner..(o + 1) * len * inner]
+                .copy_from_slice(&src[base..base + len * inner]);
         }
         let mut out_dims = dims.to_vec();
         out_dims[axis] = len;
@@ -177,9 +186,11 @@ impl Tensor {
     /// i.e. `(d0, ..) -> (times, d0, ..)`.
     pub fn repeat_leading(&self, times: usize) -> Tensor {
         assert!(times > 0, "repeat_leading(0)");
-        let mut out = Vec::with_capacity(self.numel() * times);
-        for _ in 0..times {
-            out.extend_from_slice(self.as_slice());
+        let numel = self.numel();
+        // Recycled buffer: every repetition is copied in.
+        let mut out = alloc::acquire(numel * times);
+        for r in 0..times {
+            out[r * numel..(r + 1) * numel].copy_from_slice(self.as_slice());
         }
         let mut dims = vec![times];
         dims.extend_from_slice(self.dims());
@@ -207,17 +218,20 @@ impl Tensor {
         let in_strides = self.shape().strides();
         let out_dims: Vec<usize> = perm.iter().map(|&p| in_dims[p]).collect();
         let src = self.as_slice();
-        let mut out = Vec::with_capacity(self.numel());
+        // Recycled buffer: the odometer walk writes every position in order.
+        let mut out = alloc::acquire(self.numel());
         // Odometer over the output index space, reading via permuted strides.
         let mut idx = vec![0usize; rank];
         let read_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
         let mut offset = 0usize;
-        loop {
-            out.push(src[offset]);
+        let mut w = 0usize;
+        'walk: loop {
+            out[w] = src[offset];
+            w += 1;
             let mut d = rank;
             loop {
                 if d == 0 {
-                    return Tensor::from_vec(out, out_dims.as_slice());
+                    break 'walk; // walked off the end of the output
                 }
                 d -= 1;
                 idx[d] += 1;
@@ -229,6 +243,7 @@ impl Tensor {
                 idx[d] = 0;
             }
         }
+        Tensor::from_vec(out, out_dims.as_slice())
     }
 }
 

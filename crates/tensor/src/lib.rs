@@ -35,7 +35,10 @@ pub mod rng;
 pub mod shape;
 pub mod tensor;
 
-pub use alloc::{live_bytes, peak_bytes, reset_peak};
+pub use alloc::{
+    churn_bytes, live_bytes, peak_bytes, pool_hit_bytes, pool_retained_bytes, recycling_enabled,
+    requested_bytes, reset_peak, set_recycling, trim_pool,
+};
 pub use rng::Rng64;
 pub use shape::Shape;
 pub use tensor::Tensor;

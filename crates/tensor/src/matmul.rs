@@ -8,6 +8,7 @@
 //! no per-call thread spawning — and each chunk runs the identical serial
 //! kernel, so parallel results are bit-identical to serial ones.
 
+use crate::alloc;
 use crate::pool;
 use crate::tensor::Tensor;
 
@@ -141,7 +142,9 @@ impl Tensor {
             out_dims = vec![m, n];
         }
 
-        let mut out = vec![0.0f32; batch_a * m * n];
+        // The kernel accumulates (`c[j] += ...`), so a recycled buffer must
+        // come back zeroed.
+        let mut out = alloc::acquire_zeroed(batch_a * m * n);
         let a = self.as_slice();
         let b = other.as_slice();
         let shared_rhs = batch_b == 1 && rb == 2;
@@ -194,7 +197,8 @@ impl Tensor {
         let (m, n) = (self.dim(r - 2), self.dim(r - 1));
         let batch: usize = self.dims()[..r - 2].iter().product();
         let src = self.as_slice();
-        let mut out = vec![0.0f32; src.len()];
+        // Recycled buffer: the transpose scatter writes every element once.
+        let mut out = alloc::acquire(src.len());
         let parallel = src.len() >= TRANSPOSE_PARALLEL_THRESHOLD && !pool::is_serial();
         if parallel && batch > 1 {
             pool::par_chunks_mut(&mut out, m * n, |bi, d| {

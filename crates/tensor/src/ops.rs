@@ -9,6 +9,7 @@
 //! elements, so chunking cannot change results: parallel output is
 //! bit-identical to serial.
 
+use crate::alloc;
 use crate::pool;
 use crate::shape::{Shape, MAX_RANK};
 use crate::tensor::Tensor;
@@ -30,8 +31,9 @@ pub fn broadcast_binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sy
     // Tier 1: identical shapes.
     if a.shape() == b.shape() {
         let (da, db) = (a.as_slice(), b.as_slice());
+        // Recycled buffer: every element is written below.
+        let mut out = alloc::acquire(numel);
         if parallel {
-            let mut out = vec![0.0f32; numel];
             let chunk_len = pool::chunk_len(numel, 1, 4096);
             pool::par_chunks_mut(&mut out, chunk_len, |ci, chunk| {
                 let start = ci * chunk_len;
@@ -42,10 +44,12 @@ pub fn broadcast_binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sy
                     *o = f(*x, *y);
                 }
             });
-            return Tensor::from_vec(out, out_shape);
+        } else {
+            for (o, (&x, &y)) in out.iter_mut().zip(da.iter().zip(db)) {
+                *o = f(x, y);
+            }
         }
-        let data = da.iter().zip(db).map(|(&x, &y)| f(x, y)).collect();
-        return Tensor::from_vec(data, out_shape);
+        return Tensor::from_vec(out, out_shape);
     }
     // Tier 2: one side is a single element.
     if b.numel() == 1 {
@@ -74,7 +78,8 @@ pub fn broadcast_binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sy
     let sb = strides_for(b);
     let odims = out_shape.dims().to_vec();
     let (da, db) = (a.as_slice(), b.as_slice());
-    let mut out = vec![0.0f32; numel];
+    // Recycled buffer: the broadcast walk writes every output position.
+    let mut out = alloc::acquire(numel);
     if parallel {
         let chunk = pool::chunk_len(numel, 1, 4096);
         pool::par_chunks_mut(&mut out, chunk, |ci, out_chunk| {
@@ -141,8 +146,9 @@ fn broadcast_walk(
 pub fn map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
     let src = a.as_slice();
     let numel = src.len();
+    // Recycled buffer: every element is written below.
+    let mut out = alloc::acquire(numel);
     if numel >= ELEMWISE_PARALLEL_THRESHOLD && !pool::is_serial() {
-        let mut out = vec![0.0f32; numel];
         let chunk = pool::chunk_len(numel, 1, 4096);
         pool::par_chunks_mut(&mut out, chunk, |ci, out_chunk| {
             let start = ci * chunk;
@@ -150,10 +156,12 @@ pub fn map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
                 *o = f(x);
             }
         });
-        return Tensor::from_vec(out, a.shape().clone());
+    } else {
+        for (o, &x) in out.iter_mut().zip(src) {
+            *o = f(x);
+        }
     }
-    let data = src.iter().map(|&x| f(x)).collect();
-    Tensor::from_vec(data, a.shape().clone())
+    Tensor::from_vec(out, a.shape().clone())
 }
 
 /// Applies `f` elementwise in place.

@@ -8,6 +8,7 @@
 //! parallelize over independent output slices, which preserves the exact
 //! per-element accumulation order by construction.
 
+use crate::alloc;
 use crate::pool;
 use crate::tensor::Tensor;
 
@@ -90,7 +91,10 @@ impl Tensor {
         let outer: usize = dims[..axis].iter().product();
         let axis_len = dims[axis];
         let inner: usize = dims[axis + 1..].iter().product();
-        let mut out = vec![init; outer * inner];
+        // Recycled buffer; seeded with `init` because accumulation below
+        // reads the previous value of every output element.
+        let mut out = alloc::acquire(outer * inner);
+        out.fill(init);
         let src = self.as_slice();
         // Accumulates output columns [i0, i0+dst.len()) of outer slice `o`
         // in the same a-ascending order as the serial triple loop — every

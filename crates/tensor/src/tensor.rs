@@ -15,13 +15,16 @@ pub struct Tensor {
 
 impl Clone for Tensor {
     fn clone(&self) -> Self {
-        Tensor::from_vec(self.data.clone(), self.shape.clone())
+        let mut data = alloc::acquire(self.data.len());
+        data.copy_from_slice(&self.data);
+        Tensor::from_vec(data, self.shape.clone())
     }
 }
 
 impl Drop for Tensor {
     fn drop(&mut self) {
         alloc::record_free(self.data.capacity() * std::mem::size_of::<f32>());
+        alloc::release(std::mem::take(&mut self.data));
     }
 }
 
@@ -44,7 +47,9 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        Tensor::from_vec(vec![value; shape.numel()], shape)
+        let mut data = alloc::acquire(shape.numel());
+        data.fill(value);
+        Tensor::from_vec(data, shape)
     }
 
     /// A tensor of zeros.
@@ -59,7 +64,7 @@ impl Tensor {
 
     /// A rank-0 scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor::from_vec(vec![value], Shape::scalar())
+        Tensor::full(Shape::scalar(), value)
     }
 
     /// The `n`-dimensional identity matrix (rank 2).
@@ -74,18 +79,20 @@ impl Tensor {
     /// Uniform random values in `[lo, hi)`.
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng64) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel())
-            .map(|_| lo + (hi - lo) * rng.next_f32())
-            .collect();
+        let mut data = alloc::acquire(shape.numel());
+        for v in data.iter_mut() {
+            *v = lo + (hi - lo) * rng.next_f32();
+        }
         Tensor::from_vec(data, shape)
     }
 
     /// Standard-normal random values scaled by `std` around `mean`.
     pub fn rand_normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut Rng64) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel())
-            .map(|_| mean + std * rng.next_gaussian())
-            .collect();
+        let mut data = alloc::acquire(shape.numel());
+        for v in data.iter_mut() {
+            *v = mean + std * rng.next_gaussian();
+        }
         Tensor::from_vec(data, shape)
     }
 
@@ -133,7 +140,9 @@ impl Tensor {
 
     /// Consumes the tensor and returns its buffer.
     pub fn into_vec(mut self) -> Vec<f32> {
-        alloc::record_free(self.data.capacity() * std::mem::size_of::<f32>());
+        let bytes = self.data.capacity() * std::mem::size_of::<f32>();
+        alloc::record_free(bytes);
+        alloc::unrecord_request(bytes);
         let data = std::mem::take(&mut self.data);
         std::mem::forget(self);
         data
@@ -197,7 +206,9 @@ impl Tensor {
             shape,
             shape.numel()
         );
-        Tensor::from_vec(self.data.clone(), shape)
+        let mut data = alloc::acquire(self.data.len());
+        data.copy_from_slice(&self.data);
+        Tensor::from_vec(data, shape)
     }
 
     /// Like [`reshape`](Self::reshape) but consumes `self`, avoiding a copy.

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Records the tensor-substrate perf baseline: pooled vs serial wall time
 # for the hot kernels, written to BENCH_tensor.json at the repo root so
-# later PRs have a trajectory to compare against. Also runs the criterion
-# pool benches for the detailed per-size picture.
+# later PRs have a trajectory to compare against. Also records the
+# training-step allocation baseline (BENCH_train.json) and runs the
+# criterion pool benches for the detailed per-size picture.
 #
-# Usage: scripts/bench_baseline.sh [out_file]
+# Usage: scripts/bench_baseline.sh [out_file] [train_out_file]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_tensor.json}"
+TRAIN_OUT="${2:-BENCH_train.json}"
 
 echo "== building (release) =="
 cargo build --release -p sagdfn-bench
@@ -16,6 +18,10 @@ cargo build --release -p sagdfn-bench
 echo
 echo "== tensor perf baseline -> $OUT =="
 cargo run --release -q -p sagdfn-bench --bin bench_tensor -- --out "$OUT"
+
+echo
+echo "== train-step allocation baseline -> $TRAIN_OUT =="
+cargo run --release -q -p sagdfn-bench --bin bench_train_step -- --out "$TRAIN_OUT"
 
 echo
 echo "== criterion pool benches =="

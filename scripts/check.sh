@@ -17,4 +17,18 @@ echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo
+echo "== bench_train_step smoke (allocation-churn regression guard) =="
+SMOKE_OUT="$(mktemp)"
+trap 'rm -f "$SMOKE_OUT"' EXIT
+if [ -f BENCH_train.json ]; then
+    # Fails if recycled bytes/step regresses past the committed baseline.
+    cargo run --release -q -p sagdfn-bench --bin bench_train_step -- \
+        --steps 6 --out "$SMOKE_OUT" --check BENCH_train.json
+else
+    echo "(no committed BENCH_train.json; smoke run only)"
+    cargo run --release -q -p sagdfn-bench --bin bench_train_step -- \
+        --steps 6 --out "$SMOKE_OUT"
+fi
+
+echo
 echo "check.sh: all green"

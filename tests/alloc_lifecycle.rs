@@ -1,0 +1,105 @@
+//! Allocation-lifecycle contract tests: steady-state training must not grow
+//! live tensor memory, and the recycling pool must not change a single bit
+//! of the training result.
+//!
+//! The allocation counters are process-global, so every test here holds the
+//! same lock — within this binary the tests run one at a time.
+
+use sagdfn_repro::autodiff::Tape;
+use sagdfn_repro::data::{metr_la_like, Scale, SplitSpec, ThreeWaySplit};
+use sagdfn_repro::nn::{masked_mae, Adam, Optimizer};
+use sagdfn_repro::sagdfn::trainer::fit;
+use sagdfn_repro::sagdfn::{Sagdfn, SagdfnConfig};
+use sagdfn_repro::tensor;
+use std::sync::Mutex;
+
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_setup() -> (Sagdfn, ThreeWaySplit, SagdfnConfig) {
+    let data = metr_la_like(Scale::Tiny);
+    let n = data.dataset.nodes();
+    let split = ThreeWaySplit::new(data.dataset.subset_steps(0, 500), SplitSpec::paper(4, 4));
+    let cfg = SagdfnConfig {
+        epochs: 2,
+        batch_size: 16,
+        convergence_iter: 10,
+        sns_every: 1_000_000, // keep SNS resampling out of the steady state
+        ..SagdfnConfig::for_scale(Scale::Tiny, n)
+    };
+    let model = Sagdfn::new(n, cfg.clone());
+    (model, split, cfg)
+}
+
+/// Steps 2→5 of a training loop must not grow `live_bytes()` at all: every
+/// buffer a step allocates is either dropped back to the pool or lives in
+/// state (Adam moments, tape arena) that is fully materialized by step 1.
+#[test]
+fn steady_state_training_does_not_grow_live_bytes() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let was = tensor::set_recycling(true);
+
+    let (mut model, split, cfg) = tiny_setup();
+    let mut opt = Adam::new(cfg.lr).with_clip(cfg.grad_clip);
+    let ids = split.train.batch_ids(cfg.batch_size, None).remove(0);
+    let tape = Tape::new();
+    let mut live_after = Vec::new();
+    for _step in 0..6 {
+        let batch = split.train.make_batch(&ids);
+        tape.reset();
+        let bind = model.params.bind(&tape);
+        let pred = model.forward_scheduled(&tape, &bind, &batch, split.scaler, &[]);
+        let mask = Sagdfn::loss_mask(&batch.y);
+        let loss = masked_mae(pred, &batch.y, &mask);
+        let grads = loss.backward();
+        opt.step(&mut model.params, &bind, &grads);
+        tape.recycle_gradients(grads);
+        model.tick();
+        drop(batch);
+        live_after.push(tensor::live_bytes());
+    }
+
+    tensor::set_recycling(was);
+    // Index 1 = after step 2 (0-based step 1), index 4 = after step 5.
+    for step in 2..=4 {
+        assert_eq!(
+            live_after[step],
+            live_after[1],
+            "live bytes drifted between step 2 and step {}: {:?}",
+            step + 1,
+            live_after
+        );
+    }
+}
+
+/// A short full training run with the pool on must produce parameters that
+/// are bit-identical to the same run with the pool off: recycled buffers
+/// never change arithmetic, only where the bytes come from.
+#[test]
+fn recycling_is_bit_identical_to_fresh_allocation() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let run = |recycle: bool| -> Vec<u32> {
+        let was = tensor::set_recycling(recycle);
+        let (mut model, split, _) = tiny_setup();
+        let _ = fit(&mut model, &split);
+        let bits = model
+            .params
+            .ids()
+            .flat_map(|id| model.params.get(id).as_slice().iter().map(|v| v.to_bits()))
+            .collect();
+        tensor::set_recycling(was);
+        bits
+    };
+
+    let fresh = run(false);
+    let recycled = run(true);
+    assert_eq!(
+        fresh.len(),
+        recycled.len(),
+        "runs must train identical parameter layouts"
+    );
+    assert_eq!(
+        fresh, recycled,
+        "recycling changed training arithmetic — determinism contract violated"
+    );
+}

@@ -4,9 +4,9 @@
 //! grows super-linearly. This cross-checks the analytic `sagdfn-memsim`
 //! model against bytes the substrate actually allocates.
 //!
-//! Run serially (`--test-threads=1` not required: each test measures a
-//! ratio within itself, so concurrent allocations from other tests would
-//! only *raise* both measurements).
+//! The allocation counters are process-global, so all tests in this binary
+//! serialize on one lock: the exactness test below compares absolute peak
+//! deltas and would otherwise see another test's allocations.
 
 use sagdfn_repro::autodiff::Tape;
 use sagdfn_repro::baselines::deep::{DeepConfig, DeepForecast};
@@ -15,6 +15,9 @@ use sagdfn_repro::data::{Scale, SplitSpec, ThreeWaySplit};
 use sagdfn_repro::nn::masked_mae;
 use sagdfn_repro::sagdfn::{Sagdfn, SagdfnConfig};
 use sagdfn_repro::tensor;
+use std::sync::Mutex;
+
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
 
 /// Peak tensor bytes of one forward+backward at `n` nodes.
 fn peak_bytes(n: usize, dense: bool) -> usize {
@@ -64,6 +67,7 @@ fn peak_bytes(n: usize, dense: bool) -> usize {
 
 #[test]
 fn sagdfn_memory_grows_subquadratically() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let small = peak_bytes(40, false);
     let large = peak_bytes(160, false);
     let ratio = large as f64 / small as f64;
@@ -78,6 +82,7 @@ fn sagdfn_memory_grows_subquadratically() {
 
 #[test]
 fn dense_baseline_memory_grows_faster_than_sagdfn() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // At CI-sized N the N² term is still small next to activations, so we
     // assert the *direction* (dense grows strictly faster over an 8x node
     // range), not the asymptotic 16x-vs-4x gap.
@@ -93,6 +98,7 @@ fn dense_baseline_memory_grows_faster_than_sagdfn() {
 
 #[test]
 fn allocation_tracker_sees_the_graph_difference() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // At equal N, the dense model's peak must exceed the slim model's.
     let n = 160;
     let slim = peak_bytes(n, false);
@@ -100,5 +106,23 @@ fn allocation_tracker_sees_the_graph_difference() {
     assert!(
         dense > slim,
         "dense {dense} bytes should exceed slim {slim} bytes at N={n}"
+    );
+}
+
+#[test]
+fn peak_accounting_is_exact_with_recycling() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Live/peak track tensor-owned bytes, not allocator traffic: a buffer
+    // served from the free list records exactly the same alloc/free events
+    // as one from the heap, so the measured peak delta must be *identical*
+    // with the pool on and off — not merely close.
+    let was = tensor::set_recycling(false);
+    let fresh = peak_bytes(80, false);
+    tensor::set_recycling(true);
+    let recycled = peak_bytes(80, false);
+    tensor::set_recycling(was);
+    assert_eq!(
+        fresh, recycled,
+        "peak accounting must not depend on where buffers come from"
     );
 }
