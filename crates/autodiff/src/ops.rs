@@ -7,7 +7,9 @@
 
 use crate::tape::{reduce_grad_to_shape, Var};
 use sagdfn_tensor::ops::{broadcast_binary, map};
+use sagdfn_tensor::sparse::{dadj_dense, Csr};
 use sagdfn_tensor::{Shape, Tensor};
+use std::rc::Rc;
 
 impl<'t> Var<'t> {
     fn same_tape(&self, other: &Var<'t>) {
@@ -125,12 +127,14 @@ impl<'t> Var<'t> {
     // ---------------------------------------------------------------------
 
     /// Matrix product, with the same rank rules as [`Tensor::matmul`]:
-    /// `(m,k)·(k,n)`, `(..b,m,k)·(k,n)` or `(..b,m,k)·(..b,k,n)`.
+    /// `(m,k)·(k,n)`, `(..b,m,k)·(k,n)`, `(m,k)·(..b,k,n)` or
+    /// `(..b,m,k)·(..b,k,n)`.
     pub fn matmul(&self, other: &Var<'t>) -> Var<'t> {
         self.same_tape(other);
         let value = self.with_value(|a| other.with_value(|b| a.matmul(b)));
         let (ra, rb) = (self.shape().rank(), other.shape().rank());
         let shared_rhs = rb == 2 && ra > 2;
+        let shared_lhs = ra == 2 && rb > 2;
         self.tape.push(
             value,
             vec![self.id, other.id],
@@ -138,7 +142,7 @@ impl<'t> Var<'t> {
                 let (a, b) = (parents[0], parents[1]);
                 if shared_rhs {
                     // A: (..batch, m, k), B: (k, n), G: (..batch, m, n).
-                    let da = g.matmul(&b.t());
+                    let da = g.matmul_nt(b);
                     // dB = sum over batch of A_b^T G_b = A2^T @ G2 with
                     // flattened leading dims.
                     let k = a.dim(a.rank() - 1);
@@ -146,12 +150,78 @@ impl<'t> Var<'t> {
                     let rows = a.numel() / k;
                     let a2 = a.reshape([rows, k]);
                     let g2 = g.reshape([rows, n]);
-                    let db = a2.t().matmul(&g2);
+                    let db = a2.matmul_tn(&g2);
+                    vec![da, db]
+                } else if shared_lhs {
+                    // A: (m, k), B: (..batch, k, n), G: (..batch, m, n).
+                    // dA sums G_b · B_bᵀ over the batch.
+                    let da = reduce_grad_to_shape(&g.matmul_nt(b), a.shape());
+                    let db = a.matmul_tn(g);
                     vec![da, db]
                 } else {
-                    let da = g.matmul(&b.transpose_last2());
-                    let db = a.transpose_last2().matmul(g);
+                    let da = g.matmul_nt(b);
+                    let db = a.matmul_tn(g);
                     vec![da, db]
+                }
+            })),
+        )
+    }
+
+    /// `self · otherᵀ` for rank-2 operands, via the transpose-free
+    /// [`Tensor::matmul_nt`] kernel — attention's inner product
+    /// `E · E_Iᵀ` without materializing `E_Iᵀ`.
+    pub fn matmul_nt(&self, other: &Var<'t>) -> Var<'t> {
+        self.same_tape(other);
+        assert_eq!(self.shape().rank(), 2, "Var::matmul_nt expects rank-2 operands");
+        assert_eq!(other.shape().rank(), 2, "Var::matmul_nt expects rank-2 operands");
+        let value = self.with_value(|a| other.with_value(|b| a.matmul_nt(b)));
+        self.tape.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g, parents, _| {
+                let (a, b) = (parents[0], parents[1]);
+                // C = A·Bᵀ ⇒ dA = G·B, dB = Gᵀ·A.
+                vec![g.matmul(b), g.matmul_tn(a)]
+            })),
+        )
+    }
+
+    /// Graph-diffusion product `Y[b] = A · X[b]` for the adjacency `self`
+    /// (`(n, m)`) and features `x` (`(..batch, m, c)`), optionally through
+    /// a CSR sparse kernel.
+    ///
+    /// With `csr = Some(...)` (built from `self`'s forward value) the
+    /// forward runs [`Csr::spmm`] and the backward computes
+    /// `dX = Aᵀ·dY` via [`Csr::spmm_t`] and `dA` restricted to the CSR
+    /// support via [`Csr::dadj`]. The support restriction is exact
+    /// end-to-end for entmax-produced adjacencies: the α-entmax Jacobian
+    /// vanishes outside the support, so dropped `dA` entries only ever
+    /// multiply exact zeros upstream (DESIGN.md §9). With `csr = None`
+    /// the same products run on the dense transpose-free kernels; both
+    /// paths agree under `f32` equality.
+    pub fn spmm_diffuse(&self, x: &Var<'t>, csr: Option<Rc<Csr>>) -> Var<'t> {
+        self.same_tape(x);
+        assert_eq!(self.shape().rank(), 2, "spmm_diffuse adjacency must be rank 2");
+        if let Some(c) = &csr {
+            let dims = self.dims();
+            assert_eq!(
+                (c.n_rows(), c.n_cols()),
+                (dims[0], dims[1]),
+                "CSR shape does not match the adjacency var"
+            );
+        }
+        let value = match &csr {
+            Some(c) => x.with_value(|xv| c.spmm(xv)),
+            None => self.with_value(|a| x.with_value(|xv| a.matmul(xv))),
+        };
+        self.tape.push(
+            value,
+            vec![self.id, x.id],
+            Some(Box::new(move |g, parents, _| {
+                let (a, xv) = (parents[0], parents[1]);
+                match &csr {
+                    Some(c) => vec![c.dadj(g, xv), c.spmm_t(g)],
+                    None => vec![dadj_dense(g, xv), a.matmul_tn(g)],
                 }
             })),
         )
@@ -554,6 +624,78 @@ mod tests {
         check_gradients(&[randn(&[2, 3, 4], 11), randn(&[4, 2], 12)], |_, v| {
             v[0].matmul(&v[1]).square().sum()
         });
+    }
+
+    #[test]
+    fn matmul_batched_shared_lhs_grad() {
+        check_gradients(&[randn(&[3, 4], 51), randn(&[2, 4, 2], 52)], |_, v| {
+            v[0].matmul(&v[1]).square().sum()
+        });
+    }
+
+    #[test]
+    fn matmul_nt_grad() {
+        check_gradients(&[randn(&[3, 5], 53), randn(&[4, 5], 54)], |_, v| {
+            v[0].matmul_nt(&v[1]).square().sum()
+        });
+    }
+
+    #[test]
+    fn matmul_nt_value_matches_transposed_matmul() {
+        let a = randn(&[7, 5], 55);
+        let b = randn(&[6, 5], 56);
+        let tape = Tape::new();
+        let va = tape.leaf(a.clone());
+        let vb = tape.leaf(b.clone());
+        let y = va.matmul_nt(&vb);
+        assert_eq!(y.value(), a.matmul(&b.t()));
+    }
+
+    #[test]
+    fn spmm_diffuse_dense_grad() {
+        check_gradients(&[randn(&[4, 6], 57), randn(&[2, 6, 3], 58)], |_, v| {
+            v[0].spmm_diffuse(&v[1], None).square().sum()
+        });
+    }
+
+    /// The support-restricted `dA` of the sparse path must reproduce the
+    /// dense gradient once both are pushed through the entmax backward:
+    /// off-support entries of the dense `dA` only multiply exact-zero
+    /// entmax Jacobian rows, so dropping them is lossless.
+    #[test]
+    fn spmm_diffuse_sparse_matches_dense_after_entmax() {
+        use sagdfn_tensor::sparse::Csr;
+        use std::rc::Rc;
+
+        let mut rng = Rng64::new(59);
+        // Spread-out logits so α-entmax produces a genuinely sparse map.
+        let z0 = Tensor::rand_uniform([5, 8], -4.0, 4.0, &mut rng);
+        let x0 = Tensor::rand_uniform([2, 8, 3], -1.0, 1.0, &mut rng);
+
+        let run = |sparse: bool| {
+            let tape = Tape::new();
+            let z = tape.leaf(z0.clone());
+            let x = tape.leaf(x0.clone());
+            let p = z.entmax_rows(1.5);
+            let csr = sparse.then(|| {
+                let c = Csr::from_dense(&p.value());
+                assert!(c.nnz() < 5 * 8, "entmax output unexpectedly dense");
+                Rc::new(c)
+            });
+            let loss = p.spmm_diffuse(&x, csr).square().sum();
+            let grads = loss.backward();
+            (
+                loss.value(),
+                grads.expect(z).clone(),
+                grads.expect(x).clone(),
+            )
+        };
+
+        let (loss_d, gz_d, gx_d) = run(false);
+        let (loss_s, gz_s, gx_s) = run(true);
+        assert_eq!(loss_s, loss_d);
+        assert_eq!(gz_s, gz_d);
+        assert_eq!(gx_s, gx_d);
     }
 
     #[test]

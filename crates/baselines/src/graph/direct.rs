@@ -142,7 +142,7 @@ impl DeepForecast for DirectGraphNet {
     ) -> Var<'t> {
         let (b, n) = (batch.x.dim(1), batch.x.dim(2));
         assert_eq!(batch.x.dim(0), self.h, "window length mismatch");
-        let adj = Adjacency::Dense(self.source.adjacency(tape, bind));
+        let adj = Adjacency::dense(self.source.adjacency(tape, bind));
         let x = tape.constant(flatten_window(&batch.x)); // (B·N, h·3)
         let mut hcur = self
             .in_proj

@@ -158,7 +158,7 @@ impl DeepForecast for RecurrentGraphNet {
     ) -> Var<'t> {
         let (h_len, b, n) = (batch.x.dim(0), batch.x.dim(1), batch.x.dim(2));
         let f_len = batch.y.dim(0);
-        let adj = Adjacency::Dense(self.source.adjacency(tape, bind));
+        let adj = Adjacency::dense(self.source.adjacency(tape, bind));
 
         let mut h = tape.constant(Tensor::zeros([b, n, self.hidden]));
         let mut h_temporal = tape.constant(Tensor::zeros([b * n, self.hidden]));

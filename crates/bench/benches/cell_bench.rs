@@ -29,10 +29,7 @@ fn bench_cell(c: &mut Criterion) {
             b.iter(|| {
                 let tape = Tape::new();
                 let bind = params.bind(&tape);
-                let adj = Adjacency::Slim {
-                    weights: tape.constant(slim_w.clone()),
-                    index: index.clone(),
-                };
+                let adj = Adjacency::slim(tape.constant(slim_w.clone()), index.clone());
                 let x = tape.constant(x0.clone());
                 let h = tape.constant(h0.clone());
                 black_box(cell.step(&bind, &adj, x, h).0.value())
@@ -42,7 +39,7 @@ fn bench_cell(c: &mut Criterion) {
             b.iter(|| {
                 let tape = Tape::new();
                 let bind = params.bind(&tape);
-                let adj = Adjacency::Dense(tape.constant(dense_w.clone()));
+                let adj = Adjacency::dense(tape.constant(dense_w.clone()));
                 let x = tape.constant(x0.clone());
                 let h = tape.constant(h0.clone());
                 black_box(cell.step(&bind, &adj, x, h).0.value())

@@ -24,10 +24,10 @@ fn main() {
     let data = load(DatasetKind::MetrLa, args.scale);
     let n = data.ctx.n;
     let mut csv = args.csv_writer("ext_sparsity").expect("csv");
-    writeln!(csv, "alpha,zero_frac,support_90,mae").unwrap();
+    writeln!(csv, "alpha,zero_frac,nnz,support_90,mae").unwrap();
     println!(
-        "{:>6} {:>12} {:>22} {:>10}",
-        "alpha", "zero frac", "90%-mass support", "avg MAE"
+        "{:>6} {:>12} {:>10} {:>22} {:>10}",
+        "alpha", "zero frac", "nnz", "90%-mass support", "avg MAE"
     );
     for alpha in [1.0f32, 1.5, 2.0] {
         let mut cfg = SagdfnConfig::for_scale(args.scale, n);
@@ -42,14 +42,19 @@ fn main() {
         // Inspect the trained adjacency.
         let tape = sagdfn_autodiff::Tape::new();
         let bind = model.model().params.bind(&tape);
-        let weights = match model.model().adjacency(&tape, &bind) {
-            Adjacency::Slim { weights, .. } => weights.value(),
-            _ => unreachable!(),
-        };
+        let adj: Adjacency<'_> = model.model().adjacency(&tape, &bind);
+        assert!(adj.is_slim(), "full model uses a slim adjacency");
+        let weights = adj.weights().value();
         let m = weights.dim(1);
         let w = weights.as_slice();
-        let zero_frac =
-            w.iter().filter(|&&v| v.abs() < 1e-7).count() as f32 / w.len() as f32;
+        // Entmax produces *exact* zeros (the CSR kernels rely on this), so
+        // count v == 0.0 — an epsilon test would also swallow small live
+        // weights and overstate sparsity.
+        let nnz: usize = sagdfn_entmax::support_counts(w, m)
+            .iter()
+            .map(|&c| c as usize)
+            .sum();
+        let zero_frac = (w.len() - nnz) as f32 / w.len() as f32;
         // Average number of entries holding 90 % of each row's |mass|.
         let mut support_sum = 0usize;
         for row in w.chunks(m) {
@@ -69,11 +74,11 @@ fn main() {
         }
         let support = support_sum as f32 / n as f32;
         println!(
-            "{alpha:>6} {:>11.1}% {:>15.1} of {m} {mae:>10.3}",
+            "{alpha:>6} {:>11.1}% {nnz:>10} {:>15.1} of {m} {mae:>10.3}",
             zero_frac * 100.0,
             support
         );
-        writeln!(csv, "{alpha},{zero_frac},{support},{mae}").unwrap();
+        writeln!(csv, "{alpha},{zero_frac},{nnz},{support},{mae}").unwrap();
     }
     println!("\nwrote {}/ext_sparsity.csv", args.out_dir);
     println!("expectation: zero fraction and support concentration grow with alpha");

@@ -34,10 +34,9 @@ fn main() {
     let tape = sagdfn_autodiff::Tape::new();
     let bind = model.model().params.bind(&tape);
     let adj = model.model().adjacency(&tape, &bind);
-    let (weights, index) = match adj {
-        sagdfn_core::gconv::Adjacency::Slim { weights, index } => (weights.value(), index),
-        _ => unreachable!("full model uses a slim adjacency"),
-    };
+    assert!(adj.is_slim(), "full model uses a slim adjacency");
+    let weights = adj.weights().value();
+    let index: Vec<usize> = adj.index().expect("slim adjacency").to_vec();
     let row: Vec<f32> = {
         let m = index.len();
         weights.as_slice()[sensor * m..(sensor + 1) * m].to_vec()

@@ -105,7 +105,7 @@ impl SparseSpatialAttention {
 /// `E · E_I^T`, entmax-normalized per row (Table VIII).
 pub fn inner_product_adjacency<'t>(e: Var<'t>, index: &[usize], alpha: f32) -> Var<'t> {
     let e_i = e.index_select(0, index); // (M, d)
-    e.matmul(&e_i.transpose_last2()).entmax_rows(alpha) // (N, M)
+    e.matmul_nt(&e_i).entmax_rows(alpha) // (N, M), no E_Iᵀ intermediate
 }
 
 #[cfg(test)]

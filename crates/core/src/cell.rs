@@ -130,10 +130,7 @@ mod tests {
         let a_id = params.add("A", Tensor::rand_uniform([n, 2], 0.0, 1.0, &mut rng));
         let tape = Tape::new();
         let bind = params.bind(&tape);
-        let adj = Adjacency::Slim {
-            weights: bind.var(a_id),
-            index: vec![0, 3],
-        };
+        let adj = Adjacency::slim(bind.var(a_id), vec![0, 3]);
         let x = tape.constant(Tensor::rand_uniform([4, n, 3], -1.0, 1.0, &mut rng));
         let h = tape.constant(Tensor::zeros([4, n, 8]));
         let (h1, xh) = cell.step(&bind, &adj, x, h);
@@ -148,10 +145,7 @@ mod tests {
         let a_id = params.add("A", Tensor::rand_uniform([n, 2], 0.0, 1.0, &mut rng));
         let tape = Tape::new();
         let bind = params.bind(&tape);
-        let adj = Adjacency::Slim {
-            weights: bind.var(a_id),
-            index: vec![1, 2],
-        };
+        let adj = Adjacency::slim(bind.var(a_id), vec![1, 2]);
         let x = tape.constant(Tensor::full([1, n, 3], 5.0));
         let mut h = tape.constant(Tensor::zeros([1, n, 8]));
         for _ in 0..20 {
@@ -167,10 +161,7 @@ mod tests {
         let a_id = params.add("A", Tensor::rand_uniform([n, 2], 0.0, 1.0, &mut rng));
         let tape = Tape::new();
         let bind = params.bind(&tape);
-        let adj = Adjacency::Slim {
-            weights: bind.var(a_id),
-            index: vec![0, 2],
-        };
+        let adj = Adjacency::slim(bind.var(a_id), vec![0, 2]);
         let x = tape.constant(Tensor::rand_uniform([2, n, 3], -1.0, 1.0, &mut rng));
         let mut h = tape.constant(Tensor::zeros([2, n, 8]));
         let mut preds = Vec::new();
@@ -199,10 +190,7 @@ mod tests {
         let run = |x2: f32, params: &Params| -> f32 {
             let tape = Tape::new();
             let bind = params.bind(&tape);
-            let adj = Adjacency::Slim {
-                weights: bind.var(a_id),
-                index: vec![2, 1],
-            };
+            let adj = Adjacency::slim(bind.var(a_id), vec![2, 1]);
             let mut xv = Tensor::zeros([1, n, 3]);
             xv.set(&[0, 2, 0], x2);
             let x = tape.constant(xv);

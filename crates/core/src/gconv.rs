@@ -15,74 +15,139 @@
 
 use sagdfn_autodiff::Var;
 use sagdfn_nn::{Binding, Linear, Params};
+use sagdfn_tensor::sparse::Csr;
 use sagdfn_tensor::{Rng64, Tensor};
+use std::cell::{Cell, OnceCell};
+use std::rc::Rc;
 
 /// Floor applied to the `(deg + 1)` normalizer: learned weights can be
 /// negative, and the inverse must stay bounded for stable training.
 const DEGREE_FLOOR: f32 = 0.1;
 
 /// An adjacency usable by the graph convolution, recorded on a tape.
-pub enum Adjacency<'t> {
-    /// The paper's slim `N×M` matrix plus the significant index set `I`.
-    Slim {
-        /// `A_s`, `(N, M)`, typically produced by the attention module.
-        weights: Var<'t>,
-        /// The `M` significant node indices.
-        index: Vec<usize>,
-    },
-    /// A dense `N×N` matrix (predefined topology or quadratic baselines).
-    Dense(Var<'t>),
+///
+/// Built fresh per forward pass via [`Adjacency::slim`] (the paper's
+/// `N×M` matrix plus the significant index set `I`) or
+/// [`Adjacency::dense`] (an `N×N` matrix for predefined-topology
+/// baselines and the *w/o SNS & SSMA* ablation). Two per-pass artifacts
+/// are computed once and shared by every diffusion step of the chain:
+///
+/// * the `(D+I)^{-1}` normalizer (previously rebuilt per step), and
+/// * a CSR *execution plan* for the weights, chosen by measured density
+///   (`sparse::should_use_sparse`, overridable via `SAGDFN_SPARSE`).
+///   With entmax-produced adjacencies the exact zeros make the sparse
+///   kernels pay off well below full density; a `None` plan keeps the
+///   transpose-free dense GEMMs.
+pub struct Adjacency<'t> {
+    /// `A_s`, `(N, M)` (slim) or `(N, N)` (dense).
+    weights: Var<'t>,
+    /// The `M` significant node indices; `None` for a dense adjacency.
+    index: Option<Vec<usize>>,
+    /// Cached `(D+I)^{-1}` var, `(1, N, 1)`.
+    deg_inv: Cell<Option<Var<'t>>>,
+    /// Lazily-built CSR plan (`None` once built = dense dispatch).
+    plan: OnceCell<Option<Rc<Csr>>>,
 }
 
 impl<'t> Adjacency<'t> {
+    /// Slim adjacency `A_s ∈ R^{N×M}` over the significant set `index`.
+    pub fn slim(weights: Var<'t>, index: Vec<usize>) -> Self {
+        assert_eq!(
+            weights.dims()[1],
+            index.len(),
+            "slim adjacency columns must match the significant index set"
+        );
+        Adjacency {
+            weights,
+            index: Some(index),
+            deg_inv: Cell::new(None),
+            plan: OnceCell::new(),
+        }
+    }
+
+    /// Dense `N×N` adjacency (predefined topology or quadratic baselines).
+    pub fn dense(weights: Var<'t>) -> Self {
+        assert_eq!(
+            weights.dims()[0],
+            weights.dims()[1],
+            "dense adjacency must be square"
+        );
+        Adjacency {
+            weights,
+            index: None,
+            deg_inv: Cell::new(None),
+            plan: OnceCell::new(),
+        }
+    }
+
+    /// The adjacency weights var (`(N, M)` slim, `(N, N)` dense).
+    pub fn weights(&self) -> Var<'t> {
+        self.weights
+    }
+
+    /// The significant index set `I`, or `None` for a dense adjacency.
+    pub fn index(&self) -> Option<&[usize]> {
+        self.index.as_deref()
+    }
+
+    /// Whether this is the paper's slim `N×M` form.
+    pub fn is_slim(&self) -> bool {
+        self.index.is_some()
+    }
+
     /// One normalized diffusion step `(D+I)^{-1}(A·X(_I) + X)` on
     /// `x: (B, N, c)`.
     pub fn diffuse(&self, x: Var<'t>) -> Var<'t> {
         let dims = x.dims();
         assert_eq!(dims.len(), 3, "diffuse expects (B, N, c)");
-        let n = dims[1];
-        match self {
-            Adjacency::Slim { weights, index } => {
-                assert_eq!(weights.dims()[0], n, "slim adjacency node mismatch");
-                // A_s X_I: gather neighbors then contract over M via the
-                // transposed product (B,c,M)·(M,N) -> (B,c,N).
-                let x_i = x.index_select(1, index); // (B, M, c)
-                let ax = x_i
-                    .transpose_last2() // (B, c, M)
-                    .matmul(&weights.transpose_last2()) // (B, c, N)
-                    .transpose_last2(); // (B, N, c)
-                let mixed = ax.add(&x);
-                let inv = degree_inverse(*weights, n);
-                mixed.mul(&inv)
-            }
-            Adjacency::Dense(a) => {
-                assert_eq!(a.dims()[0], n, "dense adjacency node mismatch");
-                let ax = x
-                    .transpose_last2() // (B, c, N)
-                    .matmul(&a.transpose_last2()) // (B, c, N)
-                    .transpose_last2(); // (B, N, c)
-                let mixed = ax.add(&x);
-                let inv = degree_inverse(*a, n);
-                mixed.mul(&inv)
-            }
-        }
+        assert_eq!(self.weights.dims()[0], dims[1], "adjacency node mismatch");
+        // A·X_I (slim) or A·X (dense): one sparse-or-dense product,
+        // no transposed intermediates.
+        let gathered = match &self.index {
+            Some(index) => x.index_select(1, index), // (B, M, c)
+            None => x,
+        };
+        let ax = self.weights.spmm_diffuse(&gathered, self.plan()); // (B, N, c)
+        ax.add(&x).mul(&self.degree_inverse())
     }
 
     /// Number of nodes `N`.
     pub fn n(&self) -> usize {
-        match self {
-            Adjacency::Slim { weights, .. } => weights.dims()[0],
-            Adjacency::Dense(a) => a.dims()[0],
-        }
+        self.weights.dims()[0]
     }
-}
 
-/// `(D + I)^{-1}` as a broadcastable `(1, N, 1)` var.
-fn degree_inverse<'t>(weights: Var<'t>, n: usize) -> Var<'t> {
-    let deg = weights.sum_axis(1); // (N)
-    let denom = deg.add_scalar(1.0).clamp_min(DEGREE_FLOOR);
-    let ones = weights.tape().constant(Tensor::ones([n]));
-    ones.div(&denom).reshape([1, n, 1])
+    /// The CSR plan for this pass: built on first use from the measured
+    /// number of exact zeros in the weights, `None` when dense wins.
+    fn plan(&self) -> Option<Rc<Csr>> {
+        self.plan
+            .get_or_init(|| {
+                self.weights.with_value(|w| {
+                    let m = w.dim(1);
+                    let nnz: usize = sagdfn_entmax::support_counts(w.as_slice(), m)
+                        .iter()
+                        .map(|&c| c as usize)
+                        .sum();
+                    sagdfn_tensor::should_use_sparse(nnz, w.numel())
+                        .then(|| Rc::new(Csr::from_dense(w)))
+                })
+            })
+            .clone()
+    }
+
+    /// `(D + I)^{-1}` as a broadcastable `(1, N, 1)` var — computed once
+    /// per adjacency and shared by every step of the diffusion chain.
+    fn degree_inverse(&self) -> Var<'t> {
+        if let Some(cached) = self.deg_inv.get() {
+            return cached;
+        }
+        let n = self.n();
+        let deg = self.weights.sum_axis(1); // (N)
+        let denom = deg.add_scalar(1.0).clamp_min(DEGREE_FLOOR);
+        let ones = self.weights.tape().constant(Tensor::ones([n]));
+        let inv = ones.div(&denom).reshape([1, n, 1]);
+        self.deg_inv.set(Some(inv));
+        inv
+    }
 }
 
 /// The learnable part of Eq. 9: one `Linear` per diffusion depth `j`.
@@ -143,10 +208,7 @@ mod tests {
         let reference = SlimAdj::new(w.clone(), index.clone()).diffuse_step(&x0);
 
         let tape = Tape::new();
-        let adj = Adjacency::Slim {
-            weights: tape.constant(w),
-            index: index.clone(),
-        };
+        let adj = Adjacency::slim(tape.constant(w), index.clone());
         let x = tape.constant(x0.reshape([1, n, 3]));
         let out = adj.diffuse(x).value().reshape([n, 3]);
         for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
@@ -162,11 +224,8 @@ mod tests {
         let x0 = Tensor::rand_uniform([2, n, 2], -1.0, 1.0, &mut rng);
         let tape = Tape::new();
         let x = tape.constant(x0);
-        let dense = Adjacency::Dense(tape.constant(w.clone()));
-        let slim = Adjacency::Slim {
-            weights: tape.constant(w),
-            index: (0..n).collect(),
-        };
+        let dense = Adjacency::dense(tape.constant(w.clone()));
+        let slim = Adjacency::slim(tape.constant(w), (0..n).collect());
         let a = dense.diffuse(x).value();
         let b = slim.diffuse(x).value();
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
@@ -181,10 +240,7 @@ mod tests {
         let mut rng = Rng64::new(2);
         let w = Tensor::rand_uniform([n, 3], 0.0, 1.0, &mut rng);
         let tape = Tape::new();
-        let adj = Adjacency::Slim {
-            weights: tape.constant(w),
-            index: vec![0, 2, 5],
-        };
+        let adj = Adjacency::slim(tape.constant(w), vec![0, 2, 5]);
         let x = tape.constant(Tensor::full([1, n, 1], 4.2));
         let y = adj.diffuse(x).value();
         for &v in y.as_slice() {
@@ -201,10 +257,7 @@ mod tests {
         let a_id = params.add("A", Tensor::rand_uniform([n, 2], 0.0, 1.0, &mut rng));
         let tape = Tape::new();
         let bind = params.bind(&tape);
-        let adj = Adjacency::Slim {
-            weights: bind.var(a_id),
-            index: vec![1, 3],
-        };
+        let adj = Adjacency::slim(bind.var(a_id), vec![1, 3]);
         let x = tape.constant(Tensor::rand_uniform([2, n, 4], -1.0, 1.0, &mut rng));
         let y = conv.forward(&bind, &adj, x);
         assert_eq!(y.dims(), vec![2, n, 8]);
@@ -228,10 +281,7 @@ mod tests {
         let a_id = params.add("A", Tensor::rand_uniform([n, 1], 0.0, 1.0, &mut rng));
         let tape = Tape::new();
         let bind = params.bind(&tape);
-        let adj = Adjacency::Slim {
-            weights: bind.var(a_id),
-            index: vec![0],
-        };
+        let adj = Adjacency::slim(bind.var(a_id), vec![0]);
         let x = tape.constant(Tensor::rand_uniform([1, n, 2], -1.0, 1.0, &mut rng));
         let y = conv.forward(&bind, &adj, x);
         let grads = y.sum().backward();
@@ -247,10 +297,7 @@ mod tests {
         let tape = Tape::new();
         // Strongly negative weights drive deg + 1 below zero; the clamp
         // must keep the normalizer finite and positive.
-        let adj = Adjacency::Slim {
-            weights: tape.constant(Tensor::full([n, 2], -5.0)),
-            index: vec![0, 1],
-        };
+        let adj = Adjacency::slim(tape.constant(Tensor::full([n, 2], -5.0)), vec![0, 1]);
         let x = tape.constant(Tensor::ones([1, n, 1]));
         let y = adj.diffuse(x).value();
         assert!(y.all_finite(), "{y:?}");

@@ -153,20 +153,14 @@ impl Sagdfn {
     pub fn adjacency<'t>(&self, tape: &'t Tape, bind: &Binding<'t>) -> Adjacency<'t> {
         match self.variant {
             Variant::WithoutSnsSsma => {
-                Adjacency::Dense(tape.constant(self.topo.clone().expect("topology set")))
+                Adjacency::dense(tape.constant(self.topo.clone().expect("topology set")))
             }
-            Variant::WithoutAttention => Adjacency::Slim {
-                weights: inner_product_adjacency(
+            Variant::WithoutAttention => Adjacency::slim(inner_product_adjacency(
                     bind.var(self.embed),
                     &self.index,
                     self.cfg.alpha,
-                ),
-                index: self.index.clone(),
-            },
-            _ => Adjacency::Slim {
-                weights: self.attn.forward(bind, bind.var(self.embed), &self.index),
-                index: self.index.clone(),
-            },
+                ), self.index.clone()),
+            _ => Adjacency::slim(self.attn.forward(bind, bind.var(self.embed), &self.index), self.index.clone()),
         }
     }
 

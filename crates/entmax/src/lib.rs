@@ -321,6 +321,35 @@ pub fn sparsity(p: &[f32]) -> f32 {
     p.iter().filter(|&&v| v == 0.0).count() as f32 / p.len() as f32
 }
 
+/// Per-row support sizes (count of entries `> 0`, i.e. not exactly zero)
+/// of a row-major probability matrix — the quantity the sparse-diffusion
+/// dispatch needs to decide between CSR and dense kernels without a second
+/// scan of the adjacency.
+///
+/// # Panics
+/// Panics if `row_len` is zero or does not divide `p.len()`.
+pub fn support_counts(p: &[f32], row_len: usize) -> Vec<u32> {
+    assert!(row_len > 0, "support_counts requires row_len > 0");
+    assert_eq!(
+        p.len() % row_len,
+        0,
+        "row_len {row_len} does not divide input length {}",
+        p.len()
+    );
+    p.chunks(row_len)
+        .map(|row| row.iter().filter(|&&v| v != 0.0).count() as u32)
+        .collect()
+}
+
+/// [`entmax_rows`] plus the per-row support sizes of the result in one
+/// pass, so callers that need both (e.g. sparsity telemetry or the CSR
+/// dispatch) do not rescan the output.
+pub fn entmax_rows_with_support(z: &[f32], row_len: usize, alpha: f32) -> (Vec<f32>, Vec<u32>) {
+    let p = entmax_rows(z, row_len, alpha);
+    let counts = support_counts(&p, row_len);
+    (p, counts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,5 +600,45 @@ mod tests {
     fn sparsity_statistic() {
         assert_eq!(sparsity(&[0.5, 0.5, 0.0, 0.0]), 0.5);
         assert_eq!(sparsity(&[]), 0.0);
+    }
+
+    #[test]
+    fn support_counts_per_row() {
+        let p = [0.5, 0.5, 0.0, 0.0, /* row 2 */ 1.0, 0.0, 0.0, 0.0];
+        assert_eq!(support_counts(&p, 4), vec![2, 1]);
+        // -0.0 compares equal to 0.0, so it does not count as support.
+        assert_eq!(support_counts(&[-0.0, 1.0], 2), vec![1]);
+    }
+
+    #[test]
+    fn spmm_on_entmax_output_matches_dense_matmul() {
+        // The CSR kernels consume exactly what entmax produces: rows with
+        // exact zeros. Products must agree with the dense GEMM everywhere
+        // (skipping ±0.0 terms can only flip zero signs, and f32 equality
+        // treats -0.0 == 0.0).
+        use sagdfn_tensor::{Csr, Rng64, Tensor};
+        let (n, m, c) = (12, 9, 5);
+        let z: Vec<f32> = (0..n * m).map(|i| (i as f32 * 0.83).sin() * 4.0).collect();
+        let (p, counts) = entmax_rows_with_support(&z, m, 1.5);
+        let a = Tensor::from_vec(p, [n, m]);
+        let csr = Csr::from_dense(&a);
+        let nnz: u32 = counts.iter().sum();
+        assert_eq!(csr.nnz(), nnz as usize);
+        assert!(csr.nnz() < n * m, "entmax output unexpectedly dense");
+        let mut rng = Rng64::new(11);
+        let x = Tensor::rand_uniform([m, c], -2.0, 2.0, &mut rng);
+        assert_eq!(csr.spmm(&x), a.matmul(&x));
+        let g = Tensor::rand_uniform([n, c], -2.0, 2.0, &mut rng);
+        assert_eq!(csr.spmm_t(&g), a.matmul_tn(&g));
+    }
+
+    #[test]
+    fn entmax_rows_with_support_matches_separate_calls() {
+        let z: Vec<f32> = (0..24).map(|i| (i as f32 * 0.61).sin() * 3.0).collect();
+        let (p, counts) = entmax_rows_with_support(&z, 6, 1.5);
+        assert_eq!(p, entmax_rows(&z, 6, 1.5));
+        assert_eq!(counts, support_counts(&p, 6));
+        let total: u32 = counts.iter().sum();
+        assert!((total as usize) < z.len(), "1.5-entmax should zero entries");
     }
 }

@@ -33,6 +33,7 @@ pub mod pool;
 pub mod reduce;
 pub mod rng;
 pub mod shape;
+pub mod sparse;
 pub mod tensor;
 
 pub use alloc::{
@@ -41,4 +42,5 @@ pub use alloc::{
 };
 pub use rng::Rng64;
 pub use shape::Shape;
+pub use sparse::{set_sparse_mode, should_use_sparse, sparse_mode, Csr, SparseMode};
 pub use tensor::Tensor;

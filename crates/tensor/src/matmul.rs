@@ -77,6 +77,97 @@ fn matmul_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     }
 }
 
+/// Serial `C = A · Bᵀ` for output rows `[i0, i1)`: each output element
+/// is a dot product of two contiguous rows, accumulated in the same
+/// 4-wide k groups (and single-step remainder) as [`matmul_serial`], so
+/// the result is bit-identical to `a.matmul(&b.t())` without ever
+/// materializing the transpose.
+fn matmul_nt_serial(a: &[f32], b: &[f32], c: &mut [f32], p: usize, n: usize, i0: usize, i1: usize) {
+    for i in i0..i1 {
+        let a_row = &a[i * p..(i + 1) * p];
+        let c_row = &mut c[(i - i0) * n..(i - i0 + 1) * n];
+        for (j, slot) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * p..(j + 1) * p];
+            let mut acc = 0.0f32;
+            let mut kk = 0;
+            while kk + 4 <= p {
+                acc += a_row[kk] * b_row[kk]
+                    + a_row[kk + 1] * b_row[kk + 1]
+                    + a_row[kk + 2] * b_row[kk + 2]
+                    + a_row[kk + 3] * b_row[kk + 3];
+                kk += 4;
+            }
+            while kk < p {
+                acc += a_row[kk] * b_row[kk];
+                kk += 1;
+            }
+            *slot = acc;
+        }
+    }
+}
+
+/// Serial `C = Aᵀ · B` for output rows `[i0, i1)` (columns of `A`): the
+/// same k-unrolled i-k-j loop as [`matmul_serial`] with strided loads of
+/// `A`'s column `i` standing in for the materialized transpose's row, so
+/// the result is bit-identical to `a.t().matmul(&b)`.
+#[allow(clippy::too_many_arguments)]
+fn matmul_tn_serial(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    p: usize,
+    m: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+) {
+    for i in i0..i1 {
+        let c_row = &mut c[(i - i0) * n..(i - i0 + 1) * n];
+        let mut kk = 0;
+        while kk + 4 <= p {
+            let a0 = a[kk * m + i];
+            let a1 = a[(kk + 1) * m + i];
+            let a2 = a[(kk + 2) * m + i];
+            let a3 = a[(kk + 3) * m + i];
+            let b0 = &b[kk * n..(kk + 1) * n];
+            let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+            let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+            let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+            for j in 0..n {
+                c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+            kk += 4;
+        }
+        while kk < p {
+            let av = a[kk * m + i];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for j in 0..n {
+                c_row[j] += av * b_row[j];
+            }
+            kk += 1;
+        }
+    }
+}
+
+/// Row-splits one `rows × n` product across the pool (same thresholds as
+/// [`matmul_into`]) and hands each chunk to `kernel(i0, i1, chunk)`.
+fn rows_parallel(
+    out: &mut [f32],
+    rows: usize,
+    n: usize,
+    kernel: impl Fn(usize, usize, &mut [f32]) + Sync,
+) {
+    if rows * n >= PARALLEL_THRESHOLD && rows >= 8 && !pool::is_serial() {
+        let rows_per = rows.div_ceil(pool::num_threads().min(rows));
+        pool::par_chunks_mut(out, rows_per * n, |ci, chunk| {
+            let i0 = ci * rows_per;
+            kernel(i0, i0 + chunk.len() / n, chunk);
+        });
+    } else {
+        kernel(0, rows, out);
+    }
+}
+
 /// Tiled transpose of the source columns `[j0, j1)` of an `m×n` matrix
 /// into `d`, which holds destination rows `j0..j1` (each of length `m`).
 /// Pure scatter — every output element is written exactly once, so any
@@ -103,6 +194,7 @@ impl Tensor {
     /// Supported rank combinations:
     /// * `(m,k) · (k,n) -> (m,n)`
     /// * `(..batch, m, k) · (k, n) -> (..batch, m, n)` — shared right matrix
+    /// * `(m, k) · (..batch, k, n) -> (..batch, m, n)` — shared left matrix
     /// * `(..batch, m, k) · (..batch, k, n) -> (..batch, m, n)` — per-batch
     ///
     /// # Panics
@@ -121,8 +213,14 @@ impl Tensor {
 
         let batch_a: usize = self.dims()[..ra - 2].iter().product();
         let batch_b: usize = other.dims()[..rb - 2].iter().product();
+        let shared_rhs = batch_b == 1 && rb == 2;
+        let shared_lhs = ra == 2 && rb > 2;
 
-        let mut out_dims: Vec<usize> = if batch_b == 1 && rb == 2 {
+        let mut out_dims: Vec<usize> = if shared_lhs {
+            let mut d = other.dims()[..rb - 2].to_vec();
+            d.extend_from_slice(&[m, n]);
+            d
+        } else if shared_rhs {
             let mut d = self.dims()[..ra - 2].to_vec();
             d.extend_from_slice(&[m, n]);
             d
@@ -142,21 +240,25 @@ impl Tensor {
             out_dims = vec![m, n];
         }
 
+        let batch = if shared_lhs { batch_b } else { batch_a };
         // The kernel accumulates (`c[j] += ...`), so a recycled buffer must
         // come back zeroed.
-        let mut out = alloc::acquire_zeroed(batch_a * m * n);
+        let mut out = alloc::acquire_zeroed(batch * m * n);
         let a = self.as_slice();
         let b = other.as_slice();
-        let shared_rhs = batch_b == 1 && rb == 2;
         // Few large batch elements parallelize better over rows (the
         // serial loop below, whose matmul_into splits rows); many batch
         // elements parallelize better over the batch dimension.
-        if batch_a >= 4 && batch_a * m * n >= BATCH_PARALLEL_THRESHOLD && !pool::is_serial() {
+        if batch >= 4 && batch * m * n >= BATCH_PARALLEL_THRESHOLD && !pool::is_serial() {
             // Parallelize over the batch dimension: every batch element is
             // an independent 2-D product, each computed by the serial
             // kernel (nested pooling would be refused anyway).
             pool::par_chunks_mut(&mut out, m * n, |bi, c_chunk| {
-                let a_sl = &a[bi * m * k..(bi + 1) * m * k];
+                let a_sl = if shared_lhs {
+                    a
+                } else {
+                    &a[bi * m * k..(bi + 1) * m * k]
+                };
                 let b_sl = if shared_rhs {
                     b
                 } else {
@@ -165,14 +267,151 @@ impl Tensor {
                 matmul_serial(a_sl, b_sl, c_chunk, m, k, n);
             });
         } else {
-            for bi in 0..batch_a {
-                let a_sl = &a[bi * m * k..(bi + 1) * m * k];
+            for bi in 0..batch {
+                let a_sl = if shared_lhs {
+                    a
+                } else {
+                    &a[bi * m * k..(bi + 1) * m * k]
+                };
                 let b_sl = if shared_rhs {
                     b
                 } else {
                     &b[bi * k * n..(bi + 1) * k * n]
                 };
                 matmul_into(a_sl, b_sl, &mut out[bi * m * n..(bi + 1) * m * n], m, k, n);
+            }
+        }
+        Tensor::from_vec(out, out_dims.as_slice())
+    }
+
+    /// `self · otherᵀ` without materializing the transpose: the gradient
+    /// product `dA = G · Bᵀ` of matmul backward, and attention's
+    /// `E · E_Iᵀ`. Bit-identical to `self.matmul(&other.transpose_last2())`.
+    ///
+    /// Supported rank combinations (`p` is the contracted axis):
+    /// * `(m,p) · (n,p) -> (m,n)`
+    /// * `(..batch, m, p) · (n, p) -> (..batch, m, n)` — shared right matrix
+    /// * `(..batch, m, p) · (..batch, n, p) -> (..batch, m, n)` — per-batch
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or unsupported rank pairing.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (ra, rb) = (self.rank(), other.rank());
+        assert!(ra >= 2 && rb >= 2, "matmul_nt requires rank >= 2 operands");
+        let (m, p) = (self.dim(ra - 2), self.dim(ra - 1));
+        let (n, p2) = (other.dim(rb - 2), other.dim(rb - 1));
+        assert_eq!(
+            p, p2,
+            "matmul_nt inner dimensions differ: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let batch: usize = self.dims()[..ra - 2].iter().product();
+        let shared_rhs = rb == 2;
+        if !shared_rhs {
+            assert_eq!(
+                self.dims()[..ra - 2],
+                other.dims()[..rb - 2],
+                "batched matmul_nt requires identical leading dims: {} vs {}",
+                self.shape(),
+                other.shape()
+            );
+        }
+        let mut out_dims = self.dims()[..ra - 2].to_vec();
+        out_dims.extend_from_slice(&[m, n]);
+
+        let a = self.as_slice();
+        let b = other.as_slice();
+        // Every output element is written exactly once — no zeroing needed.
+        let mut out = alloc::acquire(batch * m * n);
+        if batch >= 4 && batch * m * n >= BATCH_PARALLEL_THRESHOLD && !pool::is_serial() {
+            pool::par_chunks_mut(&mut out, m * n, |bi, c_chunk| {
+                let a_sl = &a[bi * m * p..(bi + 1) * m * p];
+                let b_sl = if shared_rhs {
+                    b
+                } else {
+                    &b[bi * n * p..(bi + 1) * n * p]
+                };
+                matmul_nt_serial(a_sl, b_sl, c_chunk, p, n, 0, m);
+            });
+        } else {
+            for bi in 0..batch {
+                let a_sl = &a[bi * m * p..(bi + 1) * m * p];
+                let b_sl = if shared_rhs {
+                    b
+                } else {
+                    &b[bi * n * p..(bi + 1) * n * p]
+                };
+                rows_parallel(&mut out[bi * m * n..(bi + 1) * m * n], m, n, |i0, i1, chunk| {
+                    matmul_nt_serial(a_sl, b_sl, chunk, p, n, i0, i1);
+                });
+            }
+        }
+        Tensor::from_vec(out, out_dims.as_slice())
+    }
+
+    /// `selfᵀ · other` without materializing the transpose: the gradient
+    /// products `dB = Aᵀ · G` and `dX = Aᵀ · dY` of matmul backward and
+    /// diffusion backward. Bit-identical to
+    /// `self.transpose_last2().matmul(&other)`.
+    ///
+    /// Supported rank combinations (`p` is the contracted axis):
+    /// * `(p,m) · (p,n) -> (m,n)`
+    /// * `(p, m) · (..batch, p, n) -> (..batch, m, n)` — shared transposed left
+    /// * `(..batch, p, m) · (..batch, p, n) -> (..batch, m, n)` — per-batch
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or unsupported rank pairing.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (ra, rb) = (self.rank(), other.rank());
+        assert!(ra >= 2 && rb >= 2, "matmul_tn requires rank >= 2 operands");
+        let (p, m) = (self.dim(ra - 2), self.dim(ra - 1));
+        let (p2, n) = (other.dim(rb - 2), other.dim(rb - 1));
+        assert_eq!(
+            p, p2,
+            "matmul_tn inner dimensions differ: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let shared_lhs = ra == 2 && rb > 2;
+        if !shared_lhs {
+            assert_eq!(
+                self.dims()[..ra - 2],
+                other.dims()[..rb - 2],
+                "batched matmul_tn requires identical leading dims: {} vs {}",
+                self.shape(),
+                other.shape()
+            );
+        }
+        let batch: usize = other.dims()[..rb - 2].iter().product();
+        let mut out_dims = other.dims()[..rb - 2].to_vec();
+        out_dims.extend_from_slice(&[m, n]);
+
+        let a = self.as_slice();
+        let b = other.as_slice();
+        // Accumulating kernel — the recycled buffer must come back zeroed.
+        let mut out = alloc::acquire_zeroed(batch * m * n);
+        if batch >= 4 && batch * m * n >= BATCH_PARALLEL_THRESHOLD && !pool::is_serial() {
+            pool::par_chunks_mut(&mut out, m * n, |bi, c_chunk| {
+                let a_sl = if shared_lhs {
+                    a
+                } else {
+                    &a[bi * p * m..(bi + 1) * p * m]
+                };
+                let b_sl = &b[bi * p * n..(bi + 1) * p * n];
+                matmul_tn_serial(a_sl, b_sl, c_chunk, p, m, n, 0, m);
+            });
+        } else {
+            for bi in 0..batch {
+                let a_sl = if shared_lhs {
+                    a
+                } else {
+                    &a[bi * p * m..(bi + 1) * p * m]
+                };
+                let b_sl = &b[bi * p * n..(bi + 1) * p * n];
+                rows_parallel(&mut out[bi * m * n..(bi + 1) * m * n], m, n, |i0, i1, chunk| {
+                    matmul_tn_serial(a_sl, b_sl, chunk, p, m, n, i0, i1);
+                });
             }
         }
         Tensor::from_vec(out, out_dims.as_slice())
@@ -261,6 +500,95 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.dims(), &[2, 2, 1]);
         assert_eq!(c.as_slice(), &[3., 12., 21., 30.]);
+    }
+
+    #[test]
+    fn matmul_batched_shared_lhs() {
+        // (2,3) @ (2,3,2): one left matrix applied to every batch element.
+        let a = t(&[1., 0., 0., 0., 1., 0.], &[2, 3]);
+        let b = t(&(0..12).map(|x| x as f32).collect::<Vec<_>>(), &[2, 3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        assert_eq!(c.as_slice(), &[0., 1., 2., 3., 6., 7., 8., 9.]);
+    }
+
+    #[test]
+    fn matmul_shared_lhs_matches_per_batch_loop() {
+        let mut rng = crate::Rng64::new(11);
+        let a = Tensor::rand_uniform([9, 13], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([5, 13, 7], -1.0, 1.0, &mut rng);
+        let c = a.matmul(&b);
+        for bi in 0..5 {
+            let b_sl = Tensor::from_vec(b.as_slice()[bi * 13 * 7..(bi + 1) * 13 * 7].to_vec(), [13, 7]);
+            let expect = a.matmul(&b_sl);
+            assert_eq!(
+                &c.as_slice()[bi * 9 * 7..(bi + 1) * 9 * 7],
+                expect.as_slice(),
+                "batch {bi}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_transposed_matmul() {
+        let mut rng = crate::Rng64::new(12);
+        // Sizes straddle the k-remainder and the row-parallel threshold.
+        for (m, p, n) in [(3, 5, 4), (37, 23, 41), (300, 65, 300)] {
+            let a = Tensor::rand_uniform([m, p], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform([n, p], -1.0, 1.0, &mut rng);
+            let fast = a.matmul_nt(&b);
+            let reference = a.matmul(&b.t());
+            assert_eq!(fast.dims(), &[m, n]);
+            for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{p},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_batched_and_shared_rhs() {
+        let mut rng = crate::Rng64::new(13);
+        let a = Tensor::rand_uniform([6, 9, 10], -1.0, 1.0, &mut rng);
+        let shared = Tensor::rand_uniform([7, 10], -1.0, 1.0, &mut rng);
+        assert_eq!(a.matmul_nt(&shared), a.matmul(&shared.t()));
+        let b = Tensor::rand_uniform([6, 7, 10], -1.0, 1.0, &mut rng);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose_last2()));
+    }
+
+    #[test]
+    fn matmul_tn_matches_transposed_matmul() {
+        let mut rng = crate::Rng64::new(14);
+        for (p, m, n) in [(5, 3, 4), (23, 37, 41), (65, 300, 300)] {
+            let a = Tensor::rand_uniform([p, m], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform([p, n], -1.0, 1.0, &mut rng);
+            let fast = a.matmul_tn(&b);
+            let reference = a.t().matmul(&b);
+            assert_eq!(fast.dims(), &[m, n]);
+            for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({p},{m},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_tn_shared_lhs_and_batched() {
+        let mut rng = crate::Rng64::new(15);
+        // Shared transposed left against a batched rhs — the diffusion
+        // backward shape `dX[b] = Aᵀ · dY[b]`.
+        let a = Tensor::rand_uniform([9, 6], -1.0, 1.0, &mut rng);
+        let g = Tensor::rand_uniform([4, 9, 5], -1.0, 1.0, &mut rng);
+        let fast = a.matmul_tn(&g);
+        assert_eq!(fast.dims(), &[4, 6, 5]);
+        assert_eq!(fast, a.t().matmul(&g));
+        // Per-batch.
+        let ab = Tensor::rand_uniform([4, 9, 6], -1.0, 1.0, &mut rng);
+        assert_eq!(ab.matmul_tn(&g), ab.transpose_last2().matmul(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_nt_mismatch_panics() {
+        t(&[1., 2.], &[1, 2]).matmul_nt(&t(&[1., 2., 3.], &[1, 3]));
     }
 
     #[test]

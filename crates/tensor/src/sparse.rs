@@ -1,0 +1,634 @@
+//! Sparse (CSR) kernels for the slim adjacency.
+//!
+//! α-entmax produces *exact* zeros (paper Section IV-B), so the learned
+//! `A_s ∈ R^{N×M}` is mostly empty at α ≥ 1.5 and the dense diffusion
+//! GEMM wastes most of its multiplies on zero rows of nothing. [`Csr`]
+//! stores only the nonzero entries and provides the three products graph
+//! diffusion needs:
+//!
+//! * [`Csr::spmm`] — `Y[b] = A · X[b]`, the forward diffusion step;
+//! * [`Csr::spmm_t`] — `dX[b] = Aᵀ · dY[b]`, the input gradient;
+//! * [`Csr::dadj`] — `dA = Σ_b dY[b] · X[b]ᵀ` restricted to the CSR
+//!   support, the adjacency gradient (exact end-to-end because the
+//!   entmax Jacobian vanishes outside the support — see DESIGN.md §9).
+//!
+//! Every kernel accumulates in the same order as its dense counterpart
+//! in [`matmul`](crate::matmul): the dense kernels unroll the contraction
+//! axis four-wide starting at index 0, so the sparse kernels walk each
+//! row's nonzeros in groups aligned to the same absolute ⌊k/4⌋ boundaries
+//! and add each group's partial sum with one `+=`. Skipping an exact-zero
+//! term is exact in IEEE-754 (it only ever adds `±0.0`), so sparse and
+//! dense results are identical under `f32` equality — the only tolerated
+//! divergence is the sign of exact-zero outputs. Rows are parallelized on
+//! the persistent worker [`pool`] with the usual contract: chunk
+//! boundaries are a pure function of the sizes, each row is computed by
+//! the identical serial routine, and outputs come from [`alloc`].
+//!
+//! Dispatch between the sparse and dense diffusion paths is controlled by
+//! `SAGDFN_SPARSE` (`auto`/`on`/`off`, mirroring `SAGDFN_RECYCLE`) via
+//! [`sparse_mode`] / [`set_sparse_mode`] and decided per matrix by
+//! [`should_use_sparse`].
+
+use crate::alloc;
+use crate::pool;
+use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Below this many output elements a sparse product stays serial (same
+/// bar as the dense matmul kernels).
+const PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+/// Minimum rows before the pool round-trip pays for itself.
+const ROWS_PARALLEL_THRESHOLD: usize = 8;
+
+// ---------------------------------------------------------------------
+// Sparse/dense dispatch policy
+// ---------------------------------------------------------------------
+
+/// How the diffusion path chooses between CSR and dense kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SparseMode {
+    /// Measure the density and use CSR only when it should win.
+    Auto,
+    /// Always convert to CSR (tests and benches).
+    On,
+    /// Never convert; always run the dense kernels.
+    Off,
+}
+
+/// `Auto` only bothers with matrices at least this large: tiny adjacencies
+/// finish in microseconds either way and the CSR build is pure overhead.
+const AUTO_MIN_NUMEL: usize = 4096;
+
+/// `Auto` requires at least this zero fraction before switching to CSR;
+/// below it the grouped sparse kernel has no arithmetic advantage over
+/// the dense unrolled GEMM.
+const AUTO_MIN_ZERO_FRAC: f32 = 0.5;
+
+fn mode_flag() -> &'static AtomicU8 {
+    static FLAG: OnceLock<AtomicU8> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let mode = match std::env::var("SAGDFN_SPARSE").as_deref() {
+            Ok("on") | Ok("1") => SparseMode::On,
+            Ok("off") | Ok("0") => SparseMode::Off,
+            _ => SparseMode::Auto,
+        };
+        AtomicU8::new(mode as u8)
+    })
+}
+
+fn mode_from_u8(v: u8) -> SparseMode {
+    match v {
+        1 => SparseMode::On,
+        2 => SparseMode::Off,
+        _ => SparseMode::Auto,
+    }
+}
+
+/// The current sparse-dispatch mode (`SAGDFN_SPARSE`, default `auto`).
+pub fn sparse_mode() -> SparseMode {
+    mode_from_u8(mode_flag().load(Ordering::Relaxed))
+}
+
+/// Sets the dispatch mode programmatically (benches and tests run
+/// in-process A/B comparisons), returning the previous mode.
+pub fn set_sparse_mode(mode: SparseMode) -> SparseMode {
+    mode_from_u8(mode_flag().swap(mode as u8, Ordering::SeqCst))
+}
+
+/// Decides whether a matrix with `nnz` nonzeros out of `numel` entries
+/// should take the CSR path under the current [`sparse_mode`].
+pub fn should_use_sparse(nnz: usize, numel: usize) -> bool {
+    match sparse_mode() {
+        SparseMode::On => true,
+        SparseMode::Off => false,
+        SparseMode::Auto => {
+            numel >= AUTO_MIN_NUMEL
+                && (numel - nnz) as f32 >= AUTO_MIN_ZERO_FRAC * numel as f32
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The CSR matrix
+// ---------------------------------------------------------------------
+
+/// A compressed-sparse-row `f32` matrix with an eagerly built transpose.
+///
+/// Column indices within each row are strictly ascending. The transposed
+/// arrays (`t_*`) store the same nonzeros as a CSR over columns — built
+/// once at construction by a counting sort so [`spmm_t`](Csr::spmm_t)
+/// never materializes `Aᵀ` at product time.
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+    t_row_ptr: Vec<usize>,
+    t_col_idx: Vec<u32>,
+    t_values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR from a dense rank-2 tensor, dropping entries that are
+    /// exactly `0.0` (both zero signs — entmax emits `+0.0`).
+    ///
+    /// # Panics
+    /// Panics if `dense` is not rank 2.
+    pub fn from_dense(dense: &Tensor) -> Csr {
+        assert_eq!(dense.rank(), 2, "Csr::from_dense requires a rank-2 tensor");
+        let (n_rows, n_cols) = (dense.dim(0), dense.dim(1));
+        assert!(n_cols <= u32::MAX as usize, "column index overflows u32");
+        let src = dense.as_slice();
+        let mut row_ptr = Vec::with_capacity(n_rows + 1);
+        row_ptr.push(0usize);
+        let nnz = src.iter().filter(|&&v| v != 0.0).count();
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for row in src.chunks(n_cols.max(1)) {
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        // Counting-sort transpose: visiting rows in ascending order keeps
+        // each transposed row's indices ascending too, which the aligned
+        // grouping in `spmm_t` relies on.
+        let mut t_row_ptr = vec![0usize; n_cols + 1];
+        for &c in &col_idx {
+            t_row_ptr[c as usize + 1] += 1;
+        }
+        for c in 0..n_cols {
+            t_row_ptr[c + 1] += t_row_ptr[c];
+        }
+        let mut next = t_row_ptr[..n_cols].to_vec();
+        let mut t_col_idx = vec![0u32; nnz];
+        let mut t_values = vec![0.0f32; nnz];
+        for i in 0..n_rows {
+            for p in row_ptr[i]..row_ptr[i + 1] {
+                let c = col_idx[p] as usize;
+                let slot = next[c];
+                next[c] += 1;
+                t_col_idx[slot] = i as u32;
+                t_values[slot] = values[p];
+            }
+        }
+
+        Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+            t_row_ptr,
+            t_col_idx,
+            t_values,
+        }
+    }
+
+    /// Materializes the dense `(n_rows, n_cols)` tensor.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = alloc::acquire_zeroed(self.n_rows * self.n_cols);
+        for i in 0..self.n_rows {
+            for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                out[i * self.n_cols + self.col_idx[p] as usize] = self.values[p];
+            }
+        }
+        Tensor::from_vec(out, [self.n_rows, self.n_cols])
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Rows of the represented matrix.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Columns of the represented matrix.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Fraction of entries stored: `nnz / (n_rows · n_cols)`.
+    pub fn density(&self) -> f32 {
+        let numel = self.n_rows * self.n_cols;
+        if numel == 0 {
+            0.0
+        } else {
+            self.nnz() as f32 / numel as f32
+        }
+    }
+
+    /// `Y[b] = A · X[b]` for `x` of shape `(..b, n_cols, c)`, returning
+    /// `(..b, n_rows, c)`. Bit-compatible with the dense shared-left
+    /// batched [`Tensor::matmul`] (up to the sign of exact zeros).
+    ///
+    /// # Panics
+    /// Panics if `x` has rank < 2 or its second-to-last dim ≠ `n_cols`.
+    pub fn spmm(&self, x: &Tensor) -> Tensor {
+        spmm_arrays(
+            &self.row_ptr,
+            &self.col_idx,
+            &self.values,
+            self.n_rows,
+            self.n_cols,
+            x,
+        )
+    }
+
+    /// `Y[b] = Aᵀ · X[b]` for `x` of shape `(..b, n_rows, c)`, returning
+    /// `(..b, n_cols, c)`. Bit-compatible with [`Tensor::matmul_tn`]
+    /// applied to the dense matrix (up to the sign of exact zeros).
+    ///
+    /// # Panics
+    /// Panics if `x` has rank < 2 or its second-to-last dim ≠ `n_rows`.
+    pub fn spmm_t(&self, x: &Tensor) -> Tensor {
+        spmm_arrays(
+            &self.t_row_ptr,
+            &self.t_col_idx,
+            &self.t_values,
+            self.n_cols,
+            self.n_rows,
+            x,
+        )
+    }
+
+    /// Support-restricted adjacency gradient: for each stored entry
+    /// `(i, j)`, `dA[i,j] = Σ_b Σ_k dY[b,i,k] · X[b,j,k]`; entries outside
+    /// the support stay exactly `0.0`. Agrees bit-for-bit with
+    /// [`dadj_dense`] at every stored position (both call the same
+    /// pair-dot routine).
+    ///
+    /// # Panics
+    /// Panics on rank/shape mismatches between `dy` and `x`.
+    pub fn dadj(&self, dy: &Tensor, x: &Tensor) -> Tensor {
+        let (batch, c) = dadj_check(dy, x, self.n_rows, self.n_cols);
+        let (n, m) = (self.n_rows, self.n_cols);
+        let dy_s = dy.as_slice();
+        let x_s = x.as_slice();
+        let mut out = alloc::acquire_zeroed(n * m);
+        let fill_rows = |row0: usize, out_rows: &mut [f32]| {
+            for (rr, out_row) in out_rows.chunks_mut(m).enumerate() {
+                let i = row0 + rr;
+                for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                    let j = self.col_idx[p] as usize;
+                    out_row[j] = pair_dot(dy_s, x_s, i, j, batch, n, m, c);
+                }
+            }
+        };
+        if n * m >= PARALLEL_THRESHOLD && n >= ROWS_PARALLEL_THRESHOLD && !pool::is_serial() {
+            let rows_per = n.div_ceil(pool::num_threads().min(n));
+            pool::par_chunks_mut(&mut out, rows_per * m, |ci, chunk| {
+                fill_rows(ci * rows_per, chunk);
+            });
+        } else {
+            fill_rows(0, &mut out);
+        }
+        Tensor::from_vec(out, [n, m])
+    }
+}
+
+/// Dense twin of [`Csr::dadj`]: the full `(n, m)` adjacency gradient
+/// `dA = Σ_b dY[b] · X[b]ᵀ` for `dy: (..b, n, c)` and `x: (..b, m, c)`,
+/// computed entry-wise by the same pair-dot routine (no `(b, n, m)`
+/// intermediate is materialized).
+///
+/// # Panics
+/// Panics on rank/shape mismatches between `dy` and `x`.
+pub fn dadj_dense(dy: &Tensor, x: &Tensor) -> Tensor {
+    let r = dy.rank();
+    let n = dy.dim(r - 2);
+    let m = x.dim(x.rank() - 2);
+    let (batch, c) = dadj_check(dy, x, n, m);
+    let dy_s = dy.as_slice();
+    let x_s = x.as_slice();
+    let mut out = alloc::acquire_zeroed(n * m);
+    let fill_rows = |row0: usize, out_rows: &mut [f32]| {
+        for (rr, out_row) in out_rows.chunks_mut(m).enumerate() {
+            let i = row0 + rr;
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                *slot = pair_dot(dy_s, x_s, i, j, batch, n, m, c);
+            }
+        }
+    };
+    if n * m >= PARALLEL_THRESHOLD && n >= ROWS_PARALLEL_THRESHOLD && !pool::is_serial() {
+        let rows_per = n.div_ceil(pool::num_threads().min(n));
+        pool::par_chunks_mut(&mut out, rows_per * m, |ci, chunk| {
+            fill_rows(ci * rows_per, chunk);
+        });
+    } else {
+        fill_rows(0, &mut out);
+    }
+    Tensor::from_vec(out, [n, m])
+}
+
+/// Shape checks shared by the two `dadj` kernels; returns `(batch, c)`.
+fn dadj_check(dy: &Tensor, x: &Tensor, n: usize, m: usize) -> (usize, usize) {
+    let (rd, rx) = (dy.rank(), x.rank());
+    assert!(rd >= 2 && rx >= 2, "dadj requires rank >= 2 operands");
+    assert_eq!(
+        dy.dims()[..rd - 2],
+        x.dims()[..rx - 2],
+        "dadj batch dims differ: {} vs {}",
+        dy.shape(),
+        x.shape()
+    );
+    assert_eq!(dy.dim(rd - 2), n, "dadj dy rows mismatch");
+    assert_eq!(x.dim(rx - 2), m, "dadj x rows mismatch");
+    let c = dy.dim(rd - 1);
+    assert_eq!(x.dim(rx - 1), c, "dadj feature dims differ");
+    (dy.dims()[..rd - 2].iter().product(), c)
+}
+
+/// `Σ_b Σ_k dy[b,i,k] · x[b,j,k]` with the feature axis unrolled in
+/// 4-aligned groups (matching the dense GEMM accumulation order).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn pair_dot(
+    dy: &[f32],
+    x: &[f32],
+    i: usize,
+    j: usize,
+    batch: usize,
+    n: usize,
+    m: usize,
+    c: usize,
+) -> f32 {
+    let mut acc = 0.0f32;
+    for b in 0..batch {
+        let g = &dy[(b * n + i) * c..(b * n + i + 1) * c];
+        let v = &x[(b * m + j) * c..(b * m + j + 1) * c];
+        let mut k = 0;
+        while k + 4 <= c {
+            acc += g[k] * v[k] + g[k + 1] * v[k + 1] + g[k + 2] * v[k + 2] + g[k + 3] * v[k + 3];
+            k += 4;
+        }
+        while k < c {
+            acc += g[k] * v[k];
+            k += 1;
+        }
+    }
+    acc
+}
+
+/// Row-parallel CSR·dense product over the given CSR arrays:
+/// `out[b, i, :] = Σ_p vals[p] · x[b, cols[p], :]` with the nonzeros of
+/// each row processed in groups aligned to absolute ⌊col/4⌋ boundaries —
+/// the exact accumulation structure of the dense `matmul_serial` kernel,
+/// so results match the dense product under `f32` equality.
+fn spmm_arrays(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f32],
+    out_rows: usize,
+    inner: usize,
+    x: &Tensor,
+) -> Tensor {
+    let r = x.rank();
+    assert!(r >= 2, "spmm requires a rank >= 2 rhs");
+    assert_eq!(
+        x.dim(r - 2),
+        inner,
+        "spmm inner dimension mismatch: lhs has {} columns, rhs {}",
+        inner,
+        x.shape()
+    );
+    let c = x.dim(r - 1);
+    let batch: usize = x.dims()[..r - 2].iter().product();
+    let xs = x.as_slice();
+    // Accumulating kernel (and rows without nonzeros must stay zero), so
+    // the recycled buffer has to come back zeroed.
+    let mut out = alloc::acquire_zeroed(batch * out_rows * c);
+    let total_rows = batch * out_rows;
+    let fill = |row0: usize, chunk: &mut [f32]| {
+        for (rr, c_row) in chunk.chunks_mut(c).enumerate() {
+            let gr = row0 + rr;
+            let (b, i) = (gr / out_rows, gr % out_rows);
+            let x_b = &xs[b * inner * c..(b + 1) * inner * c];
+            spmm_row(
+                &col_idx[row_ptr[i]..row_ptr[i + 1]],
+                &values[row_ptr[i]..row_ptr[i + 1]],
+                x_b,
+                c_row,
+                inner,
+                c,
+            );
+        }
+    };
+    if out.len() >= PARALLEL_THRESHOLD
+        && total_rows >= ROWS_PARALLEL_THRESHOLD
+        && !pool::is_serial()
+    {
+        let rows_per = total_rows.div_ceil(pool::num_threads().min(total_rows));
+        pool::par_chunks_mut(&mut out, rows_per * c, |ci, chunk| {
+            fill(ci * rows_per, chunk);
+        });
+    } else {
+        fill(0, &mut out);
+    }
+    let mut dims = x.dims().to_vec();
+    dims[r - 2] = out_rows;
+    Tensor::from_vec(out, dims.as_slice())
+}
+
+/// One output row: nonzeros grouped by absolute ⌊col/4⌋ within the
+/// unrolled region `[0, 4⌊inner/4⌋)`, single adds in the remainder —
+/// mirroring `matmul_serial`'s unroll so each output element sees the
+/// same sequence of nonzero partial sums as the dense kernel.
+#[inline]
+fn spmm_row(cols: &[u32], vals: &[f32], x: &[f32], c_row: &mut [f32], inner: usize, c: usize) {
+    let k4 = inner & !3;
+    let end = cols.len();
+    let mut p = 0;
+    while p < end {
+        let col = cols[p] as usize;
+        if col >= k4 {
+            break;
+        }
+        let group_end = (col & !3) + 4;
+        let mut q = p + 1;
+        while q < end && (cols[q] as usize) < group_end {
+            q += 1;
+        }
+        match q - p {
+            1 => {
+                let a0 = vals[p];
+                let b0 = &x[col * c..(col + 1) * c];
+                for j in 0..c {
+                    c_row[j] += a0 * b0[j];
+                }
+            }
+            2 => {
+                let (a0, a1) = (vals[p], vals[p + 1]);
+                let b0 = &x[col * c..(col + 1) * c];
+                let c1 = cols[p + 1] as usize;
+                let b1 = &x[c1 * c..(c1 + 1) * c];
+                for j in 0..c {
+                    c_row[j] += a0 * b0[j] + a1 * b1[j];
+                }
+            }
+            3 => {
+                let (a0, a1, a2) = (vals[p], vals[p + 1], vals[p + 2]);
+                let b0 = &x[col * c..(col + 1) * c];
+                let c1 = cols[p + 1] as usize;
+                let b1 = &x[c1 * c..(c1 + 1) * c];
+                let c2 = cols[p + 2] as usize;
+                let b2 = &x[c2 * c..(c2 + 1) * c];
+                for j in 0..c {
+                    c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j];
+                }
+            }
+            _ => {
+                let (a0, a1, a2, a3) = (vals[p], vals[p + 1], vals[p + 2], vals[p + 3]);
+                let b0 = &x[col * c..(col + 1) * c];
+                let c1 = cols[p + 1] as usize;
+                let b1 = &x[c1 * c..(c1 + 1) * c];
+                let c2 = cols[p + 2] as usize;
+                let b2 = &x[c2 * c..(c2 + 1) * c];
+                let c3 = cols[p + 3] as usize;
+                let b3 = &x[c3 * c..(c3 + 1) * c];
+                for j in 0..c {
+                    c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                }
+            }
+        }
+        p = q;
+    }
+    // Remainder region: the dense kernel adds these columns one at a time.
+    while p < end {
+        let col = cols[p] as usize;
+        let a0 = vals[p];
+        let b0 = &x[col * c..(col + 1) * c];
+        for j in 0..c {
+            c_row[j] += a0 * b0[j];
+        }
+        p += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng64;
+
+    /// Random matrix with an exact fraction of zero entries per row.
+    fn sparse_rand(n: usize, m: usize, zero_frac: f32, seed: u64) -> Tensor {
+        let mut rng = Rng64::new(seed);
+        let mut t = Tensor::rand_uniform([n, m], 0.1, 1.0, &mut rng);
+        let zeros_per_row = (m as f32 * zero_frac) as usize;
+        let data = t.as_mut_slice();
+        for i in 0..n {
+            let row = &mut data[i * m..(i + 1) * m];
+            let mut zeroed = 0;
+            while zeroed < zeros_per_row {
+                let j = (rng.next_u64() % m as u64) as usize;
+                if row[j] != 0.0 {
+                    row[j] = 0.0;
+                    zeroed += 1;
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_bits() {
+        for zf in [0.0f32, 0.3, 0.7, 1.0] {
+            let a = sparse_rand(13, 9, zf, 42);
+            let csr = Csr::from_dense(&a);
+            assert_eq!(csr.to_dense(), a, "zero_frac {zf}");
+            assert_eq!(
+                csr.nnz(),
+                a.as_slice().iter().filter(|&&v| v != 0.0).count()
+            );
+        }
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let mut rng = Rng64::new(7);
+        for (n, m, c) in [(17, 11, 5), (32, 16, 8), (9, 23, 3)] {
+            let a = sparse_rand(n, m, 0.6, n as u64);
+            let x = Tensor::rand_uniform([m, c], -1.0, 1.0, &mut rng);
+            let csr = Csr::from_dense(&a);
+            assert_eq!(csr.spmm(&x), a.matmul(&x), "({n},{m},{c})");
+        }
+    }
+
+    #[test]
+    fn spmm_batched_matches_dense() {
+        let mut rng = Rng64::new(8);
+        let a = sparse_rand(12, 10, 0.5, 3);
+        let x = Tensor::rand_uniform([4, 10, 6], -1.0, 1.0, &mut rng);
+        let csr = Csr::from_dense(&a);
+        let y = csr.spmm(&x);
+        assert_eq!(y.dims(), &[4, 12, 6]);
+        assert_eq!(y, a.matmul(&x));
+    }
+
+    #[test]
+    fn spmm_t_matches_transposed_product() {
+        let mut rng = Rng64::new(9);
+        let a = sparse_rand(14, 9, 0.6, 4);
+        let g = Tensor::rand_uniform([3, 14, 5], -1.0, 1.0, &mut rng);
+        let csr = Csr::from_dense(&a);
+        let got = csr.spmm_t(&g);
+        assert_eq!(got.dims(), &[3, 9, 5]);
+        assert_eq!(got, a.matmul_tn(&g));
+    }
+
+    #[test]
+    fn dadj_matches_dense_on_support() {
+        let mut rng = Rng64::new(10);
+        let a = sparse_rand(11, 7, 0.55, 5);
+        let dy = Tensor::rand_uniform([2, 11, 6], -1.0, 1.0, &mut rng);
+        let x = Tensor::rand_uniform([2, 7, 6], -1.0, 1.0, &mut rng);
+        let csr = Csr::from_dense(&a);
+        let sparse = csr.dadj(&dy, &x);
+        let dense = dadj_dense(&dy, &x);
+        for (idx, (&av, (&s, &d))) in a
+            .as_slice()
+            .iter()
+            .zip(sparse.as_slice().iter().zip(dense.as_slice()))
+            .enumerate()
+        {
+            if av != 0.0 {
+                assert_eq!(s.to_bits(), d.to_bits(), "support entry {idx}");
+            } else {
+                assert_eq!(s, 0.0, "off-support entry {idx} must stay zero");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rows_produce_zero_output() {
+        let a = Tensor::zeros([4, 3]);
+        let csr = Csr::from_dense(&a);
+        assert_eq!(csr.nnz(), 0);
+        let x = Tensor::ones([3, 2]);
+        assert_eq!(csr.spmm(&x), Tensor::zeros([4, 2]));
+    }
+
+    #[test]
+    fn mode_toggle_round_trips() {
+        let prev = set_sparse_mode(SparseMode::On);
+        assert!(should_use_sparse(0, 1));
+        assert_eq!(set_sparse_mode(SparseMode::Off), SparseMode::On);
+        assert!(!should_use_sparse(0, 1_000_000));
+        set_sparse_mode(SparseMode::Auto);
+        // Auto: small matrices stay dense; big sparse ones switch.
+        assert!(!should_use_sparse(10, 100));
+        assert!(should_use_sparse(1000, 100 * 100));
+        assert!(!should_use_sparse(6000, 100 * 100));
+        set_sparse_mode(prev);
+    }
+}

@@ -156,12 +156,64 @@ pub fn case_nested_tensor_ops() {
     }
 }
 
+fn sparse_rand(shape: &[usize], zero_frac: f32, seed: u64) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    let dense = Tensor::rand_uniform(shape, -2.0, 2.0, &mut rng);
+    let mask = Tensor::rand_uniform(shape, 0.0, 1.0, &mut rng);
+    let data: Vec<f32> = dense
+        .as_slice()
+        .iter()
+        .zip(mask.as_slice())
+        .map(|(&v, &m)| if m < zero_frac { 0.0 } else { v })
+        .collect();
+    Tensor::from_vec(data, dense.shape().clone())
+}
+
+pub fn case_matmul_batched_shared_lhs() {
+    let a = rand(&[96, 64], 25);
+    let b = rand(&[8, 64, 96], 26);
+    check("batched matmul shared lhs", || a.matmul(&b));
+}
+
+pub fn case_matmul_nt() {
+    let a = rand(&[300, 257], 27);
+    let b = rand(&[301, 257], 28);
+    check("matmul_nt 300x257x301", || a.matmul_nt(&b));
+    let g = rand(&[8, 96, 64], 29);
+    let w = rand(&[96, 64], 30);
+    check("matmul_nt batched shared rhs", || g.matmul_nt(&w));
+}
+
+pub fn case_matmul_tn() {
+    let a = rand(&[257, 300], 31);
+    let b = rand(&[257, 301], 32);
+    check("matmul_tn 300x257x301", || a.matmul_tn(&b));
+    let w = rand(&[96, 64], 33);
+    let g = rand(&[8, 96, 80], 34);
+    check("matmul_tn shared lhs", || w.matmul_tn(&g));
+}
+
+pub fn case_spmm() {
+    use sagdfn_tensor::Csr;
+    let a = sparse_rand(&[300, 240], 0.8, 35);
+    let x = rand(&[4, 240, 32], 36);
+    let csr = Csr::from_dense(&a);
+    check("spmm 300x240 batched", || csr.spmm(&x));
+    let g = rand(&[4, 300, 32], 37);
+    check("spmm_t 300x240 batched", || csr.spmm_t(&g));
+    check("dadj 300x240", || csr.dadj(&g, &x));
+}
+
 /// Every case, for binaries that want one entry point.
 pub fn run_all() {
     case_matmul_2d();
     case_matmul_2d_small();
     case_matmul_batched();
     case_matmul_batched_shared_rhs();
+    case_matmul_batched_shared_lhs();
+    case_matmul_nt();
+    case_matmul_tn();
+    case_spmm();
     case_transpose_single();
     case_transpose_batched();
     case_elementwise_same_shape();

@@ -17,6 +17,10 @@ case!(case_matmul_2d);
 case!(case_matmul_2d_small);
 case!(case_matmul_batched);
 case!(case_matmul_batched_shared_rhs);
+case!(case_matmul_batched_shared_lhs);
+case!(case_matmul_nt);
+case!(case_matmul_tn);
+case!(case_spmm);
 case!(case_transpose_single);
 case!(case_transpose_batched);
 case!(case_elementwise_same_shape);

@@ -1,13 +1,29 @@
 //! Property-based tests of the tensor substrate.
 
 use proptest::prelude::*;
-use sagdfn_tensor::{Rng64, Shape, Tensor};
+use sagdfn_tensor::{Csr, Rng64, Shape, Tensor};
 
 /// Strategy: a small tensor with its data.
 fn small_tensor() -> impl Strategy<Value = Tensor> {
     (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
         prop::collection::vec(-50.0f32..50.0, r * c)
             .prop_map(move |data| Tensor::from_vec(data, [r, c]))
+    })
+}
+
+/// Strategy: a small matrix whose entries are exactly zero with ~the
+/// given frequency (index divisible by the mask period), plus arbitrary
+/// finite values elsewhere — the shape of data CSR must round-trip.
+fn sparse_matrix() -> impl Strategy<Value = Tensor> {
+    (1usize..8, 1usize..8, 1usize..5).prop_flat_map(|(r, c, period)| {
+        prop::collection::vec(-50.0f32..50.0, r * c).prop_map(move |mut data| {
+            for (i, v) in data.iter_mut().enumerate() {
+                if i % period == 0 {
+                    *v = 0.0;
+                }
+            }
+            Tensor::from_vec(data, [r, c])
+        })
     })
 }
 
@@ -111,5 +127,29 @@ proptest! {
     fn norm_triangle_inequality(a in small_tensor()) {
         let b = a.scale(-0.3).add_scalar(0.7);
         prop_assert!(a.add(&b).norm_l2() <= a.norm_l2() + b.norm_l2() + 1e-4);
+    }
+
+    #[test]
+    fn csr_round_trip_is_bit_exact(a in sparse_matrix()) {
+        let csr = Csr::from_dense(&a);
+        let back = csr.to_dense();
+        prop_assert_eq!(back.shape(), a.shape());
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let nnz = a.as_slice().iter().filter(|&&v| v != 0.0).count();
+        prop_assert_eq!(csr.nnz(), nnz);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul(a in sparse_matrix(), seed in 0u64..500, c in 1usize..5) {
+        let mut rng = Rng64::new(seed);
+        let x = Tensor::rand_uniform([a.dim(1), c], -2.0, 2.0, &mut rng);
+        let csr = Csr::from_dense(&a);
+        // Skipping exact-zero terms only ever flips zero signs, so f32
+        // equality (where -0.0 == 0.0) must hold everywhere.
+        prop_assert_eq!(csr.spmm(&x), a.matmul(&x));
+        let g = Tensor::rand_uniform([a.dim(0), c], -2.0, 2.0, &mut rng);
+        prop_assert_eq!(csr.spmm_t(&g), a.matmul_tn(&g));
     }
 }

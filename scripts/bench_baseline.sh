@@ -5,12 +5,13 @@
 # training-step allocation baseline (BENCH_train.json) and runs the
 # criterion pool benches for the detailed per-size picture.
 #
-# Usage: scripts/bench_baseline.sh [out_file] [train_out_file]
+# Usage: scripts/bench_baseline.sh [out_file] [train_out_file] [diffusion_out_file]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_tensor.json}"
 TRAIN_OUT="${2:-BENCH_train.json}"
+DIFF_OUT="${3:-BENCH_diffusion.json}"
 
 echo "== building (release) =="
 cargo build --release -p sagdfn-bench
@@ -22,6 +23,10 @@ cargo run --release -q -p sagdfn-bench --bin bench_tensor -- --out "$OUT"
 echo
 echo "== train-step allocation baseline -> $TRAIN_OUT =="
 cargo run --release -q -p sagdfn-bench --bin bench_train_step -- --out "$TRAIN_OUT"
+
+echo
+echo "== diffusion sparse-vs-dense baseline -> $DIFF_OUT =="
+cargo run --release -q -p sagdfn-bench --bin bench_diffusion -- --out "$DIFF_OUT"
 
 echo
 echo "== criterion pool benches =="

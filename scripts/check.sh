@@ -31,4 +31,19 @@ else
 fi
 
 echo
+echo "== bench_diffusion smoke (sparse-kernel regression guard) =="
+DIFF_OUT="$(mktemp)"
+trap 'rm -f "$SMOKE_OUT" "$DIFF_OUT"' EXIT
+if [ -f BENCH_diffusion.json ]; then
+    # Fails if the 90%-zeros sparse speedup collapses or the auto
+    # dispatch stops falling back to dense on dense adjacencies.
+    cargo run --release -q -p sagdfn-bench --bin bench_diffusion -- \
+        --steps 6 --out "$DIFF_OUT" --check BENCH_diffusion.json
+else
+    echo "(no committed BENCH_diffusion.json; smoke run only)"
+    cargo run --release -q -p sagdfn-bench --bin bench_diffusion -- \
+        --steps 6 --out "$DIFF_OUT"
+fi
+
+echo
 echo "check.sh: all green"

@@ -74,15 +74,12 @@ fn entmax_adjacency_sparser_than_softmax() {
         let model = Sagdfn::new(n, cfg);
         let tape = sagdfn_repro::autodiff::Tape::new();
         let bind = model.params.bind(&tape);
-        match model.adjacency(&tape, &bind) {
-            sagdfn_repro::sagdfn::gconv::Adjacency::Slim { weights, .. } => {
-                // Count near-zero head outputs via the weight magnitudes.
-                let v = weights.value();
-                let max = v.abs().max().max(1e-9);
-                v.as_slice().iter().filter(|x| x.abs() < 1e-5 * max).count()
-            }
-            _ => unreachable!(),
-        }
+        let adj = model.adjacency(&tape, &bind);
+        assert!(adj.is_slim());
+        // Count near-zero head outputs via the weight magnitudes.
+        let v = adj.weights().value();
+        let max = v.abs().max().max(1e-9);
+        v.as_slice().iter().filter(|x| x.abs() < 1e-5 * max).count()
     };
     assert!(
         adjacency_zeros(2.0) >= adjacency_zeros(1.0),
