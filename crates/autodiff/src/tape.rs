@@ -1,5 +1,6 @@
 //! The tape arena and variable handles.
 
+use sagdfn_obs as obs;
 use sagdfn_tensor::{Shape, Tensor};
 use std::cell::RefCell;
 
@@ -60,6 +61,7 @@ impl Tape {
     /// (and rebuild any cached vars) after a reset — `trainer::fit` does
     /// this once per batch.
     pub fn reset(&self) {
+        obs::tally(obs::Kernel::TapeReset, 0, 0, 0);
         // Dropping the nodes releases their value tensors back to the
         // tensor recycling pool; `clear` keeps the Vec allocation itself.
         self.nodes.borrow_mut().clear();
@@ -110,6 +112,10 @@ impl Tape {
         parents: Vec<usize>,
         backward: Option<BackwardFn>,
     ) -> Var<'_> {
+        // Counts are the node tally; the instantaneous span marks the
+        // recording time of each forward node on the trace timeline.
+        obs::tally(obs::Kernel::Forward, 0, 0, 4 * value.numel() as u64);
+        let _s = obs::span("fwd_node");
         let mut nodes = self.nodes.borrow_mut();
         let id = nodes.len();
         nodes.push(Node {
@@ -124,6 +130,7 @@ impl Tape {
     /// one-element tensor) and returns the full gradient table indexed by
     /// node id (`None` for nodes the output does not depend on).
     pub fn backward_from(&self, output: Var<'_>) -> Vec<Option<Tensor>> {
+        let _g = obs::kernel(obs::Kernel::Backward, 0, 0, 0);
         let nodes = self.nodes.borrow();
         assert!(output.id < nodes.len(), "output var not on this tape");
         assert_eq!(
@@ -147,6 +154,7 @@ impl Tape {
             if let Some(backward) = &node.backward {
                 let parent_vals: Vec<&Tensor> =
                     node.parents.iter().map(|&p| &nodes[p].value).collect();
+                let _s = obs::span("bwd_node");
                 let parent_grads = backward(&grad_out, &parent_vals, &node.value);
                 assert_eq!(
                     parent_grads.len(),

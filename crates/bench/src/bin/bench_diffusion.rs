@@ -19,9 +19,9 @@
 //! as the diffusion regression guard.
 
 use sagdfn_json::Json;
+use sagdfn_obs as obs;
 use sagdfn_tensor::sparse::{dadj_dense, should_use_sparse, Csr};
 use sagdfn_tensor::{pool, Rng64, Tensor};
-use std::time::Instant;
 
 const WARMUP_STEPS: usize = 2;
 const BATCH: usize = 4;
@@ -83,24 +83,8 @@ fn measure(cfg: &Config, steps: usize) -> Measurement {
         }
     };
 
-    // Min-of-steps: the fastest observed step is the least noisy estimate
-    // of the kernel cost on a shared machine (drift and interrupts only
-    // ever add time).
-    let time = |f: &dyn Fn() -> (Tensor, Tensor, Tensor)| -> f64 {
-        for _ in 0..WARMUP_STEPS {
-            std::hint::black_box(f());
-        }
-        let mut best = f64::INFINITY;
-        for _ in 0..steps {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            best = best.min(t0.elapsed().as_secs_f64());
-        }
-        best
-    };
-
-    let dense_sec = time(&dense_step);
-    let sparse_sec = time(&sparse_step);
+    let dense_sec = obs::time_min("diffusion_dense", WARMUP_STEPS, steps, &dense_step);
+    let sparse_sec = obs::time_min("diffusion_sparse", WARMUP_STEPS, steps, &sparse_step);
     Measurement {
         nnz,
         dense_sec,

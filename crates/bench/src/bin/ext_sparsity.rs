@@ -24,10 +24,10 @@ fn main() {
     let data = load(DatasetKind::MetrLa, args.scale);
     let n = data.ctx.n;
     let mut csv = args.csv_writer("ext_sparsity").expect("csv");
-    writeln!(csv, "alpha,zero_frac,nnz,support_90,mae").unwrap();
+    writeln!(csv, "alpha,zero_frac,nnz,support_90,mae,train_sec").unwrap();
     println!(
-        "{:>6} {:>12} {:>10} {:>22} {:>10}",
-        "alpha", "zero frac", "nnz", "90%-mass support", "avg MAE"
+        "{:>6} {:>12} {:>10} {:>22} {:>10} {:>10}",
+        "alpha", "zero frac", "nnz", "90%-mass support", "avg MAE", "train s"
     );
     for alpha in [1.0f32, 1.5, 2.0] {
         let mut cfg = SagdfnConfig::for_scale(args.scale, n);
@@ -36,7 +36,7 @@ fn main() {
         cfg.m = (n / 2).clamp(4, 100);
         cfg.top_k = (cfg.m * 3 / 5).max(1);
         let mut model = SagdfnForecaster::new(n, cfg);
-        model.fit(&data.split);
+        let (_summary, train_sec) = sagdfn_obs::timed(|| model.fit(&data.split));
         let mae = average(&model.evaluate(&data.split.test)).mae;
 
         // Inspect the trained adjacency.
@@ -74,11 +74,11 @@ fn main() {
         }
         let support = support_sum as f32 / n as f32;
         println!(
-            "{alpha:>6} {:>11.1}% {nnz:>10} {:>15.1} of {m} {mae:>10.3}",
+            "{alpha:>6} {:>11.1}% {nnz:>10} {:>15.1} of {m} {mae:>10.3} {train_sec:>10.2}",
             zero_frac * 100.0,
             support
         );
-        writeln!(csv, "{alpha},{zero_frac},{nnz},{support},{mae}").unwrap();
+        writeln!(csv, "{alpha},{zero_frac},{nnz},{support},{mae},{train_sec}").unwrap();
     }
     println!("\nwrote {}/ext_sparsity.csv", args.out_dir);
     println!("expectation: zero fraction and support concentration grow with alpha");

@@ -1,0 +1,104 @@
+//! Converts a `trace.jsonl` span trace (written by `sagdfn profile` or
+//! `sagdfn_obs::write_trace`) into the Chrome trace-event JSON format, so
+//! it can be opened in chrome://tracing or https://ui.perfetto.dev.
+//!
+//! Each span record becomes one complete ("X") event; timestamps and
+//! durations are converted from nanoseconds to the microseconds Chrome
+//! expects. Rollup records carry per-step counter deltas, not intervals,
+//! and are skipped.
+//!
+//! Usage: `trace2chrome --in trace.jsonl --out trace.chrome.json`
+
+use sagdfn_json::Json;
+
+fn field_f64(rec: &Json, key: &str) -> Option<f64> {
+    rec.req(key).ok().and_then(|v| v.as_f64().ok())
+}
+
+/// Converts JSONL span lines into a Chrome `traceEvents` document.
+/// Unparseable or non-span lines are skipped; returns the document and
+/// the number of events converted.
+fn convert(lines: &str) -> (Json, usize) {
+    let mut events = Vec::new();
+    for line in lines.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(rec) = Json::parse(line) else { continue };
+        let kind = rec.req("kind").ok().and_then(|k| k.as_str().ok().map(str::to_string));
+        if kind.as_deref() != Some("span") {
+            continue;
+        }
+        let name = rec.req("name").ok().and_then(|v| v.as_str().ok().map(str::to_string));
+        let (Some(name), Some(tid), Some(ts_ns), Some(dur_ns)) = (
+            name,
+            field_f64(&rec, "tid"),
+            field_f64(&rec, "ts_ns"),
+            field_f64(&rec, "dur_ns"),
+        ) else {
+            continue;
+        };
+        events.push(Json::obj([
+            ("name", Json::from(name)),
+            ("ph", Json::from("X")),
+            ("ts", Json::from(ts_ns / 1e3)),
+            ("dur", Json::from(dur_ns / 1e3)),
+            ("pid", Json::from(1usize)),
+            ("tid", Json::from(tid)),
+        ]));
+    }
+    let n = events.len();
+    (Json::obj([("traceEvents", Json::Arr(events))]), n)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut in_path = "trace.jsonl".to_string();
+    let mut out_path = "trace.chrome.json".to_string();
+    let mut it = args.iter().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--in" => in_path = it.next().expect("--in needs a value").clone(),
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            other => panic!("unknown flag '{other}' (expected --in / --out)"),
+        }
+    }
+    let text = std::fs::read_to_string(&in_path)
+        .unwrap_or_else(|e| panic!("cannot read {in_path}: {e}"));
+    let (doc, n) = convert(&text);
+    std::fs::write(&out_path, doc.to_string_pretty().expect("serialize"))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("converted {n} spans -> {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_spans_and_skips_rollups() {
+        let lines = concat!(
+            r#"{"kind":"span","name":"matmul","id":1,"tid":3,"depth":0,"ts_ns":2000,"dur_ns":1500}"#,
+            "\n",
+            r#"{"kind":"rollup","step":1,"kernels":[]}"#,
+            "\n",
+            "not json\n",
+            r#"{"kind":"span","name":"epoch","id":2,"tid":1,"depth":0,"ts_ns":0,"dur_ns":9000}"#,
+            "\n",
+        );
+        let (doc, n) = convert(lines);
+        assert_eq!(n, 2);
+        let events = match doc.req("traceEvents") {
+            Ok(Json::Arr(a)) => a,
+            other => panic!("expected traceEvents array, got {other:?}"),
+        };
+        assert_eq!(events.len(), 2);
+        let first = &events[0];
+        assert_eq!(first.req("name").unwrap().as_str().unwrap(), "matmul");
+        assert_eq!(first.req("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(first.req("ts").unwrap().as_f64().unwrap(), 2.0);
+        assert_eq!(first.req("dur").unwrap().as_f64().unwrap(), 1.5);
+        assert_eq!(first.req("tid").unwrap().as_f64().unwrap(), 3.0);
+    }
+}

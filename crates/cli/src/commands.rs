@@ -16,6 +16,7 @@ USAGE:
   sagdfn evaluate --data <file.csv> --model <stem>
   sagdfn forecast --data <file.csv> --model <stem>
   sagdfn inspect  --data <file.csv>
+  sagdfn profile  [--steps 20] [--scale tiny|small|paper] [--mode counters|full] [--out trace.jsonl]
   sagdfn help";
 
 /// Sidecar metadata saved next to the weights.
@@ -263,6 +264,80 @@ fn sagdfn_autodiff_tape() -> sagdfn_autodiff::Tape {
     sagdfn_autodiff::Tape::new()
 }
 
+/// `sagdfn profile`: run N training steps on a synthetic workload with
+/// kernel tracing on, print the per-kernel table (sorted by elapsed
+/// time), and write the span trace as JSONL (`full` mode only) —
+/// convertible to chrome://tracing with the `trace2chrome` bench binary.
+pub fn profile(args: &[String]) -> Result<(), String> {
+    use sagdfn_nn::{masked_mae, Adam, Optimizer};
+    use sagdfn_obs as obs;
+
+    let flags = parse_flags(args)?;
+    let steps = parse_num(&flags, "steps", 20usize)?;
+    let scale = parse_scale(&flags)?;
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "trace.jsonl".to_string());
+    let mode = match flags.get("mode").map(|s| s.as_str()) {
+        None | Some("full") => obs::TraceMode::Full,
+        Some("counters") => obs::TraceMode::Counters,
+        Some(other) => return Err(format!("unknown --mode '{other}' (counters|full)")),
+    };
+
+    // Same synthetic workload as the train-step benchmark: metr-la-like
+    // data, paper split, SNS resampling pinned off for steady state.
+    let data = sagdfn_data::metr_la_like(scale);
+    let n = data.dataset.nodes();
+    let steps_avail = data.dataset.steps().min(500);
+    let split = ThreeWaySplit::new(data.dataset.subset_steps(0, steps_avail), SplitSpec::paper(4, 4));
+    let mut cfg = SagdfnConfig::for_scale(scale, n);
+    cfg.sns_every = 1_000_000;
+    cfg.convergence_iter = 10;
+    let batch_size = cfg.batch_size.min(split.train.len());
+    let lr = cfg.lr;
+    let mut model = Sagdfn::new(n, cfg);
+    let mut opt = Adam::new(lr);
+    let tape = sagdfn_autodiff_tape();
+    let ids: Vec<usize> = (0..batch_size).collect();
+
+    let prev_mode = obs::set_trace_mode(mode);
+    obs::drain_spans(); // start from an empty span buffer
+    let base = obs::snapshot();
+    println!("profiling {steps} training steps on {n} nodes ({scale:?} scale, {mode:?} mode)");
+    for step in 0..steps {
+        let step_guard = obs::kernel(obs::Kernel::TrainStep, 0, 0, 0);
+        let batch = split.train.make_batch(&ids);
+        model.maybe_resample();
+        tape.reset();
+        let bind = model.params.bind(&tape);
+        let pred = model.forward_scheduled(&tape, &bind, &batch, split.scaler, &[]);
+        let mask = Sagdfn::loss_mask(&batch.y);
+        let loss = masked_mae(pred, &batch.y, &mask);
+        let _ = loss.item();
+        let grads = loss.backward();
+        opt.step(&mut model.params, &bind, &grads);
+        tape.recycle_gradients(grads);
+        model.tick();
+        drop(step_guard);
+        obs::step_rollup(step as u64 + 1);
+    }
+    let delta = obs::snapshot().since(&base);
+    println!("\n{}", obs::format_table(&delta));
+
+    if mode == obs::TraceMode::Full {
+        let records = obs::write_trace(&out).map_err(|e| e.to_string())?;
+        println!("wrote {records} trace records to {out}");
+        if obs::dropped_records() > 0 {
+            println!("note: {} records dropped (buffer full)", obs::dropped_records());
+        }
+    } else {
+        println!("(no span trace in counters mode; use --mode full for {out})");
+    }
+    obs::set_trace_mode(prev_mode);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +397,24 @@ mod tests {
         assert!(std::path::Path::new(&format!("{stem}.config.json")).exists());
         evaluate(&strs(&["--data", &csv, "--model", &stem])).expect("evaluate");
         forecast(&strs(&["--data", &csv, "--model", &stem])).expect("forecast");
+    }
+
+    #[test]
+    fn profile_writes_table_and_trace() {
+        let dir = std::env::temp_dir().join("sagdfn-cli-profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("trace.jsonl").to_string_lossy().to_string();
+        profile(&strs(&["--steps", "2", "--out", &out])).expect("profile");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(!text.is_empty(), "trace file should have records");
+        for line in text.lines() {
+            sagdfn_json::Json::parse(line).expect("every trace line is valid JSON");
+        }
+        // Counters mode must succeed without touching the trace file.
+        std::fs::remove_file(&out).unwrap();
+        profile(&strs(&["--steps", "1", "--mode", "counters", "--out", &out]))
+            .expect("profile counters");
+        assert!(!std::path::Path::new(&out).exists());
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         "evaluate" => commands::evaluate(rest),
         "forecast" => commands::forecast(rest),
         "inspect" => commands::inspect(rest),
+        "profile" => commands::profile(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

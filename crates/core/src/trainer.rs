@@ -5,6 +5,7 @@ use crate::model::Sagdfn;
 use sagdfn_autodiff::Tape;
 use sagdfn_data::{average, horizon_metrics, Metrics, SlidingWindows, ThreeWaySplit};
 use sagdfn_nn::{masked_mae, Adam, Optimizer};
+use sagdfn_obs as obs;
 use sagdfn_tensor::{Rng64, Tensor};
 use std::time::Instant;
 
@@ -63,12 +64,15 @@ pub fn fit(model: &mut Sagdfn, split: &ThreeWaySplit) -> TrainReport {
     // into already-owned storage. Batch/teacher scratch persists likewise.
     let tape = Tape::new();
     let mut teacher: Vec<bool> = Vec::new();
+    let mut step_counter = 0u64;
 
     for epoch in 0..cfg.epochs {
+        let _epoch_span = obs::span("epoch");
         let epoch_start = Instant::now();
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         for ids in split.train.batch_ids(cfg.batch_size, Some(&mut shuffle_rng)) {
+            let step_guard = obs::kernel(obs::Kernel::TrainStep, 0, 0, 0);
             let batch = split.train.make_batch(&ids);
             model.maybe_resample();
             tape.reset();
@@ -91,6 +95,9 @@ pub fn fit(model: &mut Sagdfn, split: &ThreeWaySplit) -> TrainReport {
             opt.step(&mut model.params, &bind, &grads);
             tape.recycle_gradients(grads);
             model.tick();
+            drop(step_guard);
+            step_counter += 1;
+            obs::step_rollup(step_counter);
         }
         let train_loss = (loss_sum / batches.max(1) as f64) as f32;
         let val_mae = average(&evaluate(model, &split.val, cfg.batch_size)).mae;

@@ -27,6 +27,7 @@
 //! parallel and sit inside every attention head — with bit-identical
 //! results to the per-row serial loop.
 
+use sagdfn_obs as obs;
 use sagdfn_tensor::{alloc, pool};
 
 /// Numerical tolerance for the bisection: |Σp − 1| after convergence.
@@ -259,6 +260,14 @@ const ROWS_PARALLEL_THRESHOLD: usize = 8;
 /// # Panics
 /// Panics if `row_len` is zero or does not divide `z.len()`.
 pub fn entmax_rows(z: &[f32], row_len: usize, alpha: f32) -> Vec<f32> {
+    // Flop convention: 2 ops per element (the bisection's true cost is
+    // data-dependent; counters need a shape-derivable definition).
+    let _g = obs::kernel(
+        obs::Kernel::Entmax,
+        2 * z.len() as u64,
+        4 * z.len() as u64,
+        4 * z.len() as u64,
+    );
     batch_rows(z, row_len, |_, row, out| {
         out.copy_from_slice(&entmax(row, alpha));
     })
@@ -272,6 +281,12 @@ pub fn entmax_rows(z: &[f32], row_len: usize, alpha: f32) -> Vec<f32> {
 /// Panics if lengths differ, or `row_len` is zero or does not divide them.
 pub fn entmax_backward_rows(p: &[f32], grad_p: &[f32], row_len: usize, alpha: f32) -> Vec<f32> {
     assert_eq!(p.len(), grad_p.len(), "entmax_backward_rows length mismatch");
+    let _g = obs::kernel(
+        obs::Kernel::EntmaxBackward,
+        2 * p.len() as u64,
+        8 * p.len() as u64,
+        4 * p.len() as u64,
+    );
     batch_rows(p, row_len, |r, p_row, out| {
         let g_row = &grad_p[r * row_len..(r + 1) * row_len];
         out.copy_from_slice(&entmax_backward(p_row, g_row, alpha));

@@ -2,6 +2,7 @@
 
 use crate::params::{Binding, Params};
 use sagdfn_autodiff::Gradients;
+use sagdfn_obs as obs;
 use sagdfn_tensor::Tensor;
 
 /// Gradient clipping by global L2 norm (PyTorch `clip_grad_norm_`).
@@ -63,6 +64,8 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut Params, binding: &Binding<'_>, grads: &Gradients) {
+        // Flops on this kernel = scalars updated, added per parameter.
+        let obs_g = obs::kernel(obs::Kernel::OptimStep, 0, 0, 0);
         let scale = self.clip.map_or(1.0, |c| c.scale_for(binding, grads));
         let ids: Vec<_> = params.ids().collect();
         self.velocity.resize_with(ids.len(), || None);
@@ -76,6 +79,9 @@ impl Optimizer for Sgd {
             // tensor-temporary formulation operation for operation, so the
             // result is bit-identical (see `sgd_inplace_matches_reference`).
             let gs = g.as_slice();
+            if let Some(og) = &obs_g {
+                og.add_flops(gs.len() as u64);
+            }
             let ps = params.get_mut(id).as_mut_slice();
             if momentum > 0.0 {
                 let v = self.velocity[slot]
@@ -155,6 +161,8 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut Params, binding: &Binding<'_>, grads: &Gradients) {
+        // Flops on this kernel = scalars updated, added per parameter.
+        let obs_g = obs::kernel(obs::Kernel::OptimStep, 0, 0, 0);
         self.t += 1;
         let scale = self.clip.map_or(1.0, |c| c.scale_for(binding, grads));
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
@@ -173,6 +181,9 @@ impl Optimizer for Adam {
             // so the result is bit-identical (see
             // `adam_inplace_matches_reference`).
             let gs = g.as_slice();
+            if let Some(og) = &obs_g {
+                og.add_flops(gs.len() as u64);
+            }
             let ps = params.get_mut(id).as_mut_slice();
             let m = self.m[slot].get_or_insert_with(|| Tensor::zeros(g.shape().clone()));
             let v = self.v[slot].get_or_insert_with(|| Tensor::zeros(g.shape().clone()));

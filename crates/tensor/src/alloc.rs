@@ -107,6 +107,7 @@ fn try_pop(len: usize) -> Option<Vec<f32>> {
 /// when served from the free list. Callers must overwrite every element (or
 /// use [`acquire_zeroed`]); kernels in this crate are audited for that.
 pub fn acquire(len: usize) -> Vec<f32> {
+    sagdfn_obs::tally_alloc_acquire((len * std::mem::size_of::<f32>()) as u64);
     match try_pop(len) {
         Some(buf) => {
             POOL_HIT.fetch_add(len * std::mem::size_of::<f32>(), Ordering::Relaxed);
@@ -119,6 +120,7 @@ pub fn acquire(len: usize) -> Vec<f32> {
 /// Like [`acquire`] but guarantees all-zero contents, for kernels that
 /// accumulate into their output.
 pub fn acquire_zeroed(len: usize) -> Vec<f32> {
+    sagdfn_obs::tally_alloc_acquire((len * std::mem::size_of::<f32>()) as u64);
     match try_pop(len) {
         Some(mut buf) => {
             POOL_HIT.fetch_add(len * std::mem::size_of::<f32>(), Ordering::Relaxed);
@@ -134,6 +136,7 @@ pub fn acquire_zeroed(len: usize) -> Vec<f32> {
 /// poolable — bucket keys must equal both — and fall through to the heap.
 pub(crate) fn release(buf: Vec<f32>) {
     let len = buf.len();
+    sagdfn_obs::tally_alloc_release((len * std::mem::size_of::<f32>()) as u64);
     if len == 0 || buf.capacity() != len || !recycling_enabled() {
         return;
     }

@@ -11,6 +11,7 @@
 use crate::alloc;
 use crate::pool;
 use crate::tensor::Tensor;
+use sagdfn_obs as obs;
 
 /// Below this many output elements the parallel path isn't worth the
 /// pool round-trip.
@@ -241,6 +242,12 @@ impl Tensor {
         }
 
         let batch = if shared_lhs { batch_b } else { batch_a };
+        let _g = obs::kernel(
+            obs::Kernel::Matmul,
+            2 * (batch * m * k * n) as u64,
+            4 * (self.numel() + other.numel()) as u64,
+            4 * (batch * m * n) as u64,
+        );
         // The kernel accumulates (`c[j] += ...`), so a recycled buffer must
         // come back zeroed.
         let mut out = alloc::acquire_zeroed(batch * m * n);
@@ -319,6 +326,12 @@ impl Tensor {
         }
         let mut out_dims = self.dims()[..ra - 2].to_vec();
         out_dims.extend_from_slice(&[m, n]);
+        let _g = obs::kernel(
+            obs::Kernel::MatmulNt,
+            2 * (batch * m * p * n) as u64,
+            4 * (self.numel() + other.numel()) as u64,
+            4 * (batch * m * n) as u64,
+        );
 
         let a = self.as_slice();
         let b = other.as_slice();
@@ -386,6 +399,12 @@ impl Tensor {
         let batch: usize = other.dims()[..rb - 2].iter().product();
         let mut out_dims = other.dims()[..rb - 2].to_vec();
         out_dims.extend_from_slice(&[m, n]);
+        let _g = obs::kernel(
+            obs::Kernel::MatmulTn,
+            2 * (batch * p * m * n) as u64,
+            4 * (self.numel() + other.numel()) as u64,
+            4 * (batch * m * n) as u64,
+        );
 
         let a = self.as_slice();
         let b = other.as_slice();
@@ -435,6 +454,12 @@ impl Tensor {
         assert!(r >= 2, "transpose_last2 requires rank >= 2");
         let (m, n) = (self.dim(r - 2), self.dim(r - 1));
         let batch: usize = self.dims()[..r - 2].iter().product();
+        let _g = obs::kernel(
+            obs::Kernel::Transpose,
+            0,
+            4 * self.numel() as u64,
+            4 * self.numel() as u64,
+        );
         let src = self.as_slice();
         // Recycled buffer: the transpose scatter writes every element once.
         let mut out = alloc::acquire(src.len());

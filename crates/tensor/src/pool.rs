@@ -235,6 +235,9 @@ pub fn par_for(n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
         return;
     }
     // Enlist at most (n_tasks - 1) workers; the caller runs tasks too.
+    // Counted here — past every serial fallback — so the tally reflects
+    // regions that actually fanned out.
+    sagdfn_obs::tally_pool_region(n_tasks as u64);
     let entries = p.workers.min(n_tasks - 1);
     let set = Arc::new(TaskSet {
         f: unsafe {

@@ -11,6 +11,7 @@
 use crate::alloc;
 use crate::pool;
 use crate::tensor::Tensor;
+use sagdfn_obs as obs;
 
 /// Fixed accumulation-chunk size of the full reductions. Also the serial
 /// path's chunk size — the grid must not depend on the thread count or
@@ -26,6 +27,8 @@ const AXIS_PARALLEL_THRESHOLD: usize = 32 * 1024;
 /// Chunked f64 accumulation of `per(v)` over `data`: partial sums per
 /// [`REDUCE_CHUNK`] block (parallel when large), combined left-to-right.
 fn chunked_reduce(data: &[f32], per: impl Fn(f32) -> f64 + Sync) -> f64 {
+    // One f64 out; flops = one op per element.
+    let _g = obs::kernel(obs::Kernel::Reduce, data.len() as u64, 4 * data.len() as u64, 8);
     let n_chunks = data.len().div_ceil(REDUCE_CHUNK).max(1);
     if data.len() >= REDUCE_PARALLEL_THRESHOLD && !pool::is_serial() {
         let mut partials = vec![0.0f64; n_chunks];
@@ -91,6 +94,12 @@ impl Tensor {
         let outer: usize = dims[..axis].iter().product();
         let axis_len = dims[axis];
         let inner: usize = dims[axis + 1..].iter().product();
+        let _g = obs::kernel(
+            obs::Kernel::Reduce,
+            self.numel() as u64,
+            4 * self.numel() as u64,
+            4 * (outer * inner) as u64,
+        );
         // Recycled buffer; seeded with `init` because accumulation below
         // reads the previous value of every output element.
         let mut out = alloc::acquire(outer * inner);

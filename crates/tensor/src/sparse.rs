@@ -32,6 +32,7 @@
 use crate::alloc;
 use crate::pool;
 use crate::tensor::Tensor;
+use sagdfn_obs as obs;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
@@ -100,14 +101,16 @@ pub fn set_sparse_mode(mode: SparseMode) -> SparseMode {
 /// Decides whether a matrix with `nnz` nonzeros out of `numel` entries
 /// should take the CSR path under the current [`sparse_mode`].
 pub fn should_use_sparse(nnz: usize, numel: usize) -> bool {
-    match sparse_mode() {
+    let sparse = match sparse_mode() {
         SparseMode::On => true,
         SparseMode::Off => false,
         SparseMode::Auto => {
             numel >= AUTO_MIN_NUMEL
                 && (numel - nnz) as f32 >= AUTO_MIN_ZERO_FRAC * numel as f32
         }
-    }
+    };
+    obs::tally_dispatch(sparse);
+    sparse
 }
 
 // ---------------------------------------------------------------------
@@ -145,6 +148,13 @@ impl Csr {
         let mut row_ptr = Vec::with_capacity(n_rows + 1);
         row_ptr.push(0usize);
         let nnz = src.iter().filter(|&&v| v != 0.0).count();
+        // Both the forward and transposed value arrays count as output.
+        let _g = obs::kernel(
+            obs::Kernel::CsrBuild,
+            0,
+            4 * dense.numel() as u64,
+            8 * nnz as u64,
+        );
         let mut col_idx = Vec::with_capacity(nnz);
         let mut values = Vec::with_capacity(nnz);
         for row in src.chunks(n_cols.max(1)) {
@@ -242,6 +252,7 @@ impl Csr {
             self.n_rows,
             self.n_cols,
             x,
+            obs::Kernel::Spmm,
         )
     }
 
@@ -259,6 +270,7 @@ impl Csr {
             self.n_cols,
             self.n_rows,
             x,
+            obs::Kernel::SpmmT,
         )
     }
 
@@ -273,6 +285,12 @@ impl Csr {
     pub fn dadj(&self, dy: &Tensor, x: &Tensor) -> Tensor {
         let (batch, c) = dadj_check(dy, x, self.n_rows, self.n_cols);
         let (n, m) = (self.n_rows, self.n_cols);
+        let _g = obs::kernel(
+            obs::Kernel::Dadj,
+            2 * (batch * self.nnz() * c) as u64,
+            4 * (dy.numel() + x.numel() + self.nnz()) as u64,
+            4 * (n * m) as u64,
+        );
         let dy_s = dy.as_slice();
         let x_s = x.as_slice();
         let mut out = alloc::acquire_zeroed(n * m);
@@ -309,6 +327,12 @@ pub fn dadj_dense(dy: &Tensor, x: &Tensor) -> Tensor {
     let n = dy.dim(r - 2);
     let m = x.dim(x.rank() - 2);
     let (batch, c) = dadj_check(dy, x, n, m);
+    let _g = obs::kernel(
+        obs::Kernel::Dadj,
+        2 * (batch * n * m * c) as u64,
+        4 * (dy.numel() + x.numel()) as u64,
+        4 * (n * m) as u64,
+    );
     let dy_s = dy.as_slice();
     let x_s = x.as_slice();
     let mut out = alloc::acquire_zeroed(n * m);
@@ -385,6 +409,7 @@ fn pair_dot(
 /// each row processed in groups aligned to absolute ⌊col/4⌋ boundaries —
 /// the exact accumulation structure of the dense `matmul_serial` kernel,
 /// so results match the dense product under `f32` equality.
+#[allow(clippy::too_many_arguments)]
 fn spmm_arrays(
     row_ptr: &[usize],
     col_idx: &[u32],
@@ -392,6 +417,7 @@ fn spmm_arrays(
     out_rows: usize,
     inner: usize,
     x: &Tensor,
+    kind: obs::Kernel,
 ) -> Tensor {
     let r = x.rank();
     assert!(r >= 2, "spmm requires a rank >= 2 rhs");
@@ -404,6 +430,12 @@ fn spmm_arrays(
     );
     let c = x.dim(r - 1);
     let batch: usize = x.dims()[..r - 2].iter().product();
+    let _g = obs::kernel(
+        kind,
+        2 * (batch * values.len() * c) as u64,
+        4 * (values.len() + x.numel()) as u64,
+        4 * (batch * out_rows * c) as u64,
+    );
     let xs = x.as_slice();
     // Accumulating kernel (and rows without nonzeros must stay zero), so
     // the recycled buffer has to come back zeroed.

@@ -5,13 +5,14 @@
 # training-step allocation baseline (BENCH_train.json) and runs the
 # criterion pool benches for the detailed per-size picture.
 #
-# Usage: scripts/bench_baseline.sh [out_file] [train_out_file] [diffusion_out_file]
+# Usage: scripts/bench_baseline.sh [out_file] [train_out_file] [diffusion_out_file] [trace_out_file]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_tensor.json}"
 TRAIN_OUT="${2:-BENCH_train.json}"
 DIFF_OUT="${3:-BENCH_diffusion.json}"
+TRACE_OUT="${4:-BENCH_trace.json}"
 
 echo "== building (release) =="
 cargo build --release -p sagdfn-bench
@@ -27,6 +28,10 @@ cargo run --release -q -p sagdfn-bench --bin bench_train_step -- --out "$TRAIN_O
 echo
 echo "== diffusion sparse-vs-dense baseline -> $DIFF_OUT =="
 cargo run --release -q -p sagdfn-bench --bin bench_diffusion -- --out "$DIFF_OUT"
+
+echo
+echo "== trace overhead baseline -> $TRACE_OUT =="
+cargo run --release -q -p sagdfn-bench --bin bench_trace -- --out "$TRACE_OUT"
 
 echo
 echo "== criterion pool benches =="

@@ -46,4 +46,19 @@ else
 fi
 
 echo
+echo "== bench_trace smoke (observability overhead guard) =="
+TRACE_OUT="$(mktemp)"
+trap 'rm -f "$SMOKE_OUT" "$DIFF_OUT" "$TRACE_OUT"' EXIT
+if [ -f BENCH_trace.json ]; then
+    # Fails if counters-mode tracing costs more than 3% over off, or if
+    # any trace mode perturbs training results.
+    cargo run --release -q -p sagdfn-bench --bin bench_trace -- \
+        --steps 6 --out "$TRACE_OUT" --check BENCH_trace.json
+else
+    echo "(no committed BENCH_trace.json; smoke run only)"
+    cargo run --release -q -p sagdfn-bench --bin bench_trace -- \
+        --steps 6 --out "$TRACE_OUT"
+fi
+
+echo
 echo "check.sh: all green"

@@ -9,4 +9,5 @@ pub use sagdfn_entmax as entmax;
 pub use sagdfn_graph as graph;
 pub use sagdfn_memsim as memsim;
 pub use sagdfn_nn as nn;
+pub use sagdfn_obs as obs;
 pub use sagdfn_tensor as tensor;

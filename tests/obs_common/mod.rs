@@ -1,0 +1,186 @@
+//! Shared counter-exactness cases: kernel counters must equal the
+//! analytic call/flop/byte totals derived from operand shapes — and,
+//! because every tally happens exactly once at public API entry, the
+//! totals must be invariant to the worker-thread count. Two test binaries
+//! include this module, one pinning `SAGDFN_THREADS=1` and one `=8`.
+
+use sagdfn_repro::autodiff::Tape;
+use sagdfn_repro::obs::{self, Kernel, KernelStats, Snapshot, TraceMode};
+use sagdfn_repro::tensor::sparse::Csr;
+use sagdfn_repro::tensor::{Rng64, Tensor};
+use std::rc::Rc;
+use std::sync::Once;
+
+/// Sets the thread-count env var exactly once, before any test in this
+/// process can touch the pool.
+pub fn init_threads(n: &str) {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| std::env::set_var("SAGDFN_THREADS", n));
+}
+
+fn rand(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    Tensor::rand_uniform(shape, -2.0, 2.0, &mut rng)
+}
+
+fn assert_kernel(d: &Snapshot, k: Kernel, calls: u64, flops: u64, b_in: u64, b_out: u64) {
+    let s = d.stats(k);
+    let want = KernelStats {
+        calls,
+        ns: s.ns, // wall time is data, not part of the exactness contract
+        flops,
+        bytes_in: b_in,
+        bytes_out: b_out,
+    };
+    assert_eq!(s, &want, "kernel {} counters diverged from analytic totals", k.name());
+}
+
+/// Runs every case under counters mode and restores the previous mode.
+pub fn run_all() {
+    let prev = obs::set_trace_mode(TraceMode::Counters);
+
+    // --- GEMM family, direct tensor calls --------------------------------
+    // matmul: (m,k)·(k,n) — flops 2mkn, 4 bytes per f32 element.
+    let (m, k, n) = (5usize, 7, 3);
+    let a = rand(&[m, k], 1);
+    let b = rand(&[k, n], 2);
+    let base = obs::snapshot();
+    let _c = a.matmul(&b);
+    let d = obs::snapshot().since(&base);
+    assert_kernel(
+        &d,
+        Kernel::Matmul,
+        1,
+        2 * (m * k * n) as u64,
+        4 * (m * k + k * n) as u64,
+        4 * (m * n) as u64,
+    );
+
+    // Batched matmul: (bt,m,k)·(k,n) — the batch multiplies the flops.
+    let bt = 4usize;
+    let ab = rand(&[bt, m, k], 3);
+    let base = obs::snapshot();
+    let _c = ab.matmul(&b);
+    let d = obs::snapshot().since(&base);
+    assert_kernel(
+        &d,
+        Kernel::Matmul,
+        1,
+        2 * (bt * m * k * n) as u64,
+        4 * (bt * m * k + k * n) as u64,
+        4 * (bt * m * n) as u64,
+    );
+
+    // matmul_nt: (m,p)·(n,p)ᵀ — flops 2mpn.
+    let p = 6usize;
+    let anp = rand(&[m, p], 4);
+    let bnp = rand(&[n, p], 5);
+    let base = obs::snapshot();
+    let _c = anp.matmul_nt(&bnp);
+    let d = obs::snapshot().since(&base);
+    assert_kernel(
+        &d,
+        Kernel::MatmulNt,
+        1,
+        2 * (m * p * n) as u64,
+        4 * (m * p + n * p) as u64,
+        4 * (m * n) as u64,
+    );
+
+    // matmul_tn: (p,m)ᵀ·(p,n) — flops 2pmn.
+    let atp = rand(&[p, m], 6);
+    let btp = rand(&[p, n], 7);
+    let base = obs::snapshot();
+    let _c = atp.matmul_tn(&btp);
+    let d = obs::snapshot().since(&base);
+    assert_kernel(
+        &d,
+        Kernel::MatmulTn,
+        1,
+        2 * (p * m * n) as u64,
+        4 * (p * m + p * n) as u64,
+        4 * (m * n) as u64,
+    );
+
+    // --- Autodiff step: (A·X).sum().backward() ---------------------------
+    // Forward runs one matmul; the backward rule runs exactly one
+    // matmul_nt (dA = G·Xᵀ) and one matmul_tn (dX = Aᵀ·G), all 2mkn flops.
+    let tape = Tape::new();
+    let base = obs::snapshot();
+    let va = tape.leaf(rand(&[m, k], 8));
+    let vx = tape.leaf(rand(&[k, n], 9));
+    let loss = va.matmul(&vx).sum();
+    let _grads = loss.backward();
+    let d = obs::snapshot().since(&base);
+    let gemm_flops = 2 * (m * k * n) as u64;
+    assert_eq!(d.stats(Kernel::Matmul).calls, 1, "graph matmul calls");
+    assert_eq!(d.stats(Kernel::Matmul).flops, gemm_flops, "graph matmul flops");
+    assert_eq!(d.stats(Kernel::MatmulNt).calls, 1, "graph matmul_nt calls");
+    assert_eq!(d.stats(Kernel::MatmulNt).flops, gemm_flops, "graph matmul_nt flops");
+    assert_eq!(d.stats(Kernel::MatmulTn).calls, 1, "graph matmul_tn calls");
+    assert_eq!(d.stats(Kernel::MatmulTn).flops, gemm_flops, "graph matmul_tn flops");
+    // 4 recorded nodes: two leaves, the matmul, the sum.
+    assert_eq!(d.stats(Kernel::Forward).calls, 4, "forward node tallies");
+    assert_eq!(d.stats(Kernel::Backward).calls, 1, "backward pass tally");
+
+    // --- Sparse family ---------------------------------------------------
+    // A hand-sized diffusion: adjacency from α-entmax rows (exact zeros),
+    // CSR build, then spmm forward + spmm_t/dadj backward via the graph.
+    let (nn, mm, cc, bb) = (8usize, 6, 4, 2);
+    let scores = rand(&[nn, mm], 10);
+
+    let tape = Tape::new();
+    let v_scores = tape.leaf(scores);
+    let vx = tape.leaf(rand(&[bb, mm, cc], 11));
+
+    let base = obs::snapshot();
+    let adj = v_scores.entmax_rows(1.5);
+    let d = obs::snapshot().since(&base);
+    let len = (nn * mm) as u64;
+    // Entmax flop convention: 2 ops per element (bisection cost is
+    // data-dependent; counters need a shape-derivable definition).
+    assert_kernel(&d, Kernel::Entmax, 1, 2 * len, 4 * len, 4 * len);
+
+    let base = obs::snapshot();
+    let csr = Rc::new(Csr::from_dense(&adj.value()));
+    let nnz = csr.nnz() as u64;
+    assert!(nnz < len, "entmax at alpha=1.5 should produce exact zeros");
+    let d = obs::snapshot().since(&base);
+    // CsrBuild: reads the dense matrix, writes forward + transposed values.
+    assert_kernel(&d, Kernel::CsrBuild, 1, 0, 4 * len, 8 * nnz);
+
+    let base = obs::snapshot();
+    let y = adj.spmm_diffuse(&vx, Some(csr)).sum();
+    let _grads = y.backward();
+    let d = obs::snapshot().since(&base);
+    let spmm_flops = 2 * (bb as u64) * nnz * cc as u64;
+    assert_kernel(
+        &d,
+        Kernel::Spmm,
+        1,
+        spmm_flops,
+        4 * (nnz + (bb * mm * cc) as u64),
+        4 * (bb * nn * cc) as u64,
+    );
+    assert_kernel(
+        &d,
+        Kernel::SpmmT,
+        1,
+        spmm_flops,
+        4 * (nnz + (bb * nn * cc) as u64),
+        4 * (bb * mm * cc) as u64,
+    );
+    assert_kernel(
+        &d,
+        Kernel::Dadj,
+        1,
+        spmm_flops,
+        4 * ((bb * nn * cc) as u64 + (bb * mm * cc) as u64 + nnz),
+        4 * len,
+    );
+    // The backward also runs the entmax Jacobian-vector product once.
+    assert_kernel(&d, Kernel::EntmaxBackward, 1, 2 * len, 8 * len, 4 * len);
+    assert_eq!(d.stats(Kernel::Matmul).calls, 0, "sparse path must not fall back to GEMM");
+
+    obs::set_trace_mode(prev);
+}

@@ -1,0 +1,15 @@
+//! Counter exactness with the degenerate pool (`SAGDFN_THREADS=1`):
+//! every analytic total must hold with no parallel fan-out at all.
+//!
+//! One `#[test]` only — kernel counters are process-global, so the cases
+//! must not run concurrently with other counter-reading tests.
+
+#[path = "obs_common/mod.rs"]
+mod obs_common;
+
+#[test]
+fn counters_match_analytic_totals_single_thread() {
+    obs_common::init_threads("1");
+    assert!(sagdfn_repro::tensor::pool::is_serial());
+    obs_common::run_all();
+}

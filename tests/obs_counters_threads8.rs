@@ -1,0 +1,16 @@
+//! Counter exactness with a genuinely parallel pool (`SAGDFN_THREADS=8`):
+//! tallies happen once at public API entry, so the analytic totals must
+//! be identical to the single-thread binary's — thread-count invariance.
+//!
+//! One `#[test]` only — kernel counters are process-global, so the cases
+//! must not run concurrently with other counter-reading tests.
+
+#[path = "obs_common/mod.rs"]
+mod obs_common;
+
+#[test]
+fn counters_match_analytic_totals_eight_threads() {
+    obs_common::init_threads("8");
+    assert_eq!(sagdfn_repro::tensor::pool::num_threads(), 8);
+    obs_common::run_all();
+}

@@ -131,6 +131,100 @@ proptest! {
         prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 
+    /// The transpose-free GEMMs agree with the explicit-transpose
+    /// reference: A·Bᵀ == A·(Bᵀ) and Aᵀ·B == (Aᵀ)·B.
+    #[test]
+    fn transpose_free_gemms_match_reference(
+        seed in 0u64..1000,
+        m in 1usize..6,
+        k in 1usize..6,
+        n in 1usize..6,
+    ) {
+        let mut rng = sagdfn_repro::tensor::Rng64::new(seed);
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([n, k], -1.0, 1.0, &mut rng);
+        let nt = a.matmul_nt(&b);
+        let nt_ref = a.matmul(&b.transpose_last2());
+        prop_assert_eq!(nt.dims(), nt_ref.dims());
+        for (x, y) in nt.as_slice().iter().zip(nt_ref.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4, "matmul_nt: {x} vs {y}");
+        }
+        let at = Tensor::rand_uniform([k, m], -1.0, 1.0, &mut rng);
+        let c = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        let tn = at.matmul_tn(&c);
+        let tn_ref = at.transpose_last2().matmul(&c);
+        prop_assert_eq!(tn.dims(), tn_ref.dims());
+        for (x, y) in tn.as_slice().iter().zip(tn_ref.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4, "matmul_tn: {x} vs {y}");
+        }
+    }
+
+    /// JSONL span records are well-formed, carry non-negative durations,
+    /// and the spans opened on this thread are strictly nested — for any
+    /// randomly generated open/close sequence.
+    #[test]
+    fn span_jsonl_records_are_well_formed(
+        ops in prop::collection::vec(0usize..3, 1..24),
+    ) {
+        use sagdfn_repro::obs;
+        const NAMES: [&str; 6] = ["ps0", "ps1", "ps2", "ps3", "ps4", "ps5"];
+        let prev = obs::set_trace_mode(obs::TraceMode::Full);
+        let mut opened = 0usize;
+        {
+            // op 0 closes the innermost span, anything else opens one.
+            let mut stack: Vec<obs::Span> = Vec::new();
+            for &op in &ops {
+                if op == 0 && !stack.is_empty() {
+                    stack.pop();
+                } else if op != 0 && stack.len() < NAMES.len() {
+                    if let Some(s) = obs::span(NAMES[stack.len()]) {
+                        stack.push(s);
+                        opened += 1;
+                    }
+                }
+            }
+            // Close innermost-first (a plain Vec drop would close the
+            // outermost span before its children).
+            while stack.pop().is_some() {}
+        }
+        obs::set_trace_mode(prev);
+        // Other tests may emit spans concurrently (the mode is global);
+        // ours are identified by the reserved ps* names.
+        let mut mine = Vec::new();
+        for line in obs::drain_spans() {
+            let rec = sagdfn_json::Json::parse(&line).expect("trace line parses as JSON");
+            prop_assert_eq!(rec.req("kind").ok().map(|k| k.as_str().unwrap().to_string()),
+                            Some("span".to_string()));
+            let name = rec.req("name").unwrap().as_str().unwrap().to_string();
+            let tid = rec.req("tid").unwrap().as_f64().unwrap();
+            let depth = rec.req("depth").unwrap().as_f64().unwrap();
+            let ts = rec.req("ts_ns").unwrap().as_f64().unwrap();
+            let dur = rec.req("dur_ns").unwrap().as_f64().unwrap();
+            let id = rec.req("id").unwrap().as_f64().unwrap();
+            prop_assert!(ts >= 0.0 && dur >= 0.0 && tid >= 0.0 && id >= 0.0);
+            if let Some(d) = NAMES.iter().position(|&n| n == name) {
+                // The name encodes the construction depth; it must match
+                // the depth the tracer recorded.
+                prop_assert_eq!(depth as usize, d);
+                mine.push((ts, ts + dur));
+            }
+        }
+        // Every opened span must come back out of the drain.
+        prop_assert_eq!(mine.len(), opened);
+        // Strict nesting: any two of this thread's spans are disjoint or
+        // one contains the other (ties allowed at ns resolution).
+        for (i, &(s1, e1)) in mine.iter().enumerate() {
+            for &(s2, e2) in &mine[i + 1..] {
+                let disjoint = e1 <= s2 || e2 <= s1;
+                let contained = (s1 <= s2 && e2 <= e1) || (s2 <= s1 && e1 <= e2);
+                prop_assert!(
+                    disjoint || contained,
+                    "spans overlap without nesting: [{s1},{e1}] vs [{s2},{e2}]"
+                );
+            }
+        }
+    }
+
     /// Autodiff gradients of a random composite agree with finite
     /// differences (spot check on the integration level).
     #[test]

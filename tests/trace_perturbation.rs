@@ -1,0 +1,79 @@
+//! Non-perturbation of the observability subsystem, end to end.
+//!
+//! `SAGDFN_TRACE` hooks only read clocks and bump atomics — they must
+//! never touch a float. This test runs the identical forward + backward +
+//! optimizer step under `off`, `counters`, and `full` and requires the
+//! loss, every parameter gradient, and every updated parameter to agree
+//! bit for bit (extends the `sparse_dense.rs` equivalence pattern to the
+//! trace modes).
+
+use sagdfn_repro::autodiff::Tape;
+use sagdfn_repro::data::{metr_la_like, Scale, SplitSpec, ThreeWaySplit};
+use sagdfn_repro::nn::loss::masked_mae;
+use sagdfn_repro::nn::{Adam, Optimizer};
+use sagdfn_repro::obs::{self, TraceMode};
+use sagdfn_repro::sagdfn::{Sagdfn, SagdfnConfig};
+use sagdfn_repro::tensor::Tensor;
+
+/// One forward + backward + Adam step of the full model under the given
+/// trace mode: returns the loss, every named parameter gradient, and the
+/// bit pattern of every updated parameter scalar.
+fn train_step(mode: TraceMode) -> (f32, Vec<(String, Tensor)>, Vec<u32>) {
+    let prev = obs::set_trace_mode(mode);
+    let data = metr_la_like(Scale::Tiny);
+    let n = data.dataset.nodes();
+    let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(12, 12));
+    let mut model = Sagdfn::new(n, SagdfnConfig::for_scale(Scale::Tiny, n));
+    let batch = split.train.make_batch(&[0, 1]);
+
+    let tape = Tape::new();
+    let bind = model.params.bind(&tape);
+    let pred = model.forward(&tape, &bind, &batch, split.scaler);
+    let mask = Sagdfn::loss_mask(&batch.y);
+    let loss = masked_mae(pred, &batch.y, &mask);
+    let loss_value = loss.item();
+    let grads = loss.backward();
+    let mut grad_out = Vec::new();
+    for id in model.params.ids() {
+        let g = bind
+            .grad(&grads, id)
+            .unwrap_or_else(|| panic!("{} has no gradient", model.params.name(id)))
+            .clone();
+        grad_out.push((model.params.name(id).to_string(), g));
+    }
+    let mut opt = Adam::new(1e-3);
+    opt.step(&mut model.params, &bind, &grads);
+    let param_bits: Vec<u32> = model
+        .params
+        .ids()
+        .flat_map(|id| model.params.get(id).as_slice().iter().map(|v| v.to_bits()))
+        .collect();
+    obs::set_trace_mode(prev);
+    obs::drain_spans(); // discard any full-mode span records
+    (loss_value, grad_out, param_bits)
+}
+
+fn assert_same(
+    (loss_a, grads_a, bits_a): &(f32, Vec<(String, Tensor)>, Vec<u32>),
+    (loss_b, grads_b, bits_b): &(f32, Vec<(String, Tensor)>, Vec<u32>),
+    what: &str,
+) {
+    assert_eq!(loss_a, loss_b, "{what}: loss diverged");
+    assert_eq!(grads_a.len(), grads_b.len(), "{what}: param count");
+    for ((name_a, ga), (name_b, gb)) in grads_a.iter().zip(grads_b) {
+        assert_eq!(name_a, name_b, "{what}: param order");
+        assert_eq!(ga, gb, "{what}: gradient of {name_a} diverged");
+    }
+    assert_eq!(bits_a, bits_b, "{what}: updated params diverged");
+}
+
+// One #[test] — trace mode is process-global state, so the three modes
+// must run sequentially in a single thread to be meaningful.
+#[test]
+fn trace_modes_are_bit_identical_end_to_end() {
+    let off = train_step(TraceMode::Off);
+    let counters = train_step(TraceMode::Counters);
+    let full = train_step(TraceMode::Full);
+    assert_same(&counters, &off, "counters vs off");
+    assert_same(&full, &off, "full vs off");
+}
