@@ -18,6 +18,14 @@
 //! `backward()` fills gradients, and the optimizer reads them back via
 //! `Gradients`. Dropping the tape frees all intermediates.
 //!
+//! ## No-grad execution
+//!
+//! Inference does not need the graph. [`Tape::no_grad`] returns a
+//! [`NoGradGuard`]; while it is live, every op runs the identical tensor
+//! kernels but stores only its forward value — no node, no parent list, no
+//! boxed backward closure. Outputs are bit-identical to the recording path
+//! and [`Tape::len`] stays at zero for a pure-eval pass.
+//!
 //! ## Correctness
 //!
 //! Every differentiable op is covered by a finite-difference gradient check
@@ -29,4 +37,4 @@ pub mod gradcheck;
 pub mod ops;
 pub mod tape;
 
-pub use tape::{Gradients, Tape, TapeStats, Var};
+pub use tape::{Gradients, NoGradGuard, Tape, TapeStats, Var};

@@ -28,16 +28,12 @@ impl<'t> Var<'t> {
         self.same_tape(other);
         let (sa, sb) = (self.shape(), other.shape());
         let value = self.with_value(|a| other.with_value(|b| a.add(b)));
-        self.tape.push(
-            value,
-            vec![self.id, other.id],
-            Some(Box::new(move |g, _, _| {
-                vec![
-                    reduce_grad_to_shape(g, &sa),
-                    reduce_grad_to_shape(g, &sb),
-                ]
-            })),
-        )
+        self.tape.push_op(value, &[*self, *other], move |g, _, _| {
+            vec![
+                reduce_grad_to_shape(g, &sa),
+                reduce_grad_to_shape(g, &sb),
+            ]
+        })
     }
 
     /// Elementwise difference with broadcasting.
@@ -45,16 +41,12 @@ impl<'t> Var<'t> {
         self.same_tape(other);
         let (sa, sb) = (self.shape(), other.shape());
         let value = self.with_value(|a| other.with_value(|b| a.sub(b)));
-        self.tape.push(
-            value,
-            vec![self.id, other.id],
-            Some(Box::new(move |g, _, _| {
-                vec![
-                    reduce_grad_to_shape(g, &sa),
-                    reduce_grad_to_shape(&g.neg(), &sb),
-                ]
-            })),
-        )
+        self.tape.push_op(value, &[*self, *other], move |g, _, _| {
+            vec![
+                reduce_grad_to_shape(g, &sa),
+                reduce_grad_to_shape(&g.neg(), &sb),
+            ]
+        })
     }
 
     /// Elementwise product with broadcasting.
@@ -62,17 +54,13 @@ impl<'t> Var<'t> {
         self.same_tape(other);
         let (sa, sb) = (self.shape(), other.shape());
         let value = self.with_value(|a| other.with_value(|b| a.mul(b)));
-        self.tape.push(
-            value,
-            vec![self.id, other.id],
-            Some(Box::new(move |g, parents, _| {
-                let (a, b) = (parents[0], parents[1]);
-                vec![
-                    reduce_grad_to_shape(&broadcast_binary(g, b, |g, b| g * b), &sa),
-                    reduce_grad_to_shape(&broadcast_binary(g, a, |g, a| g * a), &sb),
-                ]
-            })),
-        )
+        self.tape.push_op(value, &[*self, *other], move |g, parents, _| {
+            let (a, b) = (parents[0], parents[1]);
+            vec![
+                reduce_grad_to_shape(&broadcast_binary(g, b, |g, b| g * b), &sa),
+                reduce_grad_to_shape(&broadcast_binary(g, a, |g, a| g * a), &sb),
+            ]
+        })
     }
 
     /// Elementwise quotient with broadcasting.
@@ -80,41 +68,31 @@ impl<'t> Var<'t> {
         self.same_tape(other);
         let (sa, sb) = (self.shape(), other.shape());
         let value = self.with_value(|a| other.with_value(|b| a.div(b)));
-        self.tape.push(
-            value,
-            vec![self.id, other.id],
-            Some(Box::new(move |g, parents, _| {
-                let (a, b) = (parents[0], parents[1]);
-                let da = broadcast_binary(g, b, |g, b| g / b);
-                // d/db (a/b) = -a / b^2
-                let gb = broadcast_binary(g, a, |g, a| g * a);
-                let db = broadcast_binary(&gb, b, |x, b| -x / (b * b));
-                vec![
-                    reduce_grad_to_shape(&da, &sa),
-                    reduce_grad_to_shape(&db, &sb),
-                ]
-            })),
-        )
+        self.tape.push_op(value, &[*self, *other], move |g, parents, _| {
+            let (a, b) = (parents[0], parents[1]);
+            let da = broadcast_binary(g, b, |g, b| g / b);
+            // d/db (a/b) = -a / b^2
+            let gb = broadcast_binary(g, a, |g, a| g * a);
+            let db = broadcast_binary(&gb, b, |x, b| -x / (b * b));
+            vec![
+                reduce_grad_to_shape(&da, &sa),
+                reduce_grad_to_shape(&db, &sb),
+            ]
+        })
     }
 
     /// Adds a constant scalar.
     pub fn add_scalar(&self, s: f32) -> Var<'t> {
         let value = self.with_value(|a| a.add_scalar(s));
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(|g, _, _| vec![g.clone()])),
-        )
+        self.tape
+            .push_op(value, &[*self], |g, _, _| vec![g.clone()])
     }
 
     /// Multiplies by a constant scalar.
     pub fn scale(&self, s: f32) -> Var<'t> {
         let value = self.with_value(|a| a.scale(s));
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(move |g, _, _| vec![g.scale(s)])),
-        )
+        self.tape
+            .push_op(value, &[*self], move |g, _, _| vec![g.scale(s)])
     }
 
     /// Negation.
@@ -135,10 +113,8 @@ impl<'t> Var<'t> {
         let (ra, rb) = (self.shape().rank(), other.shape().rank());
         let shared_rhs = rb == 2 && ra > 2;
         let shared_lhs = ra == 2 && rb > 2;
-        self.tape.push(
-            value,
-            vec![self.id, other.id],
-            Some(Box::new(move |g, parents, _| {
+        self.tape
+            .push_op(value, &[*self, *other], move |g, parents, _| {
                 let (a, b) = (parents[0], parents[1]);
                 if shared_rhs {
                     // A: (..batch, m, k), B: (k, n), G: (..batch, m, n).
@@ -163,8 +139,7 @@ impl<'t> Var<'t> {
                     let db = a.matmul_tn(g);
                     vec![da, db]
                 }
-            })),
-        )
+            })
     }
 
     /// `self · otherᵀ` for rank-2 operands, via the transpose-free
@@ -175,15 +150,12 @@ impl<'t> Var<'t> {
         assert_eq!(self.shape().rank(), 2, "Var::matmul_nt expects rank-2 operands");
         assert_eq!(other.shape().rank(), 2, "Var::matmul_nt expects rank-2 operands");
         let value = self.with_value(|a| other.with_value(|b| a.matmul_nt(b)));
-        self.tape.push(
-            value,
-            vec![self.id, other.id],
-            Some(Box::new(move |g, parents, _| {
+        self.tape
+            .push_op(value, &[*self, *other], move |g, parents, _| {
                 let (a, b) = (parents[0], parents[1]);
                 // C = A·Bᵀ ⇒ dA = G·B, dB = Gᵀ·A.
                 vec![g.matmul(b), g.matmul_tn(a)]
-            })),
-        )
+            })
     }
 
     /// Graph-diffusion product `Y[b] = A · X[b]` for the adjacency `self`
@@ -214,27 +186,20 @@ impl<'t> Var<'t> {
             Some(c) => x.with_value(|xv| c.spmm(xv)),
             None => self.with_value(|a| x.with_value(|xv| a.matmul(xv))),
         };
-        self.tape.push(
-            value,
-            vec![self.id, x.id],
-            Some(Box::new(move |g, parents, _| {
-                let (a, xv) = (parents[0], parents[1]);
-                match &csr {
-                    Some(c) => vec![c.dadj(g, xv), c.spmm_t(g)],
-                    None => vec![dadj_dense(g, xv), a.matmul_tn(g)],
-                }
-            })),
-        )
+        self.tape.push_op(value, &[*self, *x], move |g, parents, _| {
+            let (a, xv) = (parents[0], parents[1]);
+            match &csr {
+                Some(c) => vec![c.dadj(g, xv), c.spmm_t(g)],
+                None => vec![dadj_dense(g, xv), a.matmul_tn(g)],
+            }
+        })
     }
 
     /// Swaps the last two dimensions.
     pub fn transpose_last2(&self) -> Var<'t> {
         let value = self.with_value(|a| a.transpose_last2());
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(|g, _, _| vec![g.transpose_last2()])),
-        )
+        self.tape
+            .push_op(value, &[*self], |g, _, _| vec![g.transpose_last2()])
     }
 
     /// Reshape (element count preserved).
@@ -242,11 +207,8 @@ impl<'t> Var<'t> {
         let shape = shape.into();
         let orig = self.shape();
         let value = self.with_value(|a| a.reshape(shape.clone()));
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(move |g, _, _| vec![g.reshape(orig.clone())])),
-        )
+        self.tape
+            .push_op(value, &[*self], move |g, _, _| vec![g.reshape(orig.clone())])
     }
 
     // ---------------------------------------------------------------------
@@ -256,100 +218,72 @@ impl<'t> Var<'t> {
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Var<'t> {
         let value = self.with_value(|a| a.sigmoid());
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(|g, _, own| {
-                vec![broadcast_binary(g, own, |g, s| g * s * (1.0 - s))]
-            })),
-        )
+        self.tape.push_op(value, &[*self], |g, _, own| {
+            vec![broadcast_binary(g, own, |g, s| g * s * (1.0 - s))]
+        })
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Var<'t> {
         let value = self.with_value(|a| a.tanh());
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(|g, _, own| {
-                vec![broadcast_binary(g, own, |g, t| g * (1.0 - t * t))]
-            })),
-        )
+        self.tape.push_op(value, &[*self], |g, _, own| {
+            vec![broadcast_binary(g, own, |g, t| g * (1.0 - t * t))]
+        })
     }
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Var<'t> {
         let value = self.with_value(|a| a.relu());
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(|g, parents, _| {
-                vec![broadcast_binary(g, parents[0], |g, x| {
-                    if x > 0.0 {
-                        g
-                    } else {
-                        0.0
-                    }
-                })]
-            })),
-        )
+        self.tape.push_op(value, &[*self], |g, parents, _| {
+            vec![broadcast_binary(g, parents[0], |g, x| {
+                if x > 0.0 {
+                    g
+                } else {
+                    0.0
+                }
+            })]
+        })
     }
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Var<'t> {
         let value = self.with_value(|a| a.exp());
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(|g, _, own| {
-                vec![broadcast_binary(g, own, |g, e| g * e)]
-            })),
-        )
+        self.tape.push_op(value, &[*self], |g, _, own| {
+            vec![broadcast_binary(g, own, |g, e| g * e)]
+        })
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Var<'t> {
         let value = self.with_value(|a| a.sqrt());
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(|g, _, own| {
-                vec![broadcast_binary(g, own, |g, s| g * 0.5 / s)]
-            })),
-        )
+        self.tape.push_op(value, &[*self], |g, _, own| {
+            vec![broadcast_binary(g, own, |g, s| g * 0.5 / s)]
+        })
     }
 
     /// Elementwise square.
     pub fn square(&self) -> Var<'t> {
         let value = self.with_value(|a| a.square());
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(|g, parents, _| {
-                vec![broadcast_binary(g, parents[0], |g, x| g * 2.0 * x)]
-            })),
-        )
+        self.tape.push_op(value, &[*self], |g, parents, _| {
+            vec![broadcast_binary(g, parents[0], |g, x| g * 2.0 * x)]
+        })
     }
 
     /// Elementwise absolute value; subgradient 0 at the kink (the choice
     /// PyTorch makes, and what the paper's L1 loss — Eq. 11 — needs).
     pub fn abs(&self) -> Var<'t> {
         let value = self.with_value(|a| a.abs());
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(|g, parents, _| {
-                vec![broadcast_binary(g, parents[0], |g, x| {
-                    if x > 0.0 {
-                        g
-                    } else if x < 0.0 {
-                        -g
-                    } else {
-                        0.0
-                    }
-                })]
-            })),
-        )
+        self.tape.push_op(value, &[*self], |g, parents, _| {
+            vec![broadcast_binary(g, parents[0], |g, x| {
+                if x > 0.0 {
+                    g
+                } else if x < 0.0 {
+                    -g
+                } else {
+                    0.0
+                }
+            })]
+        })
     }
 
     // ---------------------------------------------------------------------
@@ -360,13 +294,9 @@ impl<'t> Var<'t> {
     pub fn sum(&self) -> Var<'t> {
         let orig = self.shape();
         let value = Tensor::scalar(self.with_value(|a| a.sum()));
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(move |g, _, _| {
-                vec![Tensor::full(orig.clone(), g.item())]
-            })),
-        )
+        self.tape.push_op(value, &[*self], move |g, _, _| {
+            vec![Tensor::full(orig.clone(), g.item())]
+        })
     }
 
     /// Mean of all elements → scalar var.
@@ -379,27 +309,23 @@ impl<'t> Var<'t> {
     pub fn sum_axis(&self, axis: usize) -> Var<'t> {
         let orig = self.shape();
         let value = self.with_value(|a| a.sum_axis(axis));
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(move |g, _, _| {
-                // Tile the reduced gradient back along the removed axis.
-                let dims = orig.dims();
-                let outer: usize = dims[..axis].iter().product();
-                let axis_len = dims[axis];
-                let inner: usize = dims[axis + 1..].iter().product();
-                let gsrc = g.as_slice();
-                // Recycled buffer: the tiling copies every output slice.
-                let mut out = sagdfn_tensor::alloc::acquire(orig.numel());
-                for o in 0..outer {
-                    for a in 0..axis_len {
-                        let dst = &mut out[(o * axis_len + a) * inner..][..inner];
-                        dst.copy_from_slice(&gsrc[o * inner..(o + 1) * inner]);
-                    }
+        self.tape.push_op(value, &[*self], move |g, _, _| {
+            // Tile the reduced gradient back along the removed axis.
+            let dims = orig.dims();
+            let outer: usize = dims[..axis].iter().product();
+            let axis_len = dims[axis];
+            let inner: usize = dims[axis + 1..].iter().product();
+            let gsrc = g.as_slice();
+            // Recycled buffer: the tiling copies every output slice.
+            let mut out = sagdfn_tensor::alloc::acquire(orig.numel());
+            for o in 0..outer {
+                for a in 0..axis_len {
+                    let dst = &mut out[(o * axis_len + a) * inner..][..inner];
+                    dst.copy_from_slice(&gsrc[o * inner..(o + 1) * inner]);
                 }
-                vec![Tensor::from_vec(out, orig.clone())]
-            })),
-        )
+            }
+            vec![Tensor::from_vec(out, orig.clone())]
+        })
     }
 
     /// Mean along `axis`, removing that dimension.
@@ -419,19 +345,12 @@ impl<'t> Var<'t> {
         for p in parts {
             parts[0].same_tape(p);
         }
-        let ids: Vec<usize> = parts.iter().map(|p| p.id).collect();
         // Borrow the part values straight off the tape — no per-part clone.
-        let (value, sizes) = {
-            let nodes = tape.nodes.borrow();
-            let refs: Vec<&Tensor> = ids.iter().map(|&i| &nodes[i].value).collect();
+        let (value, sizes) = tape.with_values(parts, |refs| {
             let sizes: Vec<usize> = refs.iter().map(|v| v.dim(axis)).collect();
-            (Tensor::concat(&refs, axis), sizes)
-        };
-        tape.push(
-            value,
-            ids,
-            Some(Box::new(move |g, _, _| g.split(axis, &sizes))),
-        )
+            (Tensor::concat(refs, axis), sizes)
+        });
+        tape.push_op(value, parts, move |g, _, _| g.split(axis, &sizes))
     }
 
     /// Stacks equally-shaped vars along a new axis.
@@ -452,15 +371,11 @@ impl<'t> Var<'t> {
         let orig = self.shape();
         let idx = indices.to_vec();
         let value = self.with_value(|a| a.index_select(axis, indices));
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(move |g, _, _| {
-                let mut acc = Tensor::zeros(orig.clone());
-                acc.scatter_add(axis, &idx, g);
-                vec![acc]
-            })),
-        )
+        self.tape.push_op(value, &[*self], move |g, _, _| {
+            let mut acc = Tensor::zeros(orig.clone());
+            acc.scatter_add(axis, &idx, g);
+            vec![acc]
+        })
     }
 
     /// Copies the half-open range `[start, end)` along `axis`.
@@ -474,11 +389,8 @@ impl<'t> Var<'t> {
     pub fn permute(&self, perm: &[usize]) -> Var<'t> {
         let value = self.with_value(|a| a.permute(perm));
         let inverse = sagdfn_tensor::index::inverse_permutation(perm);
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(move |g, _, _| vec![g.permute(&inverse)])),
-        )
+        self.tape
+            .push_op(value, &[*self], move |g, _, _| vec![g.permute(&inverse)])
     }
 
     // ---------------------------------------------------------------------
@@ -497,17 +409,13 @@ impl<'t> Var<'t> {
                 a.shape().clone(),
             )
         });
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(move |g, _, own| {
-                let n = own.dim(own.rank() - 1);
-                vec![Tensor::from_vec(
-                    sagdfn_entmax::entmax_backward_rows(own.as_slice(), g.as_slice(), n, alpha),
-                    own.shape().clone(),
-                )]
-            })),
-        )
+        self.tape.push_op(value, &[*self], move |g, _, own| {
+            let n = own.dim(own.rank() - 1);
+            vec![Tensor::from_vec(
+                sagdfn_entmax::entmax_backward_rows(own.as_slice(), g.as_slice(), n, alpha),
+                own.shape().clone(),
+            )]
+        })
     }
 
     /// Softmax over the last axis (α = 1 entmax).
@@ -521,35 +429,27 @@ impl<'t> Var<'t> {
         let sa = self.shape();
         let value = self.with_value(|a| a.mul(mask));
         let mask = mask.clone();
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(move |g, _, _| {
-                vec![reduce_grad_to_shape(
-                    &broadcast_binary(g, &mask, |g, m| g * m),
-                    &sa,
-                )]
-            })),
-        )
+        self.tape.push_op(value, &[*self], move |g, _, _| {
+            vec![reduce_grad_to_shape(
+                &broadcast_binary(g, &mask, |g, m| g * m),
+                &sa,
+            )]
+        })
     }
 
     /// `max(self, floor)` elementwise against a constant — a numerically
     /// convenient clamp used to keep degree normalizers positive.
     pub fn clamp_min(&self, floor: f32) -> Var<'t> {
         let value = self.with_value(|a| map(a, |x| x.max(floor)));
-        self.tape.push(
-            value,
-            vec![self.id],
-            Some(Box::new(move |g, parents, _| {
-                vec![broadcast_binary(g, parents[0], move |g, x| {
-                    if x > floor {
-                        g
-                    } else {
-                        0.0
-                    }
-                })]
-            })),
-        )
+        self.tape.push_op(value, &[*self], move |g, parents, _| {
+            vec![broadcast_binary(g, parents[0], move |g, x| {
+                if x > floor {
+                    g
+                } else {
+                    0.0
+                }
+            })]
+        })
     }
 }
 

@@ -2,7 +2,7 @@
 
 use sagdfn_obs as obs;
 use sagdfn_tensor::{Shape, Tensor};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 /// Backward closure: `(grad_out, parent_values, own_value) -> parent_grads`.
 ///
@@ -22,11 +22,22 @@ pub(crate) struct Node {
 /// for the next: the node arena keeps its capacity, and the backward
 /// gradient table is recycled via [`recycle_gradients`](Tape::recycle_gradients),
 /// so steady-state steps re-record the graph without reallocating it.
+///
+/// A tape also carries a *no-grad* execution mode (see [`Tape::no_grad`]):
+/// while a [`NoGradGuard`] is live, every `Var` op runs the identical
+/// tensor kernels but stores only the forward value in a parallel value
+/// arena — no backward closure is boxed and no graph node is recorded, so
+/// [`Tape::len`]/[`Tape::stats`] stay at zero for a pure-eval pass.
 #[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: RefCell<Vec<Node>>,
     /// Recycled backing storage for the backward gradient table.
     grad_scratch: RefCell<Vec<Option<Tensor>>>,
+    /// Forward values produced while in no-grad mode (no `Node` wrapper:
+    /// no parents, no closure — just the tensor).
+    pub(crate) eval_values: RefCell<Vec<Tensor>>,
+    /// True while a [`NoGradGuard`] is live.
+    eval_mode: Cell<bool>,
 }
 
 /// A handle to one node on a tape. Cheap to copy; all tensor ops live on
@@ -35,6 +46,22 @@ pub struct Tape {
 pub struct Var<'t> {
     pub(crate) tape: &'t Tape,
     pub(crate) id: usize,
+    /// True when `id` indexes the no-grad value arena rather than the
+    /// recorded graph.
+    pub(crate) eval: bool,
+}
+
+/// RAII guard returned by [`Tape::no_grad`]; restores the tape's previous
+/// execution mode on drop, so guards nest correctly.
+pub struct NoGradGuard<'t> {
+    tape: &'t Tape,
+    prev: bool,
+}
+
+impl Drop for NoGradGuard<'_> {
+    fn drop(&mut self) {
+        self.tape.eval_mode.set(self.prev);
+    }
 }
 
 impl Tape {
@@ -43,7 +70,8 @@ impl Tape {
         Tape::default()
     }
 
-    /// Number of nodes recorded so far.
+    /// Number of nodes recorded so far. No-grad values do not count: a
+    /// pure-eval pass leaves the recorded graph empty.
     pub fn len(&self) -> usize {
         self.nodes.borrow().len()
     }
@@ -51,6 +79,21 @@ impl Tape {
     /// True when no node has been recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Enters no-grad mode until the returned guard drops. While active,
+    /// `Var` ops compute forward values through the exact same kernels but
+    /// skip node recording and backward-closure allocation entirely.
+    pub fn no_grad(&self) -> NoGradGuard<'_> {
+        NoGradGuard {
+            tape: self,
+            prev: self.eval_mode.replace(true),
+        }
+    }
+
+    /// True while a [`NoGradGuard`] is live on this tape.
+    pub fn is_no_grad(&self) -> bool {
+        self.eval_mode.get()
     }
 
     /// Clears every recorded node while retaining the arena's capacity, so
@@ -65,6 +108,7 @@ impl Tape {
         // Dropping the nodes releases their value tensors back to the
         // tensor recycling pool; `clear` keeps the Vec allocation itself.
         self.nodes.borrow_mut().clear();
+        self.eval_values.borrow_mut().clear();
     }
 
     /// Returns a spent gradient table's backing storage to the tape so the
@@ -95,8 +139,12 @@ impl Tape {
     }
 
     /// Records a leaf (parameter or input). Leaves receive gradients but
-    /// have no backward function.
+    /// have no backward function. In no-grad mode the value goes to the
+    /// eval arena instead (no gradient will ever be read).
     pub fn leaf(&self, value: Tensor) -> Var<'_> {
+        if self.eval_mode.get() {
+            return self.push_eval(value);
+        }
         self.push(value, Vec::new(), None)
     }
 
@@ -123,7 +171,70 @@ impl Tape {
             parents,
             backward,
         });
-        Var { tape: self, id }
+        Var {
+            tape: self,
+            id,
+            eval: false,
+        }
+    }
+
+    /// Stores a no-grad forward value: no parents, no closure, no node.
+    pub(crate) fn push_eval(&self, value: Tensor) -> Var<'_> {
+        obs::tally(obs::Kernel::EvalNode, 0, 0, 4 * value.numel() as u64);
+        let mut vals = self.eval_values.borrow_mut();
+        let id = vals.len();
+        vals.push(value);
+        Var {
+            tape: self,
+            id,
+            eval: true,
+        }
+    }
+
+    /// The single entry point every `Var` op records through. In no-grad
+    /// mode only the value is kept — the backward closure is dropped
+    /// without ever being boxed; otherwise the op is recorded as a graph
+    /// node exactly as before.
+    pub(crate) fn push_op<'t>(
+        &'t self,
+        value: Tensor,
+        parents: &[Var<'t>],
+        backward: impl Fn(&Tensor, &[&Tensor], &Tensor) -> Vec<Tensor> + 'static,
+    ) -> Var<'t> {
+        if self.eval_mode.get() {
+            return self.push_eval(value);
+        }
+        let ids = parents
+            .iter()
+            .map(|p| {
+                assert!(
+                    !p.eval,
+                    "cannot record a graph op over a no-grad value; \
+                     leave no-grad mode or detach explicitly"
+                );
+                p.id
+            })
+            .collect();
+        self.push(value, ids, Some(Box::new(backward)))
+    }
+
+    /// Applies `f` to the forward values of `vars` without cloning them,
+    /// regardless of which arena each lives in (multi-operand twin of
+    /// [`Var::with_value`], used by `concat`).
+    pub(crate) fn with_values<R>(&self, vars: &[Var<'_>], f: impl FnOnce(&[&Tensor]) -> R) -> R {
+        let nodes = self.nodes.borrow();
+        let evals = self.eval_values.borrow();
+        let refs: Vec<&Tensor> = vars
+            .iter()
+            .map(|v| {
+                if v.eval {
+                    &evals[v.id]
+                } else {
+                    &nodes[v.id].value
+                }
+            })
+            .collect();
+        f(&refs)
     }
 
     /// Runs reverse-mode accumulation seeded at `output` (must be a
@@ -131,6 +242,10 @@ impl Tape {
     /// node id (`None` for nodes the output does not depend on).
     pub fn backward_from(&self, output: Var<'_>) -> Vec<Option<Tensor>> {
         let _g = obs::kernel(obs::Kernel::Backward, 0, 0, 0);
+        assert!(
+            !output.eval,
+            "backward() on a no-grad value: it has no recorded graph"
+        );
         let nodes = self.nodes.borrow();
         assert!(output.id < nodes.len(), "output var not on this tape");
         assert_eq!(
@@ -189,12 +304,16 @@ impl Tape {
 impl<'t> Var<'t> {
     /// The forward value (cloned out of the tape).
     pub fn value(&self) -> Tensor {
-        self.tape.nodes.borrow()[self.id].value.clone()
+        self.with_value(Tensor::clone)
     }
 
     /// Applies `f` to the forward value without cloning it.
     pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
-        f(&self.tape.nodes.borrow()[self.id].value)
+        if self.eval {
+            f(&self.tape.eval_values.borrow()[self.id])
+        } else {
+            f(&self.tape.nodes.borrow()[self.id].value)
+        }
     }
 
     /// The single value of a one-element var, read without cloning the
@@ -205,17 +324,23 @@ impl<'t> Var<'t> {
 
     /// Shape of the forward value.
     pub fn shape(&self) -> Shape {
-        self.tape.nodes.borrow()[self.id].value.shape().clone()
+        self.with_value(|t| t.shape().clone())
     }
 
     /// Dimension sizes of the forward value.
     pub fn dims(&self) -> Vec<usize> {
-        self.tape.nodes.borrow()[self.id].value.dims().to_vec()
+        self.with_value(|t| t.dims().to_vec())
     }
 
     /// Node id on the tape (used by the optimizer to look up gradients).
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// True when this value was produced in no-grad mode (it lives in the
+    /// eval arena and carries no graph history).
+    pub fn is_no_grad(&self) -> bool {
+        self.eval
     }
 
     /// The tape this var is recorded on. Lets helpers (e.g. loss functions)
@@ -235,6 +360,9 @@ impl<'t> Var<'t> {
     /// stop here (PyTorch `detach`).
     pub fn detach(&self) -> Var<'t> {
         let v = self.value();
+        if self.eval || self.tape.is_no_grad() {
+            return self.tape.push_eval(v);
+        }
         self.tape.push(v, Vec::new(), None)
     }
 }
@@ -401,6 +529,89 @@ mod tests {
         assert_eq!(stats.nodes, 3);
         assert_eq!(stats.leaves, 1);
         assert_eq!(stats.value_bytes, 3 * 16);
+    }
+
+    #[test]
+    fn no_grad_records_zero_nodes() {
+        let tape = Tape::new();
+        let guard = tape.no_grad();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]));
+        let y = x.scale(2.0).add(&x).sigmoid().sum();
+        assert!(y.is_no_grad());
+        assert_eq!(tape.len(), 0, "no-grad ops must not record nodes");
+        assert_eq!(tape.stats().nodes, 0);
+        let expect: f32 = [1.0f32, 2.0, 3.0]
+            .iter()
+            .map(|x| 1.0 / (1.0 + (-3.0 * x).exp()))
+            .sum();
+        assert!((y.item() - expect).abs() < 1e-5);
+        drop(guard);
+        assert!(!tape.is_no_grad());
+    }
+
+    #[test]
+    fn no_grad_matches_recorded_bitwise() {
+        fn compute(tape: &Tape) -> Tensor {
+            let x = tape.leaf(Tensor::from_vec(vec![0.3, -0.7, 1.1, 2.0], [2, 2]));
+            let w = tape.leaf(Tensor::from_vec(vec![0.5, -1.0, 0.25, 0.75], [2, 2]));
+            x.matmul(&w).sigmoid().mul(&x.tanh()).sum_axis(1).sum().value()
+        }
+        let taped = Tape::new();
+        let recorded = compute(&taped);
+        let eval_tape = Tape::new();
+        let _g = eval_tape.no_grad();
+        let evaled = compute(&eval_tape);
+        assert_eq!(recorded, evaled, "no-grad value must be bit-identical");
+        assert_eq!(eval_tape.len(), 0);
+    }
+
+    #[test]
+    fn no_grad_guard_nests_and_restores() {
+        let tape = Tape::new();
+        assert!(!tape.is_no_grad());
+        {
+            let _outer = tape.no_grad();
+            assert!(tape.is_no_grad());
+            {
+                let _inner = tape.no_grad();
+                assert!(tape.is_no_grad());
+            }
+            assert!(tape.is_no_grad(), "inner drop must restore outer mode");
+        }
+        assert!(!tape.is_no_grad());
+    }
+
+    #[test]
+    #[should_panic(expected = "no-grad value")]
+    fn backward_rejects_no_grad_output() {
+        let tape = Tape::new();
+        let _g = tape.no_grad();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0], [1]));
+        x.sum().backward();
+    }
+
+    #[test]
+    #[should_panic(expected = "no-grad value")]
+    fn recording_over_eval_var_is_rejected() {
+        let tape = Tape::new();
+        let x = {
+            let _g = tape.no_grad();
+            tape.leaf(Tensor::from_vec(vec![1.0], [1]))
+        };
+        // Guard dropped: tape records again, but x lives in the eval arena.
+        let _ = x.scale(2.0);
+    }
+
+    #[test]
+    fn reset_clears_eval_arena_too() {
+        let tape = Tape::new();
+        let _g = tape.no_grad();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let _ = x.scale(3.0);
+        assert_eq!(tape.eval_values.borrow().len(), 2);
+        tape.reset();
+        assert_eq!(tape.eval_values.borrow().len(), 0);
+        assert!(tape.is_no_grad(), "reset must not flip the execution mode");
     }
 
     #[test]

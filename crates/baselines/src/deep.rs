@@ -9,7 +9,7 @@
 use crate::FitSummary;
 use sagdfn_autodiff::{Tape, Var};
 use sagdfn_data::{average, Batch, SlidingWindows, ThreeWaySplit, ZScore};
-use sagdfn_nn::{masked_mae, Adam, Optimizer, Params};
+use sagdfn_nn::{masked_mae, Adam, Mode, Optimizer, Params};
 use sagdfn_tensor::{Rng64, Tensor};
 use std::time::Instant;
 
@@ -81,12 +81,15 @@ pub trait DeepForecast {
     fn params_mut(&mut self) -> &mut Params;
 
     /// Tape-level forward pass returning raw-unit predictions `(f, B, N)`.
+    /// `mode` carries train/eval semantics (dropout, cached structure) for
+    /// models that distinguish them; stateless models may ignore it.
     fn forward<'t>(
         &self,
         tape: &'t Tape,
         bind: &sagdfn_nn::Binding<'t>,
         batch: &Batch,
         scaler: ZScore,
+        mode: Mode,
     ) -> Var<'t>;
 }
 
@@ -136,7 +139,7 @@ pub fn fit_deep<M: DeepForecast + ?Sized>(
             let batch = split.train.make_batch(&ids);
             let tape = Tape::new();
             let bind = model.params().bind(&tape);
-            let pred = model.forward(&tape, &bind, &batch, split.scaler);
+            let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
             let mask = loss_mask(&batch.y);
             let loss = masked_mae(pred, &batch.y, &mask);
             let grads = loss.backward();
@@ -177,8 +180,9 @@ pub fn predict_deep<M: DeepForecast + ?Sized>(
     for ids in windows.batch_ids(batch_size, None) {
         let batch = windows.make_batch(&ids);
         let tape = Tape::new();
+        let _no_grad = tape.no_grad();
         let bind = model.params().bind(&tape);
-        let pred = model.forward(&tape, &bind, &batch, windows.scaler());
+        let pred = model.forward(&tape, &bind, &batch, windows.scaler(), Mode::Eval);
         pred_parts.push(pred.value());
         target_parts.push(batch.y);
     }
@@ -241,6 +245,7 @@ mod tests {
             bind: &sagdfn_nn::Binding<'t>,
             batch: &Batch,
             scaler: ZScore,
+            _mode: Mode,
         ) -> Var<'t> {
             let (b, n) = (batch.x.dim(1), batch.x.dim(2));
             let mut steps = Vec::new();

@@ -12,7 +12,7 @@ use sagdfn_autodiff::{Tape, Var};
 use sagdfn_core::gconv::Adjacency;
 use sagdfn_data::{Batch, Metrics, SlidingWindows, ThreeWaySplit, ZScore};
 use sagdfn_memsim::ModelFamily;
-use sagdfn_nn::{Binding, Linear, Params};
+use sagdfn_nn::{Binding, Linear, Mode, Params};
 use sagdfn_tensor::{Rng64, Tensor};
 
 /// Flatten-time graph network with residual diffusion blocks.
@@ -139,6 +139,7 @@ impl DeepForecast for DirectGraphNet {
         bind: &Binding<'t>,
         batch: &Batch,
         scaler: ZScore,
+        _mode: Mode,
     ) -> Var<'t> {
         let (b, n) = (batch.x.dim(1), batch.x.dim(2));
         assert_eq!(batch.x.dim(0), self.h, "window length mismatch");

@@ -13,7 +13,7 @@ use sagdfn_core::cell::OneStepFastGConv;
 use sagdfn_core::gconv::Adjacency;
 use sagdfn_data::{Batch, Metrics, SlidingWindows, ThreeWaySplit, ZScore};
 use sagdfn_memsim::ModelFamily;
-use sagdfn_nn::{Binding, GruCell, Linear, Params};
+use sagdfn_nn::{Binding, GruCell, Linear, Mode, Params};
 use sagdfn_tensor::{Rng64, Tensor};
 
 /// Encoder-decoder graph GRU with a pluggable adjacency source.
@@ -44,9 +44,9 @@ impl RecurrentGraphNet {
         let mut rng = Rng64::new(cfg.seed ^ family as u64);
         let source = make_source(&mut params, &mut rng);
         let encoder =
-            OneStepFastGConv::new(&mut params, "enc", 3, cfg.hidden, None, depth, &mut rng);
+            OneStepFastGConv::new(&mut params, "enc", 3, cfg.hidden, None, depth, 0.0, &mut rng);
         let decoder =
-            OneStepFastGConv::new(&mut params, "dec", 3, cfg.hidden, Some(1), depth, &mut rng);
+            OneStepFastGConv::new(&mut params, "dec", 3, cfg.hidden, Some(1), depth, 0.0, &mut rng);
         let temporal_branch = dual.then(|| {
             (
                 GruCell::new(&mut params, "tbranch", 3, cfg.hidden, &mut rng),
@@ -155,6 +155,7 @@ impl DeepForecast for RecurrentGraphNet {
         bind: &Binding<'t>,
         batch: &Batch,
         scaler: ZScore,
+        mode: Mode,
     ) -> Var<'t> {
         let (h_len, b, n) = (batch.x.dim(0), batch.x.dim(1), batch.x.dim(2));
         let f_len = batch.y.dim(0);
@@ -165,7 +166,7 @@ impl DeepForecast for RecurrentGraphNet {
         for t in 0..h_len {
             let x_t = batch.x.slice_axis(0, t, t + 1);
             let xg = tape.constant(x_t.reshape([b, n, 3]));
-            h = self.encoder.step_hidden(bind, &adj, xg, h);
+            h = self.encoder.step_hidden(bind, &adj, xg, h, mode);
             if let Some((gru, _)) = &self.temporal_branch {
                 let xt = tape.constant(x_t.into_reshape([b * n, 3]));
                 h_temporal = gru.step(bind, xt, h_temporal);
@@ -186,7 +187,7 @@ impl DeepForecast for RecurrentGraphNet {
                     .into_reshape([b, n, 2]),
             );
             let dec_in = Var::concat(&[value, cov], 2);
-            let (h_new, mut pred) = self.decoder.step(bind, &adj, dec_in, h);
+            let (h_new, mut pred) = self.decoder.step(bind, &adj, dec_in, h, mode);
             h = h_new;
             if let Some((gru, head)) = &self.temporal_branch {
                 let xt = dec_in.reshape([b * n, 3]);

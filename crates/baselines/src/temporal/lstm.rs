@@ -6,7 +6,7 @@ use sagdfn_autodiff::{Tape, Var};
 use sagdfn_data::{Batch, Metrics, SlidingWindows, ThreeWaySplit, ZScore};
 use sagdfn_memsim::ModelFamily;
 use sagdfn_nn::lstm::LstmState;
-use sagdfn_nn::{Binding, Linear, LstmCell, Params};
+use sagdfn_nn::{Binding, Linear, LstmCell, Mode, Params};
 use sagdfn_tensor::{Rng64, Tensor};
 
 /// Encoder-decoder LSTM over each node's series independently (weights
@@ -54,6 +54,7 @@ impl DeepForecast for LstmSeq2Seq {
         bind: &Binding<'t>,
         batch: &Batch,
         scaler: ZScore,
+        _mode: Mode,
     ) -> Var<'t> {
         let (h_len, b, n) = (batch.x.dim(0), batch.x.dim(1), batch.x.dim(2));
         let f_len = batch.y.dim(0);
@@ -148,7 +149,7 @@ mod tests {
         let batch = split.train.make_batch(&[0, 1]);
         let tape = Tape::new();
         let bind = model.params().bind(&tape);
-        let out = model.forward(&tape, &bind, &batch, split.scaler);
+        let out = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
         assert_eq!(out.dims(), vec![4, 2, data.dataset.nodes()]);
     }
 }

@@ -11,7 +11,7 @@ use crate::{FitSummary, Forecaster};
 use sagdfn_autodiff::{Tape, Var};
 use sagdfn_data::{Batch, Metrics, SlidingWindows, ThreeWaySplit, ZScore};
 use sagdfn_memsim::ModelFamily;
-use sagdfn_nn::{Activation, Binding, Mlp, Params};
+use sagdfn_nn::{Activation, Binding, Mlp, Mode, Params};
 use sagdfn_tensor::{Rng64, Tensor};
 
 /// Window-MLP forecaster.
@@ -61,6 +61,7 @@ impl DeepForecast for TimesNetLite {
         bind: &Binding<'t>,
         batch: &Batch,
         scaler: ZScore,
+        _mode: Mode,
     ) -> Var<'t> {
         let (b, n) = (batch.x.dim(1), batch.x.dim(2));
         assert_eq!(batch.x.dim(0), self.h, "window length mismatch");
@@ -129,6 +130,6 @@ mod tests {
         let batch = split.train.make_batch(&[0]);
         let tape = Tape::new();
         let bind = model.params().bind(&tape);
-        model.forward(&tape, &bind, &batch, split.scaler);
+        model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
     }
 }

@@ -8,6 +8,7 @@ use sagdfn_core::gconv::Adjacency;
 use sagdfn_nn::Params;
 use sagdfn_tensor::{Rng64, Tensor};
 use std::hint::black_box;
+use sagdfn_nn::Mode;
 
 fn bench_cell(c: &mut Criterion) {
     let mut group = c.benchmark_group("onestep_fast_gconv");
@@ -18,7 +19,7 @@ fn bench_cell(c: &mut Criterion) {
         let m = (n / 20).max(10);
         let mut rng = Rng64::new(4);
         let mut params = Params::new();
-        let cell = OneStepFastGConv::new(&mut params, "cell", 3, hidden, Some(1), 3, &mut rng);
+        let cell = OneStepFastGConv::new(&mut params, "cell", 3, hidden, Some(1), 3, 0.0, &mut rng);
         let slim_w = Tensor::rand_uniform([n, m], 0.0, 1.0, &mut rng);
         let dense_w = Tensor::rand_uniform([n, n], 0.0, 1.0, &mut rng);
         let index = rng.sample_indices(n, m);
@@ -32,7 +33,7 @@ fn bench_cell(c: &mut Criterion) {
                 let adj = Adjacency::slim(tape.constant(slim_w.clone()), index.clone());
                 let x = tape.constant(x0.clone());
                 let h = tape.constant(h0.clone());
-                black_box(cell.step(&bind, &adj, x, h).0.value())
+                black_box(cell.step(&bind, &adj, x, h, Mode::Train).0.value())
             })
         });
         group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
@@ -42,7 +43,7 @@ fn bench_cell(c: &mut Criterion) {
                 let adj = Adjacency::dense(tape.constant(dense_w.clone()));
                 let x = tape.constant(x0.clone());
                 let h = tape.constant(h0.clone());
-                black_box(cell.step(&bind, &adj, x, h).0.value())
+                black_box(cell.step(&bind, &adj, x, h, Mode::Train).0.value())
             })
         });
     }

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sagdfn_autodiff::Tape;
 use sagdfn_core::{Sagdfn, SagdfnConfig};
 use sagdfn_data::{Scale, SplitSpec, ThreeWaySplit};
-use sagdfn_nn::{masked_mae, Adam, Optimizer};
+use sagdfn_nn::{Adam, masked_mae, Mode, Optimizer};
 use std::hint::black_box;
 
 fn bench_training_iteration(c: &mut Criterion) {
@@ -32,7 +32,7 @@ fn bench_training_iteration(c: &mut Criterion) {
                 model.maybe_resample();
                 let tape = Tape::new();
                 let bind = model.params.bind(&tape);
-                let pred = model.forward(&tape, &bind, &batch, split.scaler);
+                let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
                 let mask = Sagdfn::loss_mask(&batch.y);
                 let loss = masked_mae(pred, &batch.y, &mask);
                 let grads = loss.backward();

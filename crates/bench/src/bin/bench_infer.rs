@@ -1,0 +1,212 @@
+//! Inference-path benchmark: measures seconds/batch for a full eval sweep
+//! in three execution modes — the recording tape ("taped", what training
+//! uses), the no-grad tape with the adjacency rebuilt per batch, and the
+//! no-grad tape with the frozen adjacency plan reused across batches (the
+//! `trainer::predict` path). Writes `BENCH_infer.json`.
+//!
+//! The workload is attention-heavy (wide embeddings, several SSMA heads)
+//! so the per-batch adjacency rebuild is a real cost, as it is at paper
+//! scale where `N·M` pair scoring dominates. All three modes must produce
+//! bit-identical predictions; the frozen mode must also register plan-cache
+//! hits in the `sagdfn-obs` counters.
+//!
+//! Usage: `bench_infer [--out FILE] [--steps N] [--check BASELINE]`
+//!
+//! With `--check`, the process exits nonzero unless the freshly measured
+//! frozen-plan eval is at least 1.3x faster than the taped eval and the
+//! plan cache recorded at least one hit — `scripts/check.sh` uses this as
+//! the inference-path regression guard.
+
+use sagdfn_autodiff::Tape;
+use sagdfn_core::{Mode, Sagdfn, SagdfnConfig};
+use sagdfn_data::{SplitSpec, ThreeWaySplit};
+use sagdfn_json::Json;
+use sagdfn_obs as obs;
+use sagdfn_tensor::pool;
+use std::time::Instant;
+
+const WARMUP_REPS: usize = 2;
+
+/// How a benchmark pass executes the forward.
+#[derive(Clone, Copy, PartialEq)]
+enum RunKind {
+    /// Recording tape, adjacency rebuilt per batch (the training path).
+    Taped,
+    /// No-grad tape, adjacency still rebuilt per batch.
+    NoGradRebuilt,
+    /// No-grad tape, frozen adjacency plan reused across batches.
+    NoGradFrozen,
+}
+
+/// An attention-heavy eval workload: adjacency construction (SSMA pair
+/// scoring over N·M pairs) is the dominant per-batch cost, mirroring the
+/// paper-scale regime.
+fn workload() -> (Sagdfn, ThreeWaySplit) {
+    let data = sagdfn_data::synth::TrafficConfig {
+        nodes: 120,
+        steps: 220,
+        ..Default::default()
+    }
+    .generate("infer");
+    let n = data.dataset.nodes();
+    let cfg = SagdfnConfig {
+        embed_dim: 48,
+        m: 24,
+        top_k: 18,
+        heads: 6,
+        attn_hidden: 24,
+        hidden: 16,
+        diffusion_steps: 2,
+        batch_size: 4,
+        convergence_iter: 10,
+        sns_every: 1_000_000,
+        ..SagdfnConfig::for_scale(sagdfn_data::Scale::Tiny, n)
+    };
+    let model = Sagdfn::new(n, cfg);
+    let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(6, 6));
+    (model, split)
+}
+
+/// Runs `reps` full passes over the eval split (after warmup) and returns
+/// seconds/batch plus the bit pattern of every prediction from one pass.
+fn run_eval(model: &Sagdfn, split: &ThreeWaySplit, kind: RunKind, reps: usize) -> (f64, Vec<u32>) {
+    let batch_size = model.config().batch_size;
+    let batches: Vec<Vec<usize>> = split.test.batch_ids(batch_size, None);
+    let tape = Tape::new();
+    let _no_grad = (kind != RunKind::Taped).then(|| tape.no_grad());
+    let mode = if kind == RunKind::NoGradFrozen {
+        Mode::Eval
+    } else {
+        Mode::Train // dropout is 0, so train-mode math == eval math
+    };
+    // A fresh plan per pass kind: the first frozen batch pays one build,
+    // the rest hit the cache.
+    model.invalidate_plan();
+
+    let mut bits: Vec<u32> = Vec::new();
+    let pass = |collect: bool, bits: &mut Vec<u32>| {
+        for ids in &batches {
+            let _step = obs::kernel(obs::Kernel::EvalStep, 0, 0, 0);
+            let batch = split.test.make_batch(ids);
+            tape.reset();
+            let bind = model.params.bind(&tape);
+            let pred = model
+                .forward(&tape, &bind, &batch, split.scaler, mode)
+                .value();
+            if collect {
+                bits.extend(pred.as_slice().iter().map(|v| v.to_bits()));
+            }
+        }
+    };
+
+    for _ in 0..WARMUP_REPS {
+        pass(false, &mut bits);
+    }
+    bits.clear();
+    let t0 = Instant::now();
+    for rep in 0..reps {
+        pass(rep == 0, &mut bits);
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    (seconds / (reps * batches.len()) as f64, bits)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_path = "BENCH_infer.json".to_string();
+    let mut reps = 12usize;
+    let mut check: Option<String> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--steps" => reps = it.next().expect("--steps needs a value").parse().expect("steps"),
+            "--check" => check = Some(it.next().expect("--check needs a value").clone()),
+            other => panic!("unknown flag '{other}' (expected --out / --steps / --check)"),
+        }
+    }
+
+    // Counters stay on for every mode (same overhead everywhere) so the
+    // plan-cache build/hit tally is visible in the output.
+    obs::set_trace_mode(obs::TraceMode::Counters);
+
+    let (model, split) = workload();
+    println!(
+        "inference benchmark: {} worker threads, {} nodes, {} eval windows, {reps} reps",
+        pool::num_threads(),
+        model.n(),
+        split.test.len()
+    );
+
+    let (taped_spb, taped_bits) = run_eval(&model, &split, RunKind::Taped, reps);
+    let (rebuilt_spb, rebuilt_bits) = run_eval(&model, &split, RunKind::NoGradRebuilt, reps);
+    let counters_before = obs::snapshot();
+    let (frozen_spb, frozen_bits) = run_eval(&model, &split, RunKind::NoGradFrozen, reps);
+    let counters = obs::snapshot().since(&counters_before);
+
+    let bit_identical = taped_bits == rebuilt_bits && taped_bits == frozen_bits;
+    let speedup_nograd = taped_spb / rebuilt_spb;
+    let speedup_frozen = taped_spb / frozen_spb;
+    println!(
+        "  taped           {:>9.3} ms/batch",
+        taped_spb * 1e3
+    );
+    println!(
+        "  no-grad rebuilt {:>9.3} ms/batch   ({speedup_nograd:.2}x vs taped)",
+        rebuilt_spb * 1e3
+    );
+    println!(
+        "  no-grad frozen  {:>9.3} ms/batch   ({speedup_frozen:.2}x vs taped)",
+        frozen_spb * 1e3
+    );
+    println!(
+        "  plan cache: {} builds / {} hits   predictions bit-identical: {bit_identical}",
+        counters.plan_builds, counters.plan_hits
+    );
+    assert!(
+        bit_identical,
+        "no-grad / frozen eval changed predictions — bit-identity contract violated"
+    );
+    assert!(
+        counters.plan_builds >= 1,
+        "frozen eval never built an adjacency plan"
+    );
+
+    let doc = Json::obj([
+        ("threads", Json::from(pool::num_threads())),
+        ("reps", Json::from(reps)),
+        ("nodes", Json::from(model.n())),
+        ("taped_seconds_per_batch", Json::from(taped_spb)),
+        ("nograd_seconds_per_batch", Json::from(rebuilt_spb)),
+        ("frozen_seconds_per_batch", Json::from(frozen_spb)),
+        ("speedup_nograd", Json::from(speedup_nograd)),
+        ("speedup_frozen", Json::from(speedup_frozen)),
+        ("plan_builds", Json::from(counters.plan_builds)),
+        ("plan_hits", Json::from(counters.plan_hits)),
+        ("bit_identical", Json::from(bit_identical)),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty().expect("serialize"))
+        .expect("write BENCH_infer.json");
+    println!("wrote {out_path}");
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let baseline = Json::parse(&text).expect("parse baseline");
+        let base_speedup = baseline
+            .req("speedup_frozen")
+            .and_then(|v| v.as_f64())
+            .expect("baseline speedup_frozen");
+        println!(
+            "  regression guard: frozen speedup {speedup_frozen:.2}x (baseline {base_speedup:.2}x, floor 1.30x)"
+        );
+        if speedup_frozen < 1.3 {
+            eprintln!("inference regression: frozen-plan eval no longer >= 1.3x taped eval");
+            std::process::exit(1);
+        }
+        if counters.plan_hits == 0 {
+            eprintln!("inference regression: plan cache recorded zero hits across batches");
+            std::process::exit(1);
+        }
+    }
+}

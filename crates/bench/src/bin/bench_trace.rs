@@ -19,7 +19,7 @@ use sagdfn_autodiff::Tape;
 use sagdfn_core::{Sagdfn, SagdfnConfig};
 use sagdfn_data::{Scale, SplitSpec, ThreeWaySplit};
 use sagdfn_json::Json;
-use sagdfn_nn::{masked_mae, Adam, Optimizer};
+use sagdfn_nn::{Adam, masked_mae, Mode, Optimizer};
 use sagdfn_obs as obs;
 use sagdfn_tensor::pool;
 use std::time::Instant;
@@ -50,7 +50,7 @@ fn make_workload() -> (Sagdfn, impl FnMut(&mut Sagdfn) -> f32) {
         model.maybe_resample();
         tape.reset();
         let bind = model.params.bind(&tape);
-        let pred = model.forward_scheduled(&tape, &bind, &batch, split.scaler, &[]);
+        let pred = model.forward_scheduled(&tape, &bind, &batch, split.scaler, &[], Mode::Train);
         let mask = Sagdfn::loss_mask(&batch.y);
         let loss = masked_mae(pred, &batch.y, &mask);
         let loss_val = loss.item();

@@ -18,7 +18,7 @@ use sagdfn_autodiff::Tape;
 use sagdfn_core::{Sagdfn, SagdfnConfig};
 use sagdfn_data::{Scale, SplitSpec, ThreeWaySplit};
 use sagdfn_json::Json;
-use sagdfn_nn::{masked_mae, Adam, Optimizer};
+use sagdfn_nn::{Adam, masked_mae, Mode, Optimizer};
 use sagdfn_tensor::{alloc, pool, Rng64};
 use std::time::Instant;
 
@@ -63,7 +63,7 @@ fn run_mode(recycle: bool, steps: usize) -> ModeStats {
         model.maybe_resample();
         tape.reset();
         let bind = model.params.bind(&tape);
-        let pred = model.forward_scheduled(&tape, &bind, &batch, split.scaler, &[]);
+        let pred = model.forward_scheduled(&tape, &bind, &batch, split.scaler, &[], Mode::Train);
         let mask = Sagdfn::loss_mask(&batch.y);
         let loss = masked_mae(pred, &batch.y, &mask);
         let loss_val = loss.item();

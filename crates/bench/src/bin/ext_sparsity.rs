@@ -14,6 +14,7 @@ use sagdfn_core::gconv::Adjacency;
 use sagdfn_core::SagdfnConfig;
 use sagdfn_data::average;
 use std::io::Write;
+use sagdfn_nn::Mode;
 
 fn main() {
     let args = RunArgs::parse();
@@ -42,7 +43,7 @@ fn main() {
         // Inspect the trained adjacency.
         let tape = sagdfn_autodiff::Tape::new();
         let bind = model.model().params.bind(&tape);
-        let adj: Adjacency<'_> = model.model().adjacency(&tape, &bind);
+        let adj: Adjacency<'_> = model.model().adjacency(&tape, &bind, Mode::Train);
         assert!(adj.is_slim(), "full model uses a slim adjacency");
         let weights = adj.weights().value();
         let m = weights.dim(1);

@@ -13,6 +13,7 @@ use sagdfn_baselines::Forecaster;
 use sagdfn_bench::{load, DatasetKind, RunArgs};
 use sagdfn_core::SagdfnConfig;
 use std::io::Write;
+use sagdfn_nn::Mode;
 
 fn main() {
     let args = RunArgs::parse();
@@ -33,7 +34,7 @@ fn main() {
     // The sensor's attention row and neighbor values at one test step.
     let tape = sagdfn_autodiff::Tape::new();
     let bind = model.model().params.bind(&tape);
-    let adj = model.model().adjacency(&tape, &bind);
+    let adj = model.model().adjacency(&tape, &bind, Mode::Train);
     assert!(adj.is_slim(), "full model uses a slim adjacency");
     let weights = adj.weights().value();
     let index: Vec<usize> = adj.index().expect("slim adjacency").to_vec();

@@ -1,6 +1,6 @@
 //! CLI subcommand implementations.
 
-use sagdfn_core::{trainer, Backbone, Sagdfn, SagdfnConfig};
+use sagdfn_core::{trainer, Backbone, Mode, Sagdfn, SagdfnConfig};
 use sagdfn_data::{io as dataio, Scale, SplitSpec, ThreeWaySplit};
 use sagdfn_json::{Json, JsonError};
 use std::collections::HashMap;
@@ -12,7 +12,7 @@ sagdfn — Scalable Adaptive Graph Diffusion Forecasting Network (ICDE 2024 repr
 USAGE:
   sagdfn generate --dataset <metr-la|london|newyork|carpark> [--scale tiny|small|paper] --out <file.csv>
   sagdfn train    --data <file.csv> [--h 12] [--f 12] [--epochs N] [--backbone gru|tcn|attention]
-                  [--m M] [--alpha A] [--scale tiny|small|paper] --model <stem>
+                  [--m M] [--alpha A] [--dropout R] [--scale tiny|small|paper] --model <stem>
   sagdfn evaluate --data <file.csv> --model <stem>
   sagdfn forecast --data <file.csv> --model <stem>
   sagdfn inspect  --data <file.csv>
@@ -134,6 +134,7 @@ pub fn train(args: &[String]) -> Result<(), String> {
     let mut cfg = SagdfnConfig::for_scale(scale, n);
     cfg.epochs = parse_num(&flags, "epochs", cfg.epochs)?;
     cfg.alpha = parse_num(&flags, "alpha", cfg.alpha)?;
+    cfg.dropout = parse_num(&flags, "dropout", cfg.dropout)?;
     if let Some(m) = flags.get("m") {
         cfg.m = m.parse().map_err(|_| "bad --m")?;
         cfg.top_k = (cfg.m * 4 / 5).max(1).min(cfg.m - 1);
@@ -235,8 +236,11 @@ pub fn forecast(args: &[String]) -> Result<(), String> {
     let (pred, _) = {
         let batch = split.test.make_batch(&[last]);
         let tape = sagdfn_autodiff_tape();
+        let _no_grad = tape.no_grad();
         let bind = model.params.bind(&tape);
-        let p = model.forward(&tape, &bind, &batch, split.scaler).value();
+        let p = model
+            .forward(&tape, &bind, &batch, split.scaler, Mode::Eval)
+            .value();
         (p, batch)
     };
     println!(
@@ -311,7 +315,8 @@ pub fn profile(args: &[String]) -> Result<(), String> {
         model.maybe_resample();
         tape.reset();
         let bind = model.params.bind(&tape);
-        let pred = model.forward_scheduled(&tape, &bind, &batch, split.scaler, &[]);
+        let pred =
+            model.forward_scheduled(&tape, &bind, &batch, split.scaler, &[], Mode::Train);
         let mask = Sagdfn::loss_mask(&batch.y);
         let loss = masked_mae(pred, &batch.y, &mask);
         let _ = loss.item();
@@ -321,6 +326,11 @@ pub fn profile(args: &[String]) -> Result<(), String> {
         model.tick();
         drop(step_guard);
         obs::step_rollup(step as u64 + 1);
+    }
+    // A short eval sweep so the inference-path counters (eval_step,
+    // plan-cache builds/hits) show up alongside the training kernels.
+    if !split.val.is_empty() {
+        let _ = trainer::predict(&model, &split.val, batch_size);
     }
     let delta = obs::snapshot().since(&base);
     println!("\n{}", obs::format_table(&delta));

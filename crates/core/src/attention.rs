@@ -20,7 +20,7 @@
 
 use crate::config::SagdfnConfig;
 use sagdfn_autodiff::Var;
-use sagdfn_nn::{Activation, Binding, Mlp, ParamId, Params};
+use sagdfn_nn::{Activation, Binding, Dropout, Mlp, Mode, ParamId, Params};
 use sagdfn_tensor::{Rng64, Tensor};
 
 /// The attention module: `P` head FFNs plus the combining weight `W_a`.
@@ -29,6 +29,7 @@ pub struct SparseSpatialAttention {
     w_a: ParamId,
     alpha: f32,
     embed_dim: usize,
+    dropout: Dropout,
 }
 
 impl SparseSpatialAttention {
@@ -55,6 +56,7 @@ impl SparseSpatialAttention {
             w_a,
             alpha: cfg.alpha,
             embed_dim: cfg.embed_dim,
+            dropout: Dropout::new("ssma.drop", cfg.dropout),
         }
     }
 
@@ -66,7 +68,13 @@ impl SparseSpatialAttention {
     /// Computes the slim adjacency `A_s ∈ R^{N×M}` from the embedding var
     /// `e` (`N×d`, on the tape so gradients flow back into `E`) and the
     /// significant index set `index`.
-    pub fn forward<'t>(&self, bind: &Binding<'t>, e: Var<'t>, index: &[usize]) -> Var<'t> {
+    pub fn forward<'t>(
+        &self,
+        bind: &Binding<'t>,
+        e: Var<'t>,
+        index: &[usize],
+        mode: Mode,
+    ) -> Var<'t> {
         let dims = e.dims();
         let (n, d) = (dims[0], dims[1]);
         assert_eq!(d, self.embed_dim, "embedding dim mismatch");
@@ -78,6 +86,7 @@ impl SparseSpatialAttention {
         let e_rep = e.index_select(0, &rep_idx);
         let e_neigh = e.index_select(0, &neigh_idx);
         let pairs = Var::concat(&[e_rep, e_neigh], 1); // (N·M, 2d)
+        let pairs = self.dropout.forward(pairs, mode);
 
         // Eq. 2–3 per head: FFN → (N, M, 2), entmax down the M axis.
         let mut head_scores = Vec::with_capacity(self.heads.len());
@@ -131,7 +140,7 @@ mod tests {
         let tape = Tape::new();
         let bind = params.bind(&tape);
         let index: Vec<usize> = (0..cfg.m).collect();
-        let a_s = attn.forward(&bind, bind.var(e_id), &index);
+        let a_s = attn.forward(&bind, bind.var(e_id), &index, Mode::Train);
         assert_eq!(a_s.dims(), vec![n, cfg.m]);
         assert!(a_s.value().all_finite());
     }
@@ -144,7 +153,7 @@ mod tests {
         let tape = Tape::new();
         let bind = params.bind(&tape);
         let index: Vec<usize> = (0..cfg.m).collect();
-        let a_s = attn.forward(&bind, bind.var(e_id), &index);
+        let a_s = attn.forward(&bind, bind.var(e_id), &index, Mode::Train);
         let grads = a_s.square().sum().backward();
         assert!(
             bind.grad(&grads, e_id).is_some(),
@@ -172,7 +181,7 @@ mod tests {
             let tape = Tape::new();
             let bind = params.bind(&tape);
             let index: Vec<usize> = (0..cfg.m).collect();
-            let a_s = attn.forward(&bind, bind.var(e_id), &index);
+            let a_s = attn.forward(&bind, bind.var(e_id), &index, Mode::Train);
             // Head outputs are inside the graph; approximate sparsity via
             // near-zero magnitudes of A_s relative to its scale.
             let v = a_s.value();
@@ -210,7 +219,7 @@ mod tests {
             let tape = Tape::new();
             let bind = params.bind(&tape);
             let index: Vec<usize> = (0..cfg.m).collect();
-            attn.forward(&bind, bind.var(e_id), &index).value()
+            attn.forward(&bind, bind.var(e_id), &index, Mode::Eval).value()
         };
         assert_eq!(build(), build());
     }

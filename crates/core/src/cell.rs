@@ -14,7 +14,7 @@
 
 use crate::gconv::{Adjacency, GConv};
 use sagdfn_autodiff::Var;
-use sagdfn_nn::{Binding, Linear, Params};
+use sagdfn_nn::{Binding, Linear, Mode, Params};
 use sagdfn_tensor::Rng64;
 
 /// The recurrent cell: three gate graph-convolutions plus the output
@@ -35,6 +35,7 @@ impl OneStepFastGConv {
     /// channel count, `hidden` the GRU width `D`, `depth` the diffusion
     /// depth `J`, `out_dim` the prediction channels (`None` for an
     /// encoder cell that never emits predictions).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         params: &mut Params,
         name: &str,
@@ -42,13 +43,14 @@ impl OneStepFastGConv {
         hidden: usize,
         out_dim: Option<usize>,
         depth: usize,
+        dropout: f32,
         rng: &mut Rng64,
     ) -> Self {
         let cat = input_dim + hidden;
         OneStepFastGConv {
-            gconv_r: GConv::new(params, &format!("{name}.r"), cat, hidden, depth, rng),
-            gconv_z: GConv::new(params, &format!("{name}.z"), cat, hidden, depth, rng),
-            gconv_h: GConv::new(params, &format!("{name}.h"), cat, hidden, depth, rng),
+            gconv_r: GConv::new(params, &format!("{name}.r"), cat, hidden, depth, dropout, rng),
+            gconv_z: GConv::new(params, &format!("{name}.z"), cat, hidden, depth, dropout, rng),
+            gconv_h: GConv::new(params, &format!("{name}.h"), cat, hidden, depth, dropout, rng),
             w_x: out_dim
                 .map(|o| Linear::new(params, &format!("{name}.wx"), hidden, o, true, rng)),
             input_dim,
@@ -63,6 +65,7 @@ impl OneStepFastGConv {
         adj: &Adjacency<'t>,
         x: Var<'t>,
         h: Var<'t>,
+        mode: Mode,
     ) -> Var<'t> {
         assert_eq!(
             *x.dims().last().unwrap(),
@@ -71,10 +74,10 @@ impl OneStepFastGConv {
         );
         assert_eq!(*h.dims().last().unwrap(), self.hidden, "hidden dim mismatch");
         let xh = Var::concat(&[x, h], 2);
-        let r = self.gconv_r.forward(bind, adj, xh).sigmoid();
-        let z = self.gconv_z.forward(bind, adj, xh).sigmoid();
+        let r = self.gconv_r.forward(bind, adj, xh, mode).sigmoid();
+        let z = self.gconv_z.forward(bind, adj, xh, mode).sigmoid();
         let xrh = Var::concat(&[x, r.mul(&h)], 2);
-        let h_tilde = self.gconv_h.forward(bind, adj, xrh).tanh();
+        let h_tilde = self.gconv_h.forward(bind, adj, xrh, mode).tanh();
         z.mul(&h).add(&z.neg().add_scalar(1.0).mul(&h_tilde))
     }
 
@@ -89,8 +92,9 @@ impl OneStepFastGConv {
         adj: &Adjacency<'t>,
         x: Var<'t>,
         h: Var<'t>,
+        mode: Mode,
     ) -> (Var<'t>, Var<'t>) {
-        let h_new = self.step_hidden(bind, adj, x, h);
+        let h_new = self.step_hidden(bind, adj, x, h, mode);
         let head = self
             .w_x
             .as_ref()
@@ -119,7 +123,7 @@ mod tests {
     fn build(_n: usize) -> (Params, OneStepFastGConv, Rng64) {
         let mut params = Params::new();
         let mut rng = Rng64::new(7);
-        let cell = OneStepFastGConv::new(&mut params, "cell", 3, 8, Some(1), 2, &mut rng);
+        let cell = OneStepFastGConv::new(&mut params, "cell", 3, 8, Some(1), 2, 0.0, &mut rng);
         (params, cell, rng)
     }
 
@@ -133,7 +137,7 @@ mod tests {
         let adj = Adjacency::slim(bind.var(a_id), vec![0, 3]);
         let x = tape.constant(Tensor::rand_uniform([4, n, 3], -1.0, 1.0, &mut rng));
         let h = tape.constant(Tensor::zeros([4, n, 8]));
-        let (h1, xh) = cell.step(&bind, &adj, x, h);
+        let (h1, xh) = cell.step(&bind, &adj, x, h, Mode::Train);
         assert_eq!(h1.dims(), vec![4, n, 8]);
         assert_eq!(xh.dims(), vec![4, n, 1]);
     }
@@ -149,7 +153,7 @@ mod tests {
         let x = tape.constant(Tensor::full([1, n, 3], 5.0));
         let mut h = tape.constant(Tensor::zeros([1, n, 8]));
         for _ in 0..20 {
-            h = cell.step(&bind, &adj, x, h).0;
+            h = cell.step(&bind, &adj, x, h, Mode::Eval).0;
         }
         assert!(h.value().as_slice().iter().all(|v| v.abs() <= 1.0));
     }
@@ -166,7 +170,7 @@ mod tests {
         let mut h = tape.constant(Tensor::zeros([2, n, 8]));
         let mut preds = Vec::new();
         for _ in 0..4 {
-            let (h2, p) = cell.step(&bind, &adj, x, h);
+            let (h2, p) = cell.step(&bind, &adj, x, h, Mode::Train);
             h = h2;
             preds.push(p);
         }
@@ -195,7 +199,7 @@ mod tests {
             xv.set(&[0, 2, 0], x2);
             let x = tape.constant(xv);
             let h = tape.constant(Tensor::zeros([1, n, 8]));
-            let (_, p) = cell.step(&bind, &adj, x, h);
+            let (_, p) = cell.step(&bind, &adj, x, h, Mode::Eval);
             p.value().at(&[0, 0, 0])
         };
         let _ = &mut rng;

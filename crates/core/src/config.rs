@@ -72,6 +72,10 @@ pub struct SagdfnConfig {
     pub scheduled_sampling: bool,
     /// Decay constant τ of the scheduled-sampling probability.
     pub ss_decay: f32,
+    /// Dropout rate applied (train mode only) to the attention pair table
+    /// and graph-convolution inputs. 0 disables dropout entirely and keeps
+    /// the model bit-identical to a dropout-free build.
+    pub dropout: f32,
 }
 
 impl Default for SagdfnConfig {
@@ -97,6 +101,7 @@ impl Default for SagdfnConfig {
             layers: 1,
             scheduled_sampling: false,
             ss_decay: 2000.0,
+            dropout: 0.0,
         }
     }
 }
@@ -148,10 +153,13 @@ impl SagdfnConfig {
             ("layers", Json::from(self.layers)),
             ("scheduled_sampling", Json::from(self.scheduled_sampling)),
             ("ss_decay", Json::from(self.ss_decay)),
+            ("dropout", Json::from(self.dropout)),
         ])
     }
 
-    /// Deserializes a config; every field is required.
+    /// Deserializes a config; every field is required except `dropout`,
+    /// which defaults to 0 so sidecars written before the field existed
+    /// still load (absent dropout and zero dropout are the same model).
     pub fn from_json(doc: &Json) -> Result<SagdfnConfig, JsonError> {
         Ok(SagdfnConfig {
             embed_dim: doc.req("embed_dim")?.as_usize()?,
@@ -174,6 +182,10 @@ impl SagdfnConfig {
             layers: doc.req("layers")?.as_usize()?,
             scheduled_sampling: doc.req("scheduled_sampling")?.as_bool()?,
             ss_decay: doc.req("ss_decay")?.as_f32()?,
+            dropout: match doc.get("dropout") {
+                Some(v) => v.as_f32()?,
+                None => 0.0,
+            },
         })
     }
 
@@ -237,6 +249,11 @@ impl SagdfnConfig {
         assert!(self.batch_size >= 1 && self.epochs >= 1);
         assert!(self.sns_every >= 1, "sns_every must be >= 1");
         assert!(self.layers >= 1, "at least one encoder-decoder layer");
+        assert!(
+            (0.0..1.0).contains(&self.dropout),
+            "dropout must be in [0, 1), got {}",
+            self.dropout
+        );
     }
 }
 

@@ -13,8 +13,8 @@
 //! `N×N` matrix (predefined-topology baselines and the *w/o SNS & SSMA*
 //! ablation), so the same GRU cell serves both.
 
-use sagdfn_autodiff::Var;
-use sagdfn_nn::{Binding, Linear, Params};
+use sagdfn_autodiff::{Tape, Var};
+use sagdfn_nn::{Binding, Dropout, Linear, Mode, Params};
 use sagdfn_tensor::sparse::Csr;
 use sagdfn_tensor::{Rng64, Tensor};
 use std::cell::{Cell, OnceCell};
@@ -148,33 +148,99 @@ impl<'t> Adjacency<'t> {
         self.deg_inv.set(Some(inv));
         inv
     }
+
+    /// Snapshots this adjacency's per-pass artifacts — the weight values,
+    /// the `(D+I)^{-1}` normalizer and the CSR plan — into a tape-free
+    /// [`FrozenPlan`]. Both artifacts are forced through the exact same
+    /// ops `diffuse` would run, so a reconstructed adjacency is
+    /// bit-identical to a freshly built one.
+    pub fn freeze(&self) -> FrozenPlan {
+        FrozenPlan {
+            csr: self.plan(),
+            deg_inv: self.degree_inverse().value(),
+            weights: self.weights.value(),
+            index: self.index.clone(),
+        }
+    }
+
+    /// Rebuilds an adjacency on `tape` from a frozen plan: the weights and
+    /// normalizer are re-injected as constants and the CSR plan is pre-set,
+    /// so no per-batch degree/density work happens at all.
+    pub fn from_plan(tape: &'t Tape, plan: &FrozenPlan) -> Self {
+        let adj = Adjacency {
+            weights: tape.constant(plan.weights.clone()),
+            index: plan.index.clone(),
+            deg_inv: Cell::new(Some(tape.constant(plan.deg_inv.clone()))),
+            plan: OnceCell::new(),
+        };
+        let _ = adj.plan.set(plan.csr.clone());
+        adj
+    }
 }
 
-/// The learnable part of Eq. 9: one `Linear` per diffusion depth `j`.
+/// Tape-free snapshot of an [`Adjacency`]'s per-pass artifacts, cached on
+/// the model for eval mode: the slim weights, the `(D+I)^{-1}` normalizer
+/// and the CSR execution plan are computed once from `E` and reused across
+/// every batch of a `predict`/`evaluate` sweep. Invalidated whenever the
+/// parameters can have changed (optimizer step, checkpoint load, neighbor
+/// resampling).
+pub struct FrozenPlan {
+    weights: Tensor,
+    deg_inv: Tensor,
+    index: Option<Vec<usize>>,
+    csr: Option<Rc<Csr>>,
+}
+
+impl FrozenPlan {
+    /// The frozen significant index set, `None` for a dense adjacency.
+    pub fn index(&self) -> Option<&[usize]> {
+        self.index.as_deref()
+    }
+
+    /// Whether the frozen execution plan dispatches to the CSR kernels.
+    pub fn has_csr(&self) -> bool {
+        self.csr.is_some()
+    }
+}
+
+/// The learnable part of Eq. 9: one `Linear` per diffusion depth `j`,
+/// with inverted dropout on the input (train mode only).
 pub struct GConv {
     steps: Vec<Linear>,
+    dropout: Dropout,
 }
 
 impl GConv {
-    /// Registers `J` linear maps `c_in → c_out` (bias only on `j = 0`).
+    /// Registers `J` linear maps `c_in → c_out` (bias only on `j = 0`)
+    /// and a dropout layer applied to the convolution input at train time.
     pub fn new(
         params: &mut Params,
         name: &str,
         c_in: usize,
         c_out: usize,
         depth: usize,
+        dropout: f32,
         rng: &mut Rng64,
     ) -> Self {
         assert!(depth >= 1, "diffusion depth must be >= 1");
         let steps = (0..depth)
             .map(|j| Linear::new(params, &format!("{name}.w{j}"), c_in, c_out, j == 0, rng))
             .collect();
-        GConv { steps }
+        GConv {
+            steps,
+            dropout: Dropout::new(&format!("{name}.drop"), dropout),
+        }
     }
 
     /// `W ⋆ X`: accumulates `W_j · diffuse^j(X)` over the depth.
-    pub fn forward<'t>(&self, bind: &Binding<'t>, adj: &Adjacency<'t>, x: Var<'t>) -> Var<'t> {
-        let mut h = x;
+    pub fn forward<'t>(
+        &self,
+        bind: &Binding<'t>,
+        adj: &Adjacency<'t>,
+        x: Var<'t>,
+        mode: Mode,
+    ) -> Var<'t> {
+        let mut h = self.dropout.forward(x, mode);
         let mut acc = self.steps[0].forward(bind, h);
         for w in &self.steps[1..] {
             h = adj.diffuse(h);
@@ -253,13 +319,13 @@ mod tests {
         let n = 6;
         let mut rng = Rng64::new(3);
         let mut params = Params::new();
-        let conv = GConv::new(&mut params, "gc", 4, 8, 3, &mut rng);
+        let conv = GConv::new(&mut params, "gc", 4, 8, 3, 0.0, &mut rng);
         let a_id = params.add("A", Tensor::rand_uniform([n, 2], 0.0, 1.0, &mut rng));
         let tape = Tape::new();
         let bind = params.bind(&tape);
         let adj = Adjacency::slim(bind.var(a_id), vec![1, 3]);
         let x = tape.constant(Tensor::rand_uniform([2, n, 4], -1.0, 1.0, &mut rng));
-        let y = conv.forward(&bind, &adj, x);
+        let y = conv.forward(&bind, &adj, x, Mode::Train);
         assert_eq!(y.dims(), vec![2, n, 8]);
         let grads = y.square().sum().backward();
         assert!(
@@ -277,18 +343,62 @@ mod tests {
         let n = 4;
         let mut rng = Rng64::new(4);
         let mut params = Params::new();
-        let conv = GConv::new(&mut params, "gc", 2, 2, 1, &mut rng);
+        let conv = GConv::new(&mut params, "gc", 2, 2, 1, 0.0, &mut rng);
         let a_id = params.add("A", Tensor::rand_uniform([n, 1], 0.0, 1.0, &mut rng));
         let tape = Tape::new();
         let bind = params.bind(&tape);
         let adj = Adjacency::slim(bind.var(a_id), vec![0]);
         let x = tape.constant(Tensor::rand_uniform([1, n, 2], -1.0, 1.0, &mut rng));
-        let y = conv.forward(&bind, &adj, x);
+        let y = conv.forward(&bind, &adj, x, Mode::Eval);
         let grads = y.sum().backward();
         assert!(
             bind.grad(&grads, a_id).is_none(),
             "J = 1 must not involve the adjacency"
         );
+    }
+
+    #[test]
+    fn frozen_plan_reconstructs_bitwise() {
+        // freeze() on one tape, from_plan() on another: diffusion output
+        // must be bit-identical and the normalizer/plan must be pre-set.
+        let n = 8;
+        let index = vec![0, 3, 6];
+        let mut rng = Rng64::new(9);
+        let w = Tensor::rand_uniform([n, 3], -0.5, 1.0, &mut rng);
+        let x0 = Tensor::rand_uniform([2, n, 4], -1.0, 1.0, &mut rng);
+
+        let t1 = Tape::new();
+        let fresh = Adjacency::slim(t1.constant(w.clone()), index.clone());
+        let want = fresh.diffuse(t1.constant(x0.clone())).value();
+        let plan = fresh.freeze();
+        assert_eq!(plan.index(), Some(index.as_slice()));
+
+        let t2 = Tape::new();
+        let rebuilt = Adjacency::from_plan(&t2, &plan);
+        let got = rebuilt.diffuse(t2.constant(x0)).value();
+        let want_bits: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want_bits, got_bits, "frozen diffusion must be bit-exact");
+    }
+
+    #[test]
+    fn train_dropout_perturbs_gconv_and_eval_does_not() {
+        let n = 5;
+        let mut rng = Rng64::new(11);
+        let mut params = Params::new();
+        let conv = GConv::new(&mut params, "gc", 3, 3, 2, 0.5, &mut rng);
+        let a = Tensor::rand_uniform([n, 2], 0.0, 1.0, &mut rng);
+        let x0 = Tensor::rand_uniform([1, n, 3], -1.0, 1.0, &mut rng);
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let adj = Adjacency::slim(tape.constant(a), vec![1, 4]);
+        let x = tape.constant(x0);
+        let e1 = conv.forward(&bind, &adj, x, Mode::Eval).value();
+        let e2 = conv.forward(&bind, &adj, x, Mode::Eval).value();
+        assert_eq!(e1, e2, "eval forwards must be deterministic");
+        let t1 = conv.forward(&bind, &adj, x, Mode::Train).value();
+        let t2 = conv.forward(&bind, &adj, x, Mode::Train).value();
+        assert_ne!(t1, t2, "train-mode masks must differ across calls");
     }
 
     #[test]

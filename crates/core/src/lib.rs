@@ -35,4 +35,5 @@ pub mod trainer;
 pub use ablation::Variant;
 pub use config::{Backbone, SagdfnConfig};
 pub use model::Sagdfn;
+pub use sagdfn_nn::Mode;
 pub use trainer::{EpochStats, TrainReport};

@@ -4,12 +4,14 @@ use crate::ablation::Variant;
 use crate::attention::{inner_product_adjacency, SparseSpatialAttention};
 use crate::cell::OneStepFastGConv;
 use crate::config::{Backbone, SagdfnConfig};
-use crate::gconv::{Adjacency, GConv};
+use crate::gconv::{Adjacency, FrozenPlan, GConv};
 use crate::sns::NeighborSampler;
 use sagdfn_autodiff::{Tape, Var};
 use sagdfn_data::{Batch, ZScore};
-use sagdfn_nn::{init, Binding, Linear, ParamId, Params};
+use sagdfn_nn::{init, Binding, Linear, Mode, ParamId, Params};
 use sagdfn_tensor::{Rng64, Tensor};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Input channels per node and step: scaled value + time-of-day +
 /// day-of-week (matching `sagdfn_data::window::Batch`).
@@ -31,6 +33,9 @@ pub struct Sagdfn {
     rng: Rng64,
     /// Fixed dense adjacency for [`Variant::WithoutSnsSsma`].
     topo: Option<Tensor>,
+    /// Eval-mode adjacency cache: frozen slim weights, normalizer and CSR
+    /// plan, shared across batches until the parameters can have changed.
+    frozen: RefCell<Option<Rc<FrozenPlan>>>,
 }
 
 impl Sagdfn {
@@ -87,6 +92,7 @@ impl Sagdfn {
             iter: 0,
             rng,
             topo,
+            frozen: RefCell::new(None),
         }
     }
 
@@ -128,11 +134,14 @@ impl Sagdfn {
         self.index = self
             .sampler
             .sample(self.params.get(self.embed), explore, &mut self.rng);
+        self.invalidate_plan();
     }
 
-    /// Advances the iteration counter (Algorithm 2 line 16).
+    /// Advances the iteration counter (Algorithm 2 line 16). Training
+    /// steps mutate the parameters, so any frozen eval plan is stale.
     pub fn tick(&mut self) {
         self.iter += 1;
+        self.invalidate_plan();
     }
 
     /// Deterministically re-derives the significant index set from the
@@ -147,10 +156,36 @@ impl Sagdfn {
         self.index = self
             .sampler
             .sample(self.params.get(self.embed), false, &mut self.rng);
+        self.invalidate_plan();
+    }
+
+    /// Drops the frozen eval-mode adjacency plan. Called whenever the
+    /// parameters or the index set can have changed (training step,
+    /// resampling, checkpoint load via [`Sagdfn::refresh_index`]); the
+    /// next eval forward rebuilds it once.
+    pub fn invalidate_plan(&self) {
+        self.frozen.borrow_mut().take();
+    }
+
+    /// The frozen eval-mode adjacency artifacts, built once per parameter
+    /// state on a scratch no-grad tape (the exact same ops as the train
+    /// path, so eval stays bit-identical) and reused across batches.
+    pub fn frozen_plan(&self) -> Rc<FrozenPlan> {
+        if let Some(plan) = self.frozen.borrow().as_ref() {
+            sagdfn_obs::tally_plan(true);
+            return Rc::clone(plan);
+        }
+        sagdfn_obs::tally_plan(false);
+        let tape = Tape::new();
+        let _guard = tape.no_grad();
+        let bind = self.params.bind(&tape);
+        let plan = Rc::new(self.adjacency(&tape, &bind, Mode::Eval).freeze());
+        *self.frozen.borrow_mut() = Some(Rc::clone(&plan));
+        plan
     }
 
     /// Computes this step's adjacency on the tape (Algorithm 2 line 7).
-    pub fn adjacency<'t>(&self, tape: &'t Tape, bind: &Binding<'t>) -> Adjacency<'t> {
+    pub fn adjacency<'t>(&self, tape: &'t Tape, bind: &Binding<'t>, mode: Mode) -> Adjacency<'t> {
         match self.variant {
             Variant::WithoutSnsSsma => {
                 Adjacency::dense(tape.constant(self.topo.clone().expect("topology set")))
@@ -160,7 +195,10 @@ impl Sagdfn {
                     &self.index,
                     self.cfg.alpha,
                 ), self.index.clone()),
-            _ => Adjacency::slim(self.attn.forward(bind, bind.var(self.embed), &self.index), self.index.clone()),
+            _ => Adjacency::slim(
+                self.attn.forward(bind, bind.var(self.embed), &self.index, mode),
+                self.index.clone(),
+            ),
         }
     }
 
@@ -174,8 +212,9 @@ impl Sagdfn {
         bind: &Binding<'t>,
         batch: &Batch,
         scaler: ZScore,
+        mode: Mode,
     ) -> Var<'t> {
-        self.forward_scheduled(tape, bind, batch, scaler, &[])
+        self.forward_scheduled(tape, bind, batch, scaler, &[], mode)
     }
 
     /// Forward pass with a scheduled-sampling teacher mask: at decoder
@@ -191,12 +230,18 @@ impl Sagdfn {
         batch: &Batch,
         scaler: ZScore,
         teacher: &[bool],
+        mode: Mode,
     ) -> Var<'t> {
-        let adj = self.adjacency(tape, bind);
+        // Eval reuses the frozen adjacency artifacts across batches; train
+        // recomputes them on the tape so gradients reach E and the SSMA.
+        let adj = match mode {
+            Mode::Train => self.adjacency(tape, bind, mode),
+            Mode::Eval => Adjacency::from_plan(tape, &self.frozen_plan()),
+        };
         let (_, _b, n) = (batch.x.dim(0), batch.x.dim(1), batch.x.dim(2));
         assert_eq!(n, self.n, "batch node count mismatch");
         self.body
-            .forward(tape, bind, &adj, batch, scaler, self.cfg.hidden, teacher)
+            .forward(tape, bind, &adj, batch, scaler, self.cfg.hidden, teacher, mode)
     }
 
     /// Scheduled-sampling teacher probability at a training iteration:
@@ -277,6 +322,7 @@ impl Body {
                         cfg.hidden,
                         None,
                         cfg.diffusion_steps,
+                        cfg.dropout,
                         rng,
                     )
                 };
@@ -302,6 +348,7 @@ impl Body {
                     cfg.hidden,
                     cfg.hidden,
                     cfg.diffusion_steps,
+                    cfg.dropout,
                     rng,
                 ),
                 head: Linear::new(params, "attn.head", cfg.hidden, TCN_HORIZON, true, rng),
@@ -350,6 +397,7 @@ impl Body {
                         cfg.hidden,
                         cfg.hidden,
                         cfg.diffusion_steps,
+                        cfg.dropout,
                         rng,
                     ),
                     head: Linear::new(params, "tcn.head", cfg.hidden, TCN_HORIZON, true, rng),
@@ -369,6 +417,7 @@ impl Body {
         scaler: ZScore,
         hidden: usize,
         teacher: &[bool],
+        mode: Mode,
     ) -> Var<'t> {
         let (h_len, b, n) = (batch.x.dim(0), batch.x.dim(1), batch.x.dim(2));
         let f_len = batch.y.dim(0);
@@ -391,7 +440,7 @@ impl Body {
                 for t in 0..h_len {
                     let mut x = tape.constant(step_input(t));
                     for (layer, cell) in encoders.iter().enumerate() {
-                        enc_h[layer] = cell.step_hidden(bind, adj, x, enc_h[layer]);
+                        enc_h[layer] = cell.step_hidden(bind, adj, x, enc_h[layer], mode);
                         x = enc_h[layer];
                     }
                 }
@@ -422,7 +471,7 @@ impl Body {
                     );
                     let mut x = Var::concat(&[value, cov], 2);
                     for (layer, cell) in decoders.iter().enumerate() {
-                        dec_h[layer] = cell.step_hidden(bind, adj, x, dec_h[layer]);
+                        dec_h[layer] = cell.step_hidden(bind, adj, x, dec_h[layer], mode);
                         x = dec_h[layer];
                     }
                     let pred = head.forward(bind, x);
@@ -482,7 +531,7 @@ impl Body {
                 let joined = combine
                     .forward(bind, Var::concat(&[last, context], 2))
                     .relu();
-                let mixed = gconv.forward(bind, adj, joined).relu();
+                let mixed = gconv.forward(bind, adj, joined, mode).relu();
                 let out = head.forward(bind, mixed); // (B, N, horizon)
                 out.slice_axis(2, 0, f_len)
                     .reshape([b * n, f_len])
@@ -528,7 +577,7 @@ impl Body {
                     cur = next;
                 }
                 // Spatial mixing of the final state, then the direct head.
-                let mixed = gconv.forward(bind, adj, cur[h_len - 1]).relu();
+                let mixed = gconv.forward(bind, adj, cur[h_len - 1], mode).relu();
                 let out = head.forward(bind, mixed); // (B, N, horizon)
                 out.slice_axis(2, 0, f_len)
                     .reshape([b * n, f_len])
@@ -561,7 +610,7 @@ mod tests {
         let batch = split.train.make_batch(&[0, 1, 2]);
         let tape = Tape::new();
         let bind = model.params.bind(&tape);
-        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
         assert_eq!(pred.dims(), vec![4, 3, model.n()]);
         assert!(pred.value().all_finite());
     }
@@ -572,7 +621,7 @@ mod tests {
         let batch = split.train.make_batch(&[0, 1]);
         let tape = Tape::new();
         let bind = model.params.bind(&tape);
-        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
         let mask = Sagdfn::loss_mask(&batch.y);
         let loss = sagdfn_nn::masked_mae(pred, &batch.y, &mask);
         let grads = loss.backward();
@@ -645,7 +694,7 @@ mod tests {
         let batch = split.train.make_batch(&[0]);
         let tape = Tape::new();
         let bind = model.params.bind(&tape);
-        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
         assert!(pred.value().all_finite());
     }
 
@@ -660,7 +709,7 @@ mod tests {
         let batch = split.train.make_batch(&[0, 1]);
         let tape = Tape::new();
         let bind = model.params.bind(&tape);
-        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
         assert_eq!(pred.dims(), vec![4, 2, n]);
         let mask = Sagdfn::loss_mask(&batch.y);
         let grads = sagdfn_nn::masked_mae(pred, &batch.y, &mask).backward();
@@ -696,7 +745,7 @@ mod tests {
         let batch = split.train.make_batch(&[0, 1]);
         let tape = Tape::new();
         let bind = model.params.bind(&tape);
-        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
         assert_eq!(pred.dims(), vec![12, 2, n]);
         assert!(pred.value().all_finite());
         let mask = Sagdfn::loss_mask(&batch.y);
@@ -722,7 +771,7 @@ mod tests {
         let batch = split.train.make_batch(&[0, 1]);
         let tape = Tape::new();
         let bind = model.params.bind(&tape);
-        let pred = model.forward(&tape, &bind, &batch, split.scaler);
+        let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
         assert_eq!(pred.dims(), vec![12, 2, n]);
         assert!(pred.value().all_finite());
         let mask = Sagdfn::loss_mask(&batch.y);
@@ -786,7 +835,7 @@ mod tests {
             let tape = Tape::new();
             let bind = model.params.bind(&tape);
             model
-                .forward_scheduled(&tape, &bind, &batch, split.scaler, teacher)
+                .forward_scheduled(&tape, &bind, &batch, split.scaler, teacher, Mode::Train)
                 .value()
         };
         let free = run(&[]);
@@ -836,6 +885,34 @@ mod tests {
         );
         let report = crate::trainer::fit(&mut model, &split);
         assert!(report.test[0].mae < 15.0, "MAE {}", report.test[0].mae);
+    }
+
+    #[test]
+    fn eval_forward_is_bitwise_train_and_records_nothing() {
+        let (model, split) = tiny_setup();
+        let batch = split.train.make_batch(&[0, 1]);
+        let tape = Tape::new();
+        let bind = model.params.bind(&tape);
+        let want = model
+            .forward(&tape, &bind, &batch, split.scaler, Mode::Train)
+            .value();
+
+        let eval_tape = Tape::new();
+        let _guard = eval_tape.no_grad();
+        let bind = model.params.bind(&eval_tape);
+        let got = model
+            .forward(&eval_tape, &bind, &batch, split.scaler, Mode::Eval)
+            .value();
+        assert_eq!(eval_tape.len(), 0, "eval pass must record zero tape nodes");
+        let want_bits: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want_bits, got_bits, "eval must be bit-identical to train");
+        assert!(model.frozen.borrow().is_some(), "plan must be cached");
+        // A second eval reuses the cached plan; invalidation clears it.
+        let plan = model.frozen_plan();
+        assert!(Rc::ptr_eq(&plan, &model.frozen_plan()));
+        model.invalidate_plan();
+        assert!(model.frozen.borrow().is_none());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::model::Sagdfn;
 use sagdfn_autodiff::Tape;
 use sagdfn_data::{average, horizon_metrics, Metrics, SlidingWindows, ThreeWaySplit};
-use sagdfn_nn::{masked_mae, Adam, Optimizer};
+use sagdfn_nn::{masked_mae, Adam, Mode, Optimizer};
 use sagdfn_obs as obs;
 use sagdfn_tensor::{Rng64, Tensor};
 use std::time::Instant;
@@ -86,7 +86,8 @@ pub fn fit(model: &mut Sagdfn, split: &ThreeWaySplit) -> TrainReport {
                     (0..batch.y.dim(0)).map(|_| shuffle_rng.next_f32() < p_teacher),
                 );
             }
-            let pred = model.forward_scheduled(&tape, &bind, &batch, split.scaler, &teacher);
+            let pred =
+                model.forward_scheduled(&tape, &bind, &batch, split.scaler, &teacher, Mode::Train);
             let mask = Sagdfn::loss_mask(&batch.y);
             let loss = masked_mae(pred, &batch.y, &mask);
             loss_sum += loss.item() as f64;
@@ -147,27 +148,61 @@ pub fn evaluate(model: &Sagdfn, windows: &SlidingWindows, batch_size: usize) -> 
 /// Runs the model over a split and returns `(predictions, targets)` as
 /// `(f, ΣB, N)` raw-unit tensors — also used by the visualization harness
 /// (paper Figure 4).
+///
+/// Runs entirely on the no-grad eval path: no tape nodes are recorded,
+/// the adjacency plan is frozen once and reused across batches, and each
+/// batch is copied straight into pre-allocated output tensors, so peak
+/// memory is the output size plus one batch regardless of split length.
 pub fn predict(
     model: &Sagdfn,
     windows: &SlidingWindows,
     batch_size: usize,
 ) -> (Tensor, Tensor) {
     assert!(!windows.is_empty(), "cannot evaluate an empty split");
-    let mut pred_parts = Vec::new();
-    let mut target_parts = Vec::new();
-    // One reused tape across evaluation batches (see `fit`).
+    let (f, n, total) = (windows.f(), windows.nodes(), windows.len());
+    let mut preds = Tensor::zeros([f, total, n]);
+    let mut targets = Tensor::zeros([f, total, n]);
+    // One reused tape across evaluation batches (see `fit`), in no-grad
+    // mode for the whole sweep: values only, no backward closures.
     let tape = Tape::new();
+    let _no_grad = tape.no_grad();
+    let mut offset = 0usize;
     for ids in windows.batch_ids(batch_size, None) {
+        let _step = obs::kernel(obs::Kernel::EvalStep, 0, 0, 0);
         let batch = windows.make_batch(&ids);
         tape.reset();
         let bind = model.params.bind(&tape);
-        let pred = model.forward(&tape, &bind, &batch, windows.scaler());
-        pred_parts.push(pred.value());
-        target_parts.push(batch.y);
+        let pred = model
+            .forward(&tape, &bind, &batch, windows.scaler(), Mode::Eval)
+            .value();
+        // Row-major (f, B, N) means each horizon step is a contiguous
+        // (B·N) block; copy it into the matching (total·N) stripe.
+        let b = ids.len();
+        copy_batch(&mut preds, pred.as_slice(), f, b, n, total, offset);
+        copy_batch(&mut targets, batch.y.as_slice(), f, b, n, total, offset);
+        offset += b;
     }
-    let preds = Tensor::concat(&pred_parts.iter().collect::<Vec<_>>(), 1);
-    let targets = Tensor::concat(&target_parts.iter().collect::<Vec<_>>(), 1);
+    debug_assert_eq!(offset, total);
     (preds, targets)
+}
+
+/// Copies a `(f, b, n)` batch block into columns `[offset, offset+b)` of a
+/// `(f, total, n)` output tensor.
+fn copy_batch(
+    out: &mut Tensor,
+    src: &[f32],
+    f: usize,
+    b: usize,
+    n: usize,
+    total: usize,
+    offset: usize,
+) {
+    let dst = out.as_mut_slice();
+    for t in 0..f {
+        let src_block = &src[t * b * n..(t + 1) * b * n];
+        let dst_start = t * total * n + offset * n;
+        dst[dst_start..dst_start + b * n].copy_from_slice(src_block);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,148 @@
+//! Inverted dropout with train/eval semantics, and the execution-mode
+//! switch shared by every layer that behaves differently at inference.
+
+use sagdfn_autodiff::Var;
+use sagdfn_tensor::{Rng64, Tensor};
+use std::cell::Cell;
+
+/// Execution mode threaded through model forwards. `Train` applies
+/// stochastic regularizers (dropout) and records the graph; `Eval` makes
+/// every layer a deterministic function of its inputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mode {
+    /// Training: dropout active, adjacency rebuilt per step.
+    #[default]
+    Train,
+    /// Inference: dropout is the identity; cached structure may be reused.
+    Eval,
+}
+
+impl Mode {
+    /// True for [`Mode::Train`].
+    pub fn is_train(self) -> bool {
+        self == Mode::Train
+    }
+}
+
+/// Inverted dropout: at train time each element is zeroed with
+/// probability `rate` and survivors are scaled by `1/(1-rate)`, so the
+/// expected activation is unchanged and eval needs no rescaling. In eval
+/// mode (or with `rate == 0`) the layer is exactly the identity — it does
+/// not even draw from its RNG, so a zero-rate model is bit-identical to
+/// one built before dropout existed.
+///
+/// The mask RNG is self-contained (seeded from the layer name, not from
+/// the parameter-init RNG) so adding a dropout layer never perturbs
+/// existing initialization streams.
+pub struct Dropout {
+    rate: f32,
+    state: Cell<u64>,
+}
+
+impl Dropout {
+    /// A dropout layer with the given drop probability, seeded from
+    /// `name` so distinct layers draw independent mask streams.
+    pub fn new(name: &str, rate: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0, 1), got {rate}"
+        );
+        // FNV-1a over the layer name: deterministic, independent of any
+        // construction-order RNG stream.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Dropout {
+            rate,
+            state: Cell::new(h),
+        }
+    }
+
+    /// The configured drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+
+    /// Applies the layer: identity in eval mode or at rate 0; otherwise a
+    /// fresh inverted mask per call.
+    pub fn forward<'t>(&self, x: Var<'t>, mode: Mode) -> Var<'t> {
+        if self.rate == 0.0 || mode == Mode::Eval {
+            return x;
+        }
+        let keep = 1.0 - self.rate;
+        let inv_keep = 1.0 / keep;
+        let mut rng = Rng64::new(self.state.get());
+        let mask = x.with_value(|t| {
+            let data: Vec<f32> = (0..t.numel())
+                .map(|_| if rng.next_f32() < keep { inv_keep } else { 0.0 })
+                .collect();
+            Tensor::from_vec(data, t.shape().clone())
+        });
+        // Advance the stream so the next call draws a fresh mask.
+        self.state.set(rng.next_u64());
+        x.mul_const(&mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagdfn_autodiff::Tape;
+
+    #[test]
+    fn eval_and_zero_rate_are_identity() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, -2.0, 3.0], [3]));
+        let d = Dropout::new("d", 0.5);
+        let y = d.forward(x, Mode::Eval);
+        assert_eq!(y.id(), x.id(), "eval dropout must be a no-op");
+        let z = Dropout::new("z", 0.0).forward(x, Mode::Train);
+        assert_eq!(z.id(), x.id(), "zero-rate dropout must be a no-op");
+    }
+
+    #[test]
+    fn train_mode_zeroes_and_rescales() {
+        let tape = Tape::new();
+        let n = 10_000;
+        let x = tape.leaf(Tensor::ones([n]));
+        let d = Dropout::new("mask", 0.3);
+        let y = d.forward(x, Mode::Train).value();
+        let scale = 1.0 / 0.7;
+        let mut dropped = 0usize;
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - scale).abs() < 1e-6, "unexpected value {v}");
+            if v == 0.0 {
+                dropped += 1;
+            }
+        }
+        let frac = dropped as f32 / n as f32;
+        assert!((frac - 0.3).abs() < 0.03, "drop fraction {frac} far from 0.3");
+        // Inverted scaling keeps the expectation near 1.
+        let mean = y.as_slice().iter().sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean} drifted");
+    }
+
+    #[test]
+    fn masks_differ_across_calls() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones([64]));
+        let d = Dropout::new("stream", 0.5);
+        let a = d.forward(x, Mode::Train).value();
+        let b = d.forward(x, Mode::Train).value();
+        assert_ne!(a, b, "consecutive masks must differ");
+    }
+
+    #[test]
+    fn gradient_is_masked_and_scaled() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones([32]));
+        let d = Dropout::new("grad", 0.5);
+        let y = d.forward(x, Mode::Train);
+        let mask = y.value();
+        let grads = y.sum().backward();
+        // dL/dx is exactly the mask (0 where dropped, 1/keep elsewhere).
+        assert_eq!(grads.expect(x).as_slice(), mask.as_slice());
+    }
+}

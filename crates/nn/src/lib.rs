@@ -19,6 +19,7 @@
 //!    and updates the registry tensors in place.
 
 pub mod checkpoint;
+pub mod dropout;
 pub mod gru;
 pub mod init;
 pub mod linear;
@@ -29,6 +30,7 @@ pub mod optim;
 pub mod params;
 pub mod schedule;
 
+pub use dropout::{Dropout, Mode};
 pub use gru::GruCell;
 pub use linear::Linear;
 pub use loss::{mae, masked_mae, mse, rmse_from_mse};

@@ -141,10 +141,14 @@ pub enum Kernel {
     OptimStep,
     /// One trainer step (batch forward + backward + update).
     TrainStep,
+    /// No-grad value stored (eval twin of `Forward`; no node recorded).
+    EvalNode,
+    /// One inference batch through the no-grad eval path.
+    EvalStep,
 }
 
 /// Number of [`Kernel`] variants (table width).
-pub const KERNEL_COUNT: usize = 16;
+pub const KERNEL_COUNT: usize = 18;
 
 impl Kernel {
     /// All kernels in table order.
@@ -165,6 +169,8 @@ impl Kernel {
         Kernel::TapeReset,
         Kernel::OptimStep,
         Kernel::TrainStep,
+        Kernel::EvalNode,
+        Kernel::EvalStep,
     ];
 
     /// Stable display / trace name.
@@ -186,6 +192,8 @@ impl Kernel {
             Kernel::TapeReset => "tape_reset",
             Kernel::OptimStep => "optim_step",
             Kernel::TrainStep => "train_step",
+            Kernel::EvalNode => "eval_node",
+            Kernel::EvalStep => "eval_step",
         }
     }
 }
@@ -217,6 +225,8 @@ static ALLOC_RELEASES: AtomicU64 = AtomicU64::new(0);
 static ALLOC_RELEASE_BYTES: AtomicU64 = AtomicU64::new(0);
 static DISPATCH_SPARSE: AtomicU64 = AtomicU64::new(0);
 static DISPATCH_DENSE: AtomicU64 = AtomicU64::new(0);
+static PLAN_BUILDS: AtomicU64 = AtomicU64::new(0);
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 fn add(cell: &AtomicU64, v: u64) {
@@ -275,6 +285,16 @@ pub fn tally_dispatch(sparse: bool) {
         return;
     }
     add(if sparse { &DISPATCH_SPARSE } else { &DISPATCH_DENSE }, 1);
+}
+
+/// Records one frozen-plan cache lookup: `hit = true` when a cached
+/// eval-mode adjacency plan was reused, `false` when it had to be built.
+#[inline]
+pub fn tally_plan(hit: bool) {
+    if !enabled() {
+        return;
+    }
+    add(if hit { &PLAN_HITS } else { &PLAN_BUILDS }, 1);
 }
 
 /// Timed scope over a kernel: counts the call and its work totals up
@@ -362,6 +382,10 @@ pub struct Snapshot {
     pub dispatch_sparse: u64,
     /// Density dispatches that chose the dense GEMMs.
     pub dispatch_dense: u64,
+    /// Frozen-plan cache misses (plan built from the embeddings).
+    pub plan_builds: u64,
+    /// Frozen-plan cache hits (cached plan reused across batches).
+    pub plan_hits: u64,
 }
 
 /// Copies every counter. Counters are only ever added to, so a snapshot
@@ -386,6 +410,8 @@ pub fn snapshot() -> Snapshot {
     s.alloc_release_bytes = ALLOC_RELEASE_BYTES.load(Ordering::Relaxed);
     s.dispatch_sparse = DISPATCH_SPARSE.load(Ordering::Relaxed);
     s.dispatch_dense = DISPATCH_DENSE.load(Ordering::Relaxed);
+    s.plan_builds = PLAN_BUILDS.load(Ordering::Relaxed);
+    s.plan_hits = PLAN_HITS.load(Ordering::Relaxed);
     s
 }
 
@@ -417,6 +443,8 @@ impl Snapshot {
         d.alloc_release_bytes = self.alloc_release_bytes.saturating_sub(base.alloc_release_bytes);
         d.dispatch_sparse = self.dispatch_sparse.saturating_sub(base.dispatch_sparse);
         d.dispatch_dense = self.dispatch_dense.saturating_sub(base.dispatch_dense);
+        d.plan_builds = self.plan_builds.saturating_sub(base.plan_builds);
+        d.plan_hits = self.plan_hits.saturating_sub(base.plan_hits);
         d
     }
 }
@@ -441,6 +469,8 @@ pub fn reset_counters() {
         &ALLOC_RELEASE_BYTES,
         &DISPATCH_SPARSE,
         &DISPATCH_DENSE,
+        &PLAN_BUILDS,
+        &PLAN_HITS,
     ] {
         g.store(0, Ordering::Relaxed);
     }
@@ -505,14 +535,19 @@ fn open_span(name: &'static str, _reserved: u32) -> Option<Span> {
         d.set(v + 1);
         v
     });
-    let ts_ns = epoch().elapsed().as_nanos() as u64;
+    // One clock read for both the start stamp and the duration origin:
+    // `ts_ns + dur_ns` then equals the drop time relative to the epoch,
+    // so span ends are ordered exactly like their drops (nesting holds
+    // at ns resolution instead of up to the skew between two reads).
+    let t0 = Instant::now();
+    let ts_ns = t0.duration_since(epoch()).as_nanos() as u64;
     Some(Span {
         name,
         id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
         tid,
         depth,
         ts_ns,
-        t0: Instant::now(),
+        t0,
     })
 }
 
@@ -648,13 +683,16 @@ pub fn step_rollup(step: u64) {
     let line = format!(
         "{{\"kind\":\"rollup\",\"step\":{step},\"pool_regions\":{},\"pool_tasks\":{},\
          \"alloc_acquire_bytes\":{},\"alloc_release_bytes\":{},\
-         \"dispatch_sparse\":{},\"dispatch_dense\":{},\"kernels\":[{kernels}]}}",
+         \"dispatch_sparse\":{},\"dispatch_dense\":{},\
+         \"plan_builds\":{},\"plan_hits\":{},\"kernels\":[{kernels}]}}",
         delta.pool_regions,
         delta.pool_tasks,
         delta.alloc_acquire_bytes,
         delta.alloc_release_bytes,
         delta.dispatch_sparse,
         delta.dispatch_dense,
+        delta.plan_builds,
+        delta.plan_hits,
     );
     push_record(TraceRec::Rollup(line));
 }
@@ -721,7 +759,7 @@ pub fn format_table(snap: &Snapshot) -> String {
     }
     out.push_str(&format!(
         "pool: {} regions / {} tasks; alloc: {} acquires ({:.2} MB), {} releases ({:.2} MB); \
-         dispatch: {} sparse / {} dense\n",
+         dispatch: {} sparse / {} dense; plan cache: {} builds / {} hits\n",
         snap.pool_regions,
         snap.pool_tasks,
         snap.alloc_acquires,
@@ -730,6 +768,8 @@ pub fn format_table(snap: &Snapshot) -> String {
         snap.alloc_release_bytes as f64 / 1e6,
         snap.dispatch_sparse,
         snap.dispatch_dense,
+        snap.plan_builds,
+        snap.plan_hits,
     ));
     out
 }
@@ -763,6 +803,8 @@ mod tests {
         tally_alloc_release(1024);
         tally_dispatch(true);
         tally_dispatch(false);
+        tally_plan(false);
+        tally_plan(true);
         let d = snapshot().since(&base);
         assert_eq!(d.stats(Kernel::Matmul).calls, 1);
         assert_eq!(d.stats(Kernel::Matmul).flops, 2000);
@@ -772,6 +814,7 @@ mod tests {
         assert_eq!((d.pool_regions, d.pool_tasks), (1, 8));
         assert_eq!((d.alloc_acquires, d.alloc_acquire_bytes), (1, 1024));
         assert_eq!((d.dispatch_sparse, d.dispatch_dense), (1, 1));
+        assert_eq!((d.plan_builds, d.plan_hits), (1, 1));
         // Spans stay off in counters mode.
         assert!(span("counters_no_span").is_none());
 

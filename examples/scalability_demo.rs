@@ -13,7 +13,7 @@ use sagdfn_repro::baselines::deep::{DeepConfig, DeepForecast};
 use sagdfn_repro::baselines::graph::RecurrentGraphNet;
 use sagdfn_repro::data::{Scale, SplitSpec, ThreeWaySplit};
 use sagdfn_repro::memsim::{ModelFamily, WorkloadDims, V100_32GB};
-use sagdfn_repro::nn::{masked_mae, Adam, Optimizer};
+use sagdfn_repro::nn::{masked_mae, Adam, Mode, Optimizer};
 use sagdfn_repro::sagdfn::{Sagdfn, SagdfnConfig};
 use std::time::Instant;
 
@@ -40,7 +40,7 @@ fn main() {
             sag.maybe_resample();
             let tape = Tape::new();
             let bind = sag.params.bind(&tape);
-            let pred = sag.forward(&tape, &bind, &batch, split.scaler);
+            let pred = sag.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
             let mask = Sagdfn::loss_mask(&batch.y);
             let grads = masked_mae(pred, &batch.y, &mask).backward();
             opt.step(&mut sag.params, &bind, &grads);
@@ -53,7 +53,7 @@ fn main() {
         let dense_time = time_iters(3, || {
             let tape = Tape::new();
             let bind = dense.params().bind(&tape);
-            let pred = dense.forward(&tape, &bind, &batch, split.scaler);
+            let pred = dense.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
             let mask = Sagdfn::loss_mask(&batch.y);
             let grads = masked_mae(pred, &batch.y, &mask).backward();
             opt2.step(dense.params_mut(), &bind, &grads);

@@ -61,4 +61,20 @@ else
 fi
 
 echo
+echo "== bench_infer smoke (inference-path regression guard) =="
+INFER_OUT="$(mktemp)"
+trap 'rm -f "$SMOKE_OUT" "$DIFF_OUT" "$TRACE_OUT" "$INFER_OUT"' EXIT
+if [ -f BENCH_infer.json ]; then
+    # Fails if the frozen-plan no-grad eval drops below 1.3x taped-eval
+    # throughput, the plan cache stops hitting, or any eval mode changes
+    # predictions.
+    cargo run --release -q -p sagdfn-bench --bin bench_infer -- \
+        --steps 6 --out "$INFER_OUT" --check BENCH_infer.json
+else
+    echo "(no committed BENCH_infer.json; smoke run only)"
+    cargo run --release -q -p sagdfn-bench --bin bench_infer -- \
+        --steps 6 --out "$INFER_OUT"
+fi
+
+echo
 echo "check.sh: all green"

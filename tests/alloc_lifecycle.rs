@@ -7,7 +7,7 @@
 
 use sagdfn_repro::autodiff::Tape;
 use sagdfn_repro::data::{metr_la_like, Scale, SplitSpec, ThreeWaySplit};
-use sagdfn_repro::nn::{masked_mae, Adam, Optimizer};
+use sagdfn_repro::nn::{masked_mae, Adam, Mode, Optimizer};
 use sagdfn_repro::sagdfn::trainer::fit;
 use sagdfn_repro::sagdfn::{Sagdfn, SagdfnConfig};
 use sagdfn_repro::tensor;
@@ -47,7 +47,7 @@ fn steady_state_training_does_not_grow_live_bytes() {
         let batch = split.train.make_batch(&ids);
         tape.reset();
         let bind = model.params.bind(&tape);
-        let pred = model.forward_scheduled(&tape, &bind, &batch, split.scaler, &[]);
+        let pred = model.forward_scheduled(&tape, &bind, &batch, split.scaler, &[], Mode::Train);
         let mask = Sagdfn::loss_mask(&batch.y);
         let loss = masked_mae(pred, &batch.y, &mask);
         let grads = loss.backward();

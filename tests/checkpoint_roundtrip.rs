@@ -40,6 +40,34 @@ fn save_load_reproduces_predictions_exactly() {
 }
 
 #[test]
+fn file_checkpoint_roundtrip_on_the_eval_path() {
+    let (n, split, cfg) = setup();
+    let mut model = Sagdfn::new(n, cfg.clone());
+    trainer::fit(&mut model, &split);
+    let (pred_mem, _) = trainer::predict(&model, &split.test, 16);
+
+    let path = std::env::temp_dir().join(format!("sagdfn_ckpt_{}.json", std::process::id()));
+    checkpoint::save_path(&model.params, &path).expect("save_path");
+
+    let mut restored = Sagdfn::new(n, cfg);
+    // Warm a frozen adjacency plan from the fresh-init weights: loading a
+    // checkpoint must not let this stale plan leak into eval predictions.
+    let _ = restored.frozen_plan();
+    checkpoint::load_path(&mut restored.params, &path).expect("load_path");
+    let _ = std::fs::remove_file(&path);
+    restored.refresh_index();
+
+    // `trainer::predict` runs the no-grad eval path with the frozen plan;
+    // it must reproduce the in-memory model's predictions bit for bit.
+    let (pred_file, _) = trainer::predict(&restored, &split.test, 16);
+    assert_eq!(
+        pred_mem.as_slice(),
+        pred_file.as_slice(),
+        "file-restored model must predict identically on the eval path"
+    );
+}
+
+#[test]
 fn tcn_backbone_checkpoints_too() {
     let (n, split, mut cfg) = setup();
     cfg.backbone = Backbone::Tcn;

@@ -12,7 +12,7 @@ use sagdfn_repro::autodiff::Tape;
 use sagdfn_repro::baselines::deep::{DeepConfig, DeepForecast};
 use sagdfn_repro::baselines::graph::RecurrentGraphNet;
 use sagdfn_repro::data::{Scale, SplitSpec, ThreeWaySplit};
-use sagdfn_repro::nn::masked_mae;
+use sagdfn_repro::nn::{masked_mae, Mode};
 use sagdfn_repro::sagdfn::{Sagdfn, SagdfnConfig};
 use sagdfn_repro::tensor;
 use std::sync::Mutex;
@@ -57,7 +57,7 @@ fn peak_bytes_inner(n: usize, dense: bool) -> usize {
         run(&mut || {
             let tape = Tape::new();
             let bind = model.params().bind(&tape);
-            let pred = model.forward(&tape, &bind, &batch, split.scaler);
+            let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
             let mask = Sagdfn::loss_mask(&batch.y);
             let _ = masked_mae(pred, &batch.y, &mask).backward();
         })
@@ -70,7 +70,7 @@ fn peak_bytes_inner(n: usize, dense: bool) -> usize {
         run(&mut || {
             let tape = Tape::new();
             let bind = model.params.bind(&tape);
-            let pred = model.forward(&tape, &bind, &batch, split.scaler);
+            let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
             let mask = Sagdfn::loss_mask(&batch.y);
             let _ = masked_mae(pred, &batch.y, &mask).backward();
         })

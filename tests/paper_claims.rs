@@ -4,7 +4,7 @@
 use sagdfn_repro::data::{Scale, SplitSpec, ThreeWaySplit};
 use sagdfn_repro::graph::SlimAdj;
 use sagdfn_repro::memsim::{ModelFamily, WorkloadDims, V100_32GB};
-use sagdfn_repro::sagdfn::{trainer, Sagdfn, SagdfnConfig, Variant};
+use sagdfn_repro::sagdfn::{trainer, Mode, Sagdfn, SagdfnConfig, Variant};
 use sagdfn_repro::tensor::{Rng64, Tensor};
 
 /// Table I / Example 2: slim diffusion beats dense diffusion in time as N
@@ -74,7 +74,7 @@ fn entmax_adjacency_sparser_than_softmax() {
         let model = Sagdfn::new(n, cfg);
         let tape = sagdfn_repro::autodiff::Tape::new();
         let bind = model.params.bind(&tape);
-        let adj = model.adjacency(&tape, &bind);
+        let adj = model.adjacency(&tape, &bind, Mode::Train);
         assert!(adj.is_slim());
         // Count near-zero head outputs via the weight magnitudes.
         let v = adj.weights().value();

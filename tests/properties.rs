@@ -257,4 +257,41 @@ proptest! {
             );
         }
     }
+
+    /// A no-grad forward of a random op composite is bit-identical to the
+    /// recorded forward, and leaves zero nodes on the tape.
+    #[test]
+    fn no_grad_forward_is_bitwise_recorded(
+        seed in 0u64..200,
+        ops in prop::collection::vec(0usize..6, 1..12),
+    ) {
+        let mut rng = sagdfn_repro::tensor::Rng64::new(seed);
+        let x0 = Tensor::rand_uniform([3, 4], -1.5, 1.5, &mut rng);
+        let w0 = Tensor::rand_uniform([4, 4], -1.0, 1.0, &mut rng);
+        let apply = |tape: &Tape| -> Tensor {
+            let mut v = tape.leaf(x0.clone());
+            let w = tape.leaf(w0.clone());
+            for &op in &ops {
+                v = match op {
+                    0 => v.sigmoid(),
+                    1 => v.tanh(),
+                    2 => v.matmul(&w),
+                    3 => v.add(&v.scale(0.5)),
+                    4 => v.mul(&v),
+                    _ => v.relu().add_scalar(0.25),
+                };
+            }
+            v.value()
+        };
+        let recorded = Tape::new();
+        let value_rec = apply(&recorded);
+        prop_assert!(!recorded.is_empty(), "recording path must grow the tape");
+        let eval_tape = Tape::new();
+        let _g = eval_tape.no_grad();
+        let value_eval = apply(&eval_tape);
+        prop_assert_eq!(eval_tape.len(), 0);
+        let rec_bits: Vec<u32> = value_rec.as_slice().iter().map(|v| v.to_bits()).collect();
+        let eval_bits: Vec<u32> = value_eval.as_slice().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(rec_bits, eval_bits);
+    }
 }

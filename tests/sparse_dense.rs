@@ -9,6 +9,7 @@
 use sagdfn_repro::autodiff::Tape;
 use sagdfn_repro::data::{metr_la_like, Scale, SplitSpec, ThreeWaySplit};
 use sagdfn_repro::nn::loss::masked_mae;
+use sagdfn_repro::nn::Mode;
 use sagdfn_repro::sagdfn::{Sagdfn, SagdfnConfig};
 use sagdfn_repro::tensor::{alloc, pool, set_sparse_mode, SparseMode, Tensor};
 
@@ -24,7 +25,7 @@ fn forward_backward(mode: SparseMode) -> (f32, Vec<(String, Tensor)>) {
 
     let tape = Tape::new();
     let bind = model.params.bind(&tape);
-    let pred = model.forward(&tape, &bind, &batch, split.scaler);
+    let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
     let mask = Sagdfn::loss_mask(&batch.y);
     let loss = masked_mae(pred, &batch.y, &mask);
     let loss_value = loss.item();

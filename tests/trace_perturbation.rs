@@ -10,7 +10,7 @@
 use sagdfn_repro::autodiff::Tape;
 use sagdfn_repro::data::{metr_la_like, Scale, SplitSpec, ThreeWaySplit};
 use sagdfn_repro::nn::loss::masked_mae;
-use sagdfn_repro::nn::{Adam, Optimizer};
+use sagdfn_repro::nn::{Adam, Mode, Optimizer};
 use sagdfn_repro::obs::{self, TraceMode};
 use sagdfn_repro::sagdfn::{Sagdfn, SagdfnConfig};
 use sagdfn_repro::tensor::Tensor;
@@ -28,7 +28,7 @@ fn train_step(mode: TraceMode) -> (f32, Vec<(String, Tensor)>, Vec<u32>) {
 
     let tape = Tape::new();
     let bind = model.params.bind(&tape);
-    let pred = model.forward(&tape, &bind, &batch, split.scaler);
+    let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
     let mask = Sagdfn::loss_mask(&batch.y);
     let loss = masked_mae(pred, &batch.y, &mask);
     let loss_value = loss.item();
