@@ -12,11 +12,13 @@
 //!
 //! Usage: `bench_diffusion [--out FILE] [--steps N] [--check BASELINE]`
 //!
-//! With `--check`, two gates guard the sparsity win (exit nonzero on
+//! With `--check`, three gates guard the sparsity win (exit nonzero on
 //! failure): the 90 %-zeros speedup must stay ≥ 1.2× (and within 25 % of
-//! the recorded baseline), and the auto dispatch must fall back to the
-//! dense GEMM on a fully dense adjacency — `scripts/check.sh` runs this
-//! as the diffusion regression guard.
+//! the recorded baseline), the CSR kernels must also beat the dense GEMMs
+//! ≥ 1.2× at `N=2000` / 50 % zeros (measured with the sparse path forced
+//! on when the auto dispatch would pick dense there), and the auto
+//! dispatch must fall back to the dense GEMM on a fully dense adjacency —
+//! `scripts/check.sh` runs this as the diffusion regression guard.
 
 use sagdfn_json::Json;
 use sagdfn_obs as obs;
@@ -53,6 +55,10 @@ struct Measurement {
     sparse_sec: f64,
     speedup: f64,
     dispatch_sparse: bool,
+    /// CSR-kernel timing with the dispatch decision overridden to
+    /// sparse; `None` when the auto arm already ran the CSR path (the
+    /// two would be the same measurement) or the adjacency has no zeros.
+    forced_sparse_sec: Option<f64>,
 }
 
 /// Times `steps` iterations of forward + backward diffusion kernels.
@@ -69,15 +75,18 @@ fn measure(cfg: &Config, steps: usize) -> Measurement {
         let da = dadj_dense(&g, &x); // backward dA
         (y, dx, da)
     };
+    let csr_step = || {
+        let csr = Csr::from_dense(&a); // once-per-pass plan, charged here
+        let y = csr.spmm(&x);
+        let dx = csr.spmm_t(&g);
+        let da = csr.dadj(&g, &x);
+        (y, dx, da)
+    };
     // The auto-dispatched arm: exactly what `Adjacency::diffuse` runs.
     let dispatch_sparse = should_use_sparse(nnz, a.numel());
     let sparse_step = || {
         if dispatch_sparse {
-            let csr = Csr::from_dense(&a); // once-per-pass plan, charged here
-            let y = csr.spmm(&x);
-            let dx = csr.spmm_t(&g);
-            let da = csr.dadj(&g, &x);
-            (y, dx, da)
+            csr_step()
         } else {
             dense_step()
         }
@@ -85,12 +94,18 @@ fn measure(cfg: &Config, steps: usize) -> Measurement {
 
     let dense_sec = obs::time_min("diffusion_dense", WARMUP_STEPS, steps, &dense_step);
     let sparse_sec = obs::time_min("diffusion_sparse", WARMUP_STEPS, steps, &sparse_step);
+    // When the auto dispatch stayed dense on an adjacency that *does*
+    // have zeros, also time the CSR path directly: the 50 %-zeros gate
+    // compares kernels, not the dispatch policy.
+    let forced_sparse_sec = (!dispatch_sparse && nnz < a.numel())
+        .then(|| obs::time_min("diffusion_sparse_forced", WARMUP_STEPS, steps, &csr_step));
     Measurement {
         nnz,
         dense_sec,
         sparse_sec,
         speedup: dense_sec / sparse_sec,
         dispatch_sparse,
+        forced_sparse_sec,
     }
 }
 
@@ -120,6 +135,7 @@ fn main() {
 
     let mut cases = Vec::new();
     let mut speedup_90_min = f64::INFINITY;
+    let mut speedup_50_n2000 = f64::NAN;
     let mut dense_ratio_00_max = 0.0f64;
     let mut dispatch_00_sparse = false;
     for &n in &[207usize, 2000] {
@@ -136,14 +152,28 @@ fn main() {
                 r.speedup,
                 if r.dispatch_sparse { "sparse" } else { "dense" }
             );
+            let forced_speedup = r.forced_sparse_sec.map(|s| r.dense_sec / s);
+            if let (Some(sec), Some(speedup)) = (r.forced_sparse_sec, forced_speedup) {
+                println!(
+                    "{:>51} {:>12.3} {speedup:>8.2}x {:>9}",
+                    "(forced CSR)",
+                    sec * 1e3,
+                    "forced"
+                );
+            }
             if zero_frac == 0.9 {
                 speedup_90_min = speedup_90_min.min(r.speedup);
+            }
+            if zero_frac == 0.5 && n == 2000 {
+                // Kernel-vs-kernel comparison regardless of what the
+                // dispatch policy picked for this density.
+                speedup_50_n2000 = forced_speedup.unwrap_or(r.speedup);
             }
             if zero_frac == 0.0 {
                 dense_ratio_00_max = dense_ratio_00_max.max(r.sparse_sec / r.dense_sec);
                 dispatch_00_sparse |= r.dispatch_sparse;
             }
-            cases.push(Json::obj([
+            let mut fields = vec![
                 ("n", Json::from(n)),
                 ("m", Json::from(m)),
                 ("zero_frac", Json::from(zero_frac as f64)),
@@ -152,11 +182,17 @@ fn main() {
                 ("sparse_sec_per_step", Json::from(r.sparse_sec)),
                 ("speedup", Json::from(r.speedup)),
                 ("dispatch_sparse", Json::from(r.dispatch_sparse)),
-            ]));
+            ];
+            if let Some(sec) = r.forced_sparse_sec {
+                fields.push(("forced_sparse_sec_per_step", Json::from(sec)));
+                fields.push(("forced_speedup", Json::from(r.dense_sec / sec)));
+            }
+            cases.push(Json::obj(fields));
         }
     }
     println!(
-        "  min speedup at 90% zeros: {speedup_90_min:.2}x; worst 0%-zeros cost ratio: {dense_ratio_00_max:.3}"
+        "  min speedup at 90% zeros: {speedup_90_min:.2}x; CSR speedup at N=2000/50%: \
+         {speedup_50_n2000:.2}x; worst 0%-zeros cost ratio: {dense_ratio_00_max:.3}"
     );
 
     let doc = Json::obj([
@@ -165,6 +201,7 @@ fn main() {
         ("batch", Json::from(BATCH)),
         ("channels", Json::from(CHANNELS)),
         ("speedup_90_min", Json::from(speedup_90_min)),
+        ("speedup_50_n2000", Json::from(speedup_50_n2000)),
         ("dense_ratio_00_max", Json::from(dense_ratio_00_max)),
         ("cases", Json::Arr(cases)),
     ]);
@@ -189,6 +226,21 @@ fn main() {
         let mut failed = false;
         if speedup_90_min < floor {
             eprintln!("diffusion regression: 90%-zeros sparse speedup fell below the floor");
+            failed = true;
+        }
+        // Same shape of gate at the paper-scale moderate density: the
+        // CSR kernels must beat the dense GEMMs at N=2000 / 50% zeros.
+        // Baselines written before this field existed anchor only the
+        // absolute floor.
+        let base_50 = baseline
+            .get("speedup_50_n2000")
+            .and_then(|v| v.as_f64().ok());
+        let floor_50 = base_50.map_or(1.2, |b| (b * 0.75).max(1.2));
+        println!(
+            "  regression guard: CSR speedup@N=2000/50% {speedup_50_n2000:.2}x (floor {floor_50:.2}x)"
+        );
+        if speedup_50_n2000.is_nan() || speedup_50_n2000 < floor_50 {
+            eprintln!("diffusion regression: N=2000/50%-zeros CSR speedup fell below the floor");
             failed = true;
         }
         // On fully dense adjacencies the guard is the *dispatch decision*:

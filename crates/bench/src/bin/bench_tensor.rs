@@ -1,13 +1,27 @@
 //! Tensor-substrate perf baseline: times the pooled hot kernels against
-//! their forced-serial paths and writes `BENCH_tensor.json`, giving
-//! later PRs a trajectory to compare against.
+//! their forced-serial paths — and the SIMD dispatch against the forced
+//! scalar kernels — then writes `BENCH_tensor.json`.
 //!
-//! Usage: `bench_tensor [--out FILE] [--reps N]` (defaults:
-//! `BENCH_tensor.json`, 7 repetitions — the minimum wall time is kept).
+//! The pooled / serial / scalar timings of one case are interleaved rep
+//! by rep so no arm pays the page-fault and cache-warmup cost of going
+//! first. (The old pooled-then-serial ordering charged that cost to the
+//! pooled arm, which read as a phantom pooled regression at `threads=1`
+//! where both arms run identical code.)
+//!
+//! Usage: `bench_tensor [--out FILE] [--reps N] [--check BASELINE]`
+//!
+//! With `--check`, two gates guard the SIMD win (exit nonzero on
+//! failure): `matmul_512`'s single-thread SIMD speedup must clear the
+//! per-tier floor (3.0× on avx512, 1.5× on avx2, 1.2× on neon; skipped
+//! on scalar-only hosts) and stay within 25 % of the recorded baseline,
+//! and at `threads=1` the pooled arm must stay within noise (≥ 0.85×) of
+//! the serial arm for every case — `scripts/check.sh` runs this as the
+//! tensor regression guard.
 
 use sagdfn_entmax::entmax_rows;
 use sagdfn_json::Json;
-use sagdfn_tensor::{pool, Rng64, Tensor};
+use sagdfn_obs as obs;
+use sagdfn_tensor::{dispatch, pool, set_simd_mode, simd_tier, Rng64, SimdMode, SimdTier, Tensor};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -16,32 +30,89 @@ fn rand(shape: &[usize], seed: u64) -> Tensor {
     Tensor::rand_uniform(shape, -1.0, 1.0, &mut rng)
 }
 
-/// Minimum wall-clock seconds of `f` over `reps` runs (after one warmup).
-fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+/// Wall-clock seconds of one invocation of `f`.
+fn time_once(f: &mut impl FnMut()) -> f64 {
+    let t0 = Instant::now();
     f();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    best
+    t0.elapsed().as_secs_f64()
+}
+
+/// Runs `f` once with the scalar kernels forced, restoring the previous
+/// dispatch mode afterwards.
+fn with_scalar<R>(f: impl FnOnce() -> R) -> R {
+    let prev = set_simd_mode(SimdMode::Scalar);
+    let r = f();
+    set_simd_mode(prev);
+    r
 }
 
 struct Case {
     name: &'static str,
     pooled_s: f64,
     serial_s: f64,
+    simd_serial_s: f64,
+    scalar_serial_s: f64,
+    flops: u64,
 }
 
 impl Case {
     fn measure(name: &'static str, reps: usize, mut f: impl FnMut()) -> Case {
-        let pooled_s = time_min(reps, &mut f);
-        let serial_s = pool::run_serial(|| time_min(reps, &mut f));
+        // One counted run gives the flops column (and faults in the
+        // output pages before anything is timed).
+        let prev_trace = obs::set_trace_mode(obs::TraceMode::Counters);
+        let base = obs::snapshot();
+        f();
+        let flops: u64 = obs::snapshot()
+            .since(&base)
+            .kernels
+            .iter()
+            .map(|k| k.flops)
+            .sum();
+        obs::set_trace_mode(prev_trace);
+
+        // Pooled vs serial: one warm run each, then interleaved timed
+        // reps. Interleaving keeps the cache/allocator state each arm
+        // sees symmetric — at threads=1 the two arms run identical code,
+        // so any systematic gap here would be a measurement artifact.
+        pool::run_serial(&mut f);
+        f();
+        let (mut pooled_s, mut serial_s) = (f64::INFINITY, f64::INFINITY);
+        for r in 0..reps {
+            // Alternate which arm goes first: timings drift downward for
+            // several reps (page faults, frequency ramp), and a fixed
+            // order would hand the later arm the lower points.
+            if r % 2 == 0 {
+                pooled_s = pooled_s.min(time_once(&mut f));
+                serial_s = serial_s.min(pool::run_serial(|| time_once(&mut f)));
+            } else {
+                serial_s = serial_s.min(pool::run_serial(|| time_once(&mut f)));
+                pooled_s = pooled_s.min(time_once(&mut f));
+            }
+        }
+        // SIMD vs scalar, both single-thread, interleaved for the same
+        // reason: the speedup ratio must compare the two kernel sets
+        // under the same machine load, not across drifting time windows.
+        with_scalar(|| pool::run_serial(&mut f));
+        let (mut simd_serial_s, mut scalar_serial_s) = (f64::INFINITY, f64::INFINITY);
+        for r in 0..reps {
+            if r % 2 == 0 {
+                simd_serial_s = simd_serial_s.min(pool::run_serial(|| time_once(&mut f)));
+                scalar_serial_s =
+                    scalar_serial_s.min(with_scalar(|| pool::run_serial(|| time_once(&mut f))));
+            } else {
+                scalar_serial_s =
+                    scalar_serial_s.min(with_scalar(|| pool::run_serial(|| time_once(&mut f))));
+                simd_serial_s = simd_serial_s.min(pool::run_serial(|| time_once(&mut f)));
+            }
+        }
+        let serial_s = serial_s.min(simd_serial_s);
         Case {
             name,
             pooled_s,
             serial_s,
+            simd_serial_s,
+            scalar_serial_s,
+            flops,
         }
     }
 
@@ -49,12 +120,27 @@ impl Case {
         self.serial_s / self.pooled_s
     }
 
+    /// Single-thread scalar-kernels / SIMD-kernels time ratio, from the
+    /// interleaved phase that times both under the same machine load.
+    fn simd_speedup(&self) -> f64 {
+        self.scalar_serial_s / self.simd_serial_s
+    }
+
+    /// Counted flops over the best single-thread SIMD time.
+    fn gflops(&self) -> f64 {
+        self.flops as f64 / self.serial_s / 1e9
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("name", Json::from(self.name)),
             ("pooled_s", Json::from(self.pooled_s)),
             ("serial_s", Json::from(self.serial_s)),
+            ("simd_serial_s", Json::from(self.simd_serial_s)),
+            ("scalar_serial_s", Json::from(self.scalar_serial_s)),
             ("speedup", Json::from(self.speedup())),
+            ("simd_speedup", Json::from(self.simd_speedup())),
+            ("gflops", Json::from(self.gflops())),
         ])
     }
 }
@@ -63,12 +149,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut out_path = "BENCH_tensor.json".to_string();
     let mut reps = 7usize;
+    let mut check: Option<String> = None;
     let mut it = args.iter().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--out" => out_path = it.next().expect("--out needs a value").clone(),
             "--reps" => reps = it.next().expect("--reps needs a value").parse().expect("reps"),
-            other => panic!("unknown flag '{other}' (expected --out / --reps)"),
+            "--check" => check = Some(it.next().expect("--check needs a value").clone()),
+            other => panic!("unknown flag '{other}' (expected --out / --reps / --check)"),
         }
     }
 
@@ -77,6 +165,7 @@ fn main() {
         pool::num_threads(),
         reps
     );
+    println!("{}", dispatch::description());
 
     let m512 = (rand(&[512, 512], 1), rand(&[512, 512], 2));
     let m256 = (rand(&[256, 256], 3), rand(&[256, 256], 4));
@@ -92,6 +181,9 @@ fn main() {
     let cases = vec![
         Case::measure("matmul_512", reps, || {
             black_box(m512.0.matmul(&m512.1));
+        }),
+        Case::measure("matmul_512_nt", reps, || {
+            black_box(m512.0.matmul_nt(&m512.1));
         }),
         Case::measure("matmul_256", reps, || {
             black_box(m256.0.matmul(&m256.1));
@@ -116,19 +208,33 @@ fn main() {
         }),
     ];
 
+    println!(
+        "  {:<28} {:>11} {:>11} {:>7} {:>11} {:>7} {:>8}",
+        "case", "pooled ms", "serial ms", "pool x", "scalar ms", "simd x", "gflops"
+    );
     for c in &cases {
+        // Kernels whose obs formula charges no flops (pure data movement)
+        // show "-" rather than a misleading 0.00.
+        let gflops = if c.flops > 0 {
+            format!("{:8.2}", c.gflops())
+        } else {
+            format!("{:>8}", "-")
+        };
         println!(
-            "  {:<28} pooled {:>9.3} ms   serial {:>9.3} ms   speedup {:>5.2}x",
+            "  {:<28} {:>11.3} {:>11.3} {:>6.2}x {:>11.3} {:>6.2}x {gflops}",
             c.name,
             c.pooled_s * 1e3,
             c.serial_s * 1e3,
-            c.speedup()
+            c.speedup(),
+            c.scalar_serial_s * 1e3,
+            c.simd_speedup(),
         );
     }
 
     let doc = Json::obj([
         ("threads", Json::from(pool::num_threads())),
         ("reps", Json::from(reps)),
+        ("simd_tier", Json::from(simd_tier().name())),
         (
             "cases",
             Json::Arr(cases.iter().map(Case::to_json).collect()),
@@ -137,4 +243,74 @@ fn main() {
     std::fs::write(&out_path, doc.to_string_pretty().expect("serialize"))
         .expect("write BENCH_tensor.json");
     println!("wrote {out_path}");
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let baseline = Json::parse(&text).expect("parse baseline");
+        let mut failed = false;
+
+        // Gate 1: the SIMD matmul win must hold absolutely per tier and
+        // not regress more than 25% against the recorded baseline.
+        // Scalar-only hosts have nothing to compare, so they skip it.
+        let tier = simd_tier();
+        let tier_floor = match tier {
+            SimdTier::Avx512 => Some(3.0),
+            SimdTier::Avx2 => Some(1.5),
+            SimdTier::Neon => Some(1.2),
+            SimdTier::Scalar => None,
+        };
+        if let Some(tier_floor) = tier_floor {
+            let matmul = cases.iter().find(|c| c.name == "matmul_512").expect("case");
+            let base_speedup = baseline
+                .get("cases")
+                .and_then(|c| match c {
+                    Json::Arr(items) => items.iter().find(|it| {
+                        it.get("name").and_then(|n| n.as_str().ok()) == Some("matmul_512")
+                    }),
+                    _ => None,
+                })
+                .and_then(|it| it.get("simd_speedup"))
+                .and_then(|v| v.as_f64().ok());
+            // Baseline recorded on a different tier (or pre-SIMD) can't
+            // anchor the relative check; the absolute floor still holds.
+            let same_tier =
+                baseline.get("simd_tier").and_then(|v| v.as_str().ok()) == Some(tier.name());
+            let floor = match base_speedup {
+                Some(b) if same_tier => (b * 0.75).max(tier_floor),
+                _ => tier_floor,
+            };
+            println!(
+                "  regression guard: matmul_512 simd speedup {:.2}x on {} (floor {floor:.2}x)",
+                matmul.simd_speedup(),
+                tier.name()
+            );
+            if matmul.simd_speedup() < floor {
+                eprintln!("tensor regression: matmul_512 SIMD speedup fell below the floor");
+                failed = true;
+            }
+        } else {
+            println!("  regression guard: scalar-only host, SIMD speedup gate skipped");
+        }
+
+        // Gate 2: at threads=1 the pooled and serial arms run identical
+        // code, so pooled must sit within measurement noise of serial.
+        if pool::num_threads() == 1 {
+            for c in &cases {
+                if c.speedup() < 0.85 {
+                    eprintln!(
+                        "tensor regression: '{}' pooled arm is {:.2}x serial at threads=1 \
+                         (must stay >= 0.85x)",
+                        c.name,
+                        c.speedup()
+                    );
+                    failed = true;
+                }
+            }
+        }
+
+        if failed {
+            std::process::exit(1);
+        }
+    }
 }

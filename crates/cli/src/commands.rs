@@ -309,6 +309,7 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     obs::drain_spans(); // start from an empty span buffer
     let base = obs::snapshot();
     println!("profiling {steps} training steps on {n} nodes ({scale:?} scale, {mode:?} mode)");
+    println!("{}", sagdfn_tensor::dispatch::description());
     for step in 0..steps {
         let step_guard = obs::kernel(obs::Kernel::TrainStep, 0, 0, 0);
         let batch = split.train.make_batch(&ids);

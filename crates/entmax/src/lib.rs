@@ -28,7 +28,7 @@
 //! results to the per-row serial loop.
 
 use sagdfn_obs as obs;
-use sagdfn_tensor::{alloc, pool};
+use sagdfn_tensor::{alloc, pool, simd};
 
 /// Numerical tolerance for the bisection: |Σp − 1| after convergence.
 const BISECT_TOL: f64 = 1e-7;
@@ -45,9 +45,7 @@ pub fn softmax(z: &[f32]) -> Vec<f32> {
     let mut out: Vec<f32> = z.iter().map(|&v| ((v - m) as f64).exp() as f32).collect();
     let sum: f64 = out.iter().map(|&v| v as f64).sum();
     let inv = (1.0 / sum) as f32;
-    for v in &mut out {
-        *v *= inv;
-    }
+    simd::scale_assign(&mut out, inv);
     out
 }
 
@@ -115,23 +113,12 @@ pub fn entmax15(z: &[f32]) -> Vec<f32> {
             break;
         }
     }
-    let mut p: Vec<f64> = z
-        .iter()
-        .map(|&v| {
-            let d = v as f64 / 2.0 - shift - tau;
-            if d > 0.0 {
-                d * d
-            } else {
-                0.0
-            }
-        })
-        .collect();
+    let mut p = vec![0.0f64; z.len()];
+    simd::entmax15_map(z, shift, tau, &mut p);
     // Exact algorithm sums to 1 up to rounding; normalize defensively.
     let total: f64 = p.iter().sum();
     debug_assert!(total > 0.0);
-    for v in &mut p {
-        *v /= total;
-    }
+    simd::div_assign_f64(&mut p, total);
     p.iter().map(|&v| v as f32).collect()
 }
 
@@ -204,9 +191,7 @@ pub fn entmax(z: &[f32], alpha: f32) -> Vec<f32> {
         .collect();
     let total: f64 = p.iter().sum();
     debug_assert!(total > 0.0, "entmax produced an all-zero row");
-    for v in &mut p {
-        *v /= total;
-    }
+    simd::div_assign_f64(&mut p, total);
     p.iter().map(|&v| v as f32).collect()
 }
 
@@ -242,10 +227,9 @@ pub fn entmax_backward(p: &[f32], grad_p: &[f32], alpha: f32) -> Vec<f32> {
         .map(|(&si, &gi)| si * gi as f64)
         .sum();
     let mean = weighted / s_sum;
-    s.iter()
-        .zip(grad_p)
-        .map(|(&si, &gi)| (si * (gi as f64 - mean)) as f32)
-        .collect()
+    let mut out = vec![0.0f32; p.len()];
+    simd::entmax_backward_out(&s, grad_p, mean, &mut out);
+    out
 }
 
 /// Minimum number of rows before a batch entmax pays the pool round-trip

@@ -227,6 +227,19 @@ static DISPATCH_SPARSE: AtomicU64 = AtomicU64::new(0);
 static DISPATCH_DENSE: AtomicU64 = AtomicU64::new(0);
 static PLAN_BUILDS: AtomicU64 = AtomicU64::new(0);
 static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static SIMD_TIERS: [AtomicU64; SIMD_TIER_COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Number of SIMD dispatch tiers tracked by [`tally_simd`].
+pub const SIMD_TIER_COUNT: usize = 4;
+
+/// Display names for the SIMD tiers, indexed like [`tally_simd`]'s
+/// argument (`sagdfn_tensor::SimdTier::index()`).
+pub const SIMD_TIER_NAMES: [&str; SIMD_TIER_COUNT] = ["scalar", "neon", "avx2", "avx512"];
 
 #[inline]
 fn add(cell: &AtomicU64, v: u64) {
@@ -295,6 +308,17 @@ pub fn tally_plan(hit: bool) {
         return;
     }
     add(if hit { &PLAN_HITS } else { &PLAN_BUILDS }, 1);
+}
+
+/// Records one hot-kernel dispatch through the SIMD layer. `tier` is the
+/// variant that ran (`SimdTier::index()`: 0 scalar, 1 neon, 2 avx2,
+/// 3 avx512); out-of-range values clamp to the last slot.
+#[inline]
+pub fn tally_simd(tier: usize) {
+    if !enabled() {
+        return;
+    }
+    add(&SIMD_TIERS[tier.min(SIMD_TIER_COUNT - 1)], 1);
 }
 
 /// Timed scope over a kernel: counts the call and its work totals up
@@ -386,6 +410,8 @@ pub struct Snapshot {
     pub plan_builds: u64,
     /// Frozen-plan cache hits (cached plan reused across batches).
     pub plan_hits: u64,
+    /// Hot-kernel dispatches per SIMD tier (see [`SIMD_TIER_NAMES`]).
+    pub simd_tiers: [u64; SIMD_TIER_COUNT],
 }
 
 /// Copies every counter. Counters are only ever added to, so a snapshot
@@ -412,6 +438,9 @@ pub fn snapshot() -> Snapshot {
     s.dispatch_dense = DISPATCH_DENSE.load(Ordering::Relaxed);
     s.plan_builds = PLAN_BUILDS.load(Ordering::Relaxed);
     s.plan_hits = PLAN_HITS.load(Ordering::Relaxed);
+    for (i, c) in SIMD_TIERS.iter().enumerate() {
+        s.simd_tiers[i] = c.load(Ordering::Relaxed);
+    }
     s
 }
 
@@ -445,6 +474,9 @@ impl Snapshot {
         d.dispatch_dense = self.dispatch_dense.saturating_sub(base.dispatch_dense);
         d.plan_builds = self.plan_builds.saturating_sub(base.plan_builds);
         d.plan_hits = self.plan_hits.saturating_sub(base.plan_hits);
+        for i in 0..SIMD_TIER_COUNT {
+            d.simd_tiers[i] = self.simd_tiers[i].saturating_sub(base.simd_tiers[i]);
+        }
         d
     }
 }
@@ -473,6 +505,9 @@ pub fn reset_counters() {
         &PLAN_HITS,
     ] {
         g.store(0, Ordering::Relaxed);
+    }
+    for c in &SIMD_TIERS {
+        c.store(0, Ordering::Relaxed);
     }
 }
 
@@ -684,7 +719,8 @@ pub fn step_rollup(step: u64) {
         "{{\"kind\":\"rollup\",\"step\":{step},\"pool_regions\":{},\"pool_tasks\":{},\
          \"alloc_acquire_bytes\":{},\"alloc_release_bytes\":{},\
          \"dispatch_sparse\":{},\"dispatch_dense\":{},\
-         \"plan_builds\":{},\"plan_hits\":{},\"kernels\":[{kernels}]}}",
+         \"plan_builds\":{},\"plan_hits\":{},\
+         \"simd\":[{},{},{},{}],\"kernels\":[{kernels}]}}",
         delta.pool_regions,
         delta.pool_tasks,
         delta.alloc_acquire_bytes,
@@ -693,6 +729,10 @@ pub fn step_rollup(step: u64) {
         delta.dispatch_dense,
         delta.plan_builds,
         delta.plan_hits,
+        delta.simd_tiers[0],
+        delta.simd_tiers[1],
+        delta.simd_tiers[2],
+        delta.simd_tiers[3],
     );
     push_record(TraceRec::Rollup(line));
 }
@@ -771,6 +811,17 @@ pub fn format_table(snap: &Snapshot) -> String {
         snap.plan_builds,
         snap.plan_hits,
     ));
+    let simd_total: u64 = snap.simd_tiers.iter().sum();
+    if simd_total > 0 {
+        let parts: Vec<String> = snap
+            .simd_tiers
+            .iter()
+            .zip(SIMD_TIER_NAMES)
+            .filter(|(&c, _)| c > 0)
+            .map(|(&c, name)| format!("{c} {name}"))
+            .collect();
+        out.push_str(&format!("simd kernels: {}\n", parts.join(" / ")));
+    }
     out
 }
 
@@ -805,6 +856,9 @@ mod tests {
         tally_dispatch(false);
         tally_plan(false);
         tally_plan(true);
+        tally_simd(0);
+        tally_simd(3);
+        tally_simd(99); // clamps to the last slot
         let d = snapshot().since(&base);
         assert_eq!(d.stats(Kernel::Matmul).calls, 1);
         assert_eq!(d.stats(Kernel::Matmul).flops, 2000);
@@ -815,6 +869,7 @@ mod tests {
         assert_eq!((d.alloc_acquires, d.alloc_acquire_bytes), (1, 1024));
         assert_eq!((d.dispatch_sparse, d.dispatch_dense), (1, 1));
         assert_eq!((d.plan_builds, d.plan_hits), (1, 1));
+        assert_eq!(d.simd_tiers, [1, 0, 0, 2]);
         // Spans stay off in counters mode.
         assert!(span("counters_no_span").is_none());
 

@@ -26,6 +26,7 @@
 //! parallel results are bit-identical to the serial paths.
 
 pub mod alloc;
+pub mod dispatch;
 pub mod index;
 pub mod matmul;
 pub mod ops;
@@ -33,12 +34,16 @@ pub mod pool;
 pub mod reduce;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod sparse;
 pub mod tensor;
 
 pub use alloc::{
     churn_bytes, live_bytes, peak_bytes, pool_hit_bytes, pool_retained_bytes, recycling_enabled,
     requested_bytes, reset_peak, set_recycling, trim_pool,
+};
+pub use dispatch::{
+    cpu_features, set_simd_mode, simd_active, simd_mode, simd_tier, CpuFeatures, SimdMode, SimdTier,
 };
 pub use rng::Rng64;
 pub use shape::Shape;

@@ -1,15 +1,27 @@
 //! Matrix multiplication kernels.
 //!
-//! The 2-D kernel is a cache-blocked i-k-j loop: the inner loop runs over
-//! contiguous rows of both `b` and the output, which auto-vectorizes well
-//! and avoids any transposition. Batched matmul maps the 2-D kernel over
-//! leading dimensions. Large outputs split their row range (2-D) or batch
-//! range (batched) across the persistent worker [`pool`](crate::pool) —
-//! no per-call thread spawning — and each chunk runs the identical serial
-//! kernel, so parallel results are bit-identical to serial ones.
+//! The 2-D kernel dispatches through [`simd`](crate::simd): a
+//! register-blocked microkernel on AVX2/AVX-512/NEON, the i-k-j scalar
+//! reference otherwise — all variants bit-identical (DESIGN.md §12).
+//! Batched matmul maps the 2-D kernel over leading dimensions. Large
+//! outputs split their row range (2-D) or batch range (batched) across
+//! the persistent worker [`pool`](crate::pool) — no per-call thread
+//! spawning — and each chunk runs the identical single-thread kernel, so
+//! parallel results are bit-identical to serial ones.
+//!
+//! `matmul_nt` / `matmul_tn` keep their transpose-free strided kernels
+//! for small products, but once a product is large enough
+//! ([`PACK_MIN_FLOPS`]) they *pack* the transposed operand into a
+//! scratch buffer (a plain blocked transpose, invisible to the obs
+//! counters and the allocator's live/peak audit) and run the same
+//! blocked GEMM — contiguous vector loads instead of strided ones. The
+//! packed path is bit-identical to the strided one because both perform
+//! the scalar kernel's 4-wide k-group accumulation per output element.
 
 use crate::alloc;
+use crate::dispatch;
 use crate::pool;
+use crate::simd;
 use crate::tensor::Tensor;
 use sagdfn_obs as obs;
 
@@ -27,6 +39,12 @@ const TRANSPOSE_BLOCK: usize = 32;
 /// Below this many elements a transpose stays serial.
 const TRANSPOSE_PARALLEL_THRESHOLD: usize = 64 * 1024;
 
+/// Minimum flop count (`2·m·n·p`) before `matmul_nt` / `matmul_tn` pack
+/// the transposed operand for the blocked SIMD GEMM. Below this the
+/// O(n·p) pack overhead isn't amortized and the strided scalar kernels
+/// win; the cutover only changes which bit-identical kernel runs.
+const PACK_MIN_FLOPS: usize = 1 << 18;
+
 /// `C[m×n] = A[m×k] · B[k×n]` into a caller-provided buffer.
 fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
@@ -40,41 +58,10 @@ fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
             let row0 = chunk_i * rows_per;
             let rows = c_chunk.len() / n;
             let a_chunk = &a[row0 * k..(row0 + rows) * k];
-            matmul_serial(a_chunk, b, c_chunk, rows, k, n);
+            simd::matmul(a_chunk, b, c_chunk, rows, k, n);
         });
     } else {
-        matmul_serial(a, b, c, m, k, n);
-    }
-}
-
-/// Serial i-k-j kernel with a 4-wide k unroll. The k-remainder loop runs
-/// the same unconditional multiply-accumulate as the unrolled body (no
-/// zero-skip), so results do not depend on where the unroll boundary
-/// lands relative to zero entries of `a`.
-fn matmul_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let c_row = &mut c[i * n..(i + 1) * n];
-        let a_row = &a[i * k..(i + 1) * k];
-        let mut kk = 0;
-        while kk + 4 <= k {
-            let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
-            let b0 = &b[kk * n..(kk + 1) * n];
-            let b1 = &b[(kk + 1) * n..(kk + 2) * n];
-            let b2 = &b[(kk + 2) * n..(kk + 3) * n];
-            let b3 = &b[(kk + 3) * n..(kk + 4) * n];
-            for j in 0..n {
-                c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-            }
-            kk += 4;
-        }
-        while kk < k {
-            let av = a_row[kk];
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for j in 0..n {
-                c_row[j] += av * b_row[j];
-            }
-            kk += 1;
-        }
+        simd::matmul(a, b, c, m, k, n);
     }
 }
 
@@ -248,6 +235,7 @@ impl Tensor {
             4 * (self.numel() + other.numel()) as u64,
             4 * (batch * m * n) as u64,
         );
+        obs::tally_simd(dispatch::simd_tier().index());
         // The kernel accumulates (`c[j] += ...`), so a recycled buffer must
         // come back zeroed.
         let mut out = alloc::acquire_zeroed(batch * m * n);
@@ -271,7 +259,7 @@ impl Tensor {
                 } else {
                     &b[bi * k * n..(bi + 1) * k * n]
                 };
-                matmul_serial(a_sl, b_sl, c_chunk, m, k, n);
+                simd::matmul(a_sl, b_sl, c_chunk, m, k, n);
             });
         } else {
             for bi in 0..batch {
@@ -335,9 +323,56 @@ impl Tensor {
 
         let a = self.as_slice();
         let b = other.as_slice();
-        // Every output element is written exactly once — no zeroing needed.
+        // Every output element is written exactly once (the packed path
+        // zero-fills each chunk itself before accumulating into it).
         let mut out = alloc::acquire(batch * m * n);
-        if batch >= 4 && batch * m * n >= BATCH_PARALLEL_THRESHOLD && !pool::is_serial() {
+        // Large products pack Bᵀ once and run the blocked SIMD GEMM;
+        // small ones keep the strided dot-product kernel. Both compute
+        // each element as the same 4-wide-grouped sum from zero, so the
+        // cutover (a pure shape function) never changes results.
+        let packed = dispatch::simd_active() && 2 * m * n * p >= PACK_MIN_FLOPS;
+        obs::tally_simd(if packed { dispatch::simd_tier().index() } else { 0 });
+        if packed {
+            let b_batches = if shared_rhs { 1 } else { batch };
+            let mut bt = alloc::acquire(b_batches * p * n);
+            for bi in 0..b_batches {
+                transpose_blocked(
+                    &b[bi * n * p..(bi + 1) * n * p],
+                    &mut bt[bi * p * n..(bi + 1) * p * n],
+                    n,
+                    p,
+                    0,
+                    p,
+                );
+            }
+            let bt_ref = &bt;
+            if batch >= 4 && batch * m * n >= BATCH_PARALLEL_THRESHOLD && !pool::is_serial() {
+                pool::par_chunks_mut(&mut out, m * n, |bi, c_chunk| {
+                    let a_sl = &a[bi * m * p..(bi + 1) * m * p];
+                    let bt_sl = if shared_rhs {
+                        &bt_ref[..]
+                    } else {
+                        &bt_ref[bi * p * n..(bi + 1) * p * n]
+                    };
+                    c_chunk.fill(0.0);
+                    simd::matmul(a_sl, bt_sl, c_chunk, m, p, n);
+                });
+            } else {
+                for bi in 0..batch {
+                    let a_sl = &a[bi * m * p..(bi + 1) * m * p];
+                    let bt_sl = if shared_rhs {
+                        &bt_ref[..]
+                    } else {
+                        &bt_ref[bi * p * n..(bi + 1) * p * n]
+                    };
+                    rows_parallel(&mut out[bi * m * n..(bi + 1) * m * n], m, n, |i0, i1, chunk| {
+                        chunk.fill(0.0);
+                        simd::matmul(&a_sl[i0 * p..i1 * p], bt_sl, chunk, i1 - i0, p, n);
+                    });
+                }
+            }
+            alloc::release(bt);
+        } else if batch >= 4 && batch * m * n >= BATCH_PARALLEL_THRESHOLD && !pool::is_serial() {
             pool::par_chunks_mut(&mut out, m * n, |bi, c_chunk| {
                 let a_sl = &a[bi * m * p..(bi + 1) * m * p];
                 let b_sl = if shared_rhs {
@@ -410,7 +445,50 @@ impl Tensor {
         let b = other.as_slice();
         // Accumulating kernel — the recycled buffer must come back zeroed.
         let mut out = alloc::acquire_zeroed(batch * m * n);
-        if batch >= 4 && batch * m * n >= BATCH_PARALLEL_THRESHOLD && !pool::is_serial() {
+        // Large products pack Aᵀ and run the blocked SIMD GEMM instead of
+        // the strided-load kernel; same arithmetic per element, so the
+        // shape-only cutover never changes results.
+        let packed = dispatch::simd_active() && 2 * m * n * p >= PACK_MIN_FLOPS;
+        obs::tally_simd(if packed { dispatch::simd_tier().index() } else { 0 });
+        if packed {
+            let a_batches = if shared_lhs { 1 } else { batch };
+            let mut at = alloc::acquire(a_batches * m * p);
+            for bi in 0..a_batches {
+                transpose_blocked(
+                    &a[bi * p * m..(bi + 1) * p * m],
+                    &mut at[bi * m * p..(bi + 1) * m * p],
+                    p,
+                    m,
+                    0,
+                    m,
+                );
+            }
+            let at_ref = &at;
+            if batch >= 4 && batch * m * n >= BATCH_PARALLEL_THRESHOLD && !pool::is_serial() {
+                pool::par_chunks_mut(&mut out, m * n, |bi, c_chunk| {
+                    let at_sl = if shared_lhs {
+                        &at_ref[..]
+                    } else {
+                        &at_ref[bi * m * p..(bi + 1) * m * p]
+                    };
+                    let b_sl = &b[bi * p * n..(bi + 1) * p * n];
+                    simd::matmul(at_sl, b_sl, c_chunk, m, p, n);
+                });
+            } else {
+                for bi in 0..batch {
+                    let at_sl = if shared_lhs {
+                        &at_ref[..]
+                    } else {
+                        &at_ref[bi * m * p..(bi + 1) * m * p]
+                    };
+                    let b_sl = &b[bi * p * n..(bi + 1) * p * n];
+                    rows_parallel(&mut out[bi * m * n..(bi + 1) * m * n], m, n, |i0, i1, chunk| {
+                        simd::matmul(&at_sl[i0 * p..i1 * p], b_sl, chunk, i1 - i0, p, n);
+                    });
+                }
+            }
+            alloc::release(at);
+        } else if batch >= 4 && batch * m * n >= BATCH_PARALLEL_THRESHOLD && !pool::is_serial() {
             pool::par_chunks_mut(&mut out, m * n, |bi, c_chunk| {
                 let a_sl = if shared_lhs {
                     a

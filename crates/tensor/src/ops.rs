@@ -12,12 +12,92 @@
 use crate::alloc;
 use crate::pool;
 use crate::shape::{Shape, MAX_RANK};
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Below this many output elements an elementwise kernel stays serial —
 /// these ops are memory-bound, so the pool only pays off on buffers well
 /// past L2.
 const ELEMWISE_PARALLEL_THRESHOLD: usize = 32 * 1024;
+
+/// The four basic arithmetic ops routed through the [`simd`] dispatch
+/// layer on the two hot tiers (same shape, scalar operand); the general
+/// strided walk falls back to [`broadcast_binary`]. Same thresholds and
+/// chunking as the closure path, and the scalar SIMD tier is the exact
+/// loop the closures compiled to — results are unchanged.
+fn broadcast_binary_op(a: &Tensor, b: &Tensor, op: simd::BinOp) -> Tensor {
+    // Tier 1: identical shapes — one fused vectorized loop.
+    if a.shape() == b.shape() {
+        let (da, db) = (a.as_slice(), b.as_slice());
+        let numel = da.len();
+        // Recycled buffer: every element is written below.
+        let mut out = alloc::acquire(numel);
+        if numel >= ELEMWISE_PARALLEL_THRESHOLD && !pool::is_serial() {
+            let chunk = pool::chunk_len(numel, 1, 4096);
+            pool::par_chunks_mut(&mut out, chunk, |ci, out_chunk| {
+                let start = ci * chunk;
+                let end = start + out_chunk.len();
+                simd::binary(op, &da[start..end], &db[start..end], out_chunk);
+            });
+        } else {
+            simd::binary(op, da, db, &mut out);
+        }
+        return Tensor::from_vec(out, a.shape().clone());
+    }
+    // Tier 2: one side is a single element.
+    if b.numel() == 1 {
+        return map_binary_scalar(a, op, b.as_slice()[0], false);
+    }
+    if a.numel() == 1 {
+        return map_binary_scalar(b, op, a.as_slice()[0], true);
+    }
+    // Tier 3: general strided walk (not vectorized — gather-bound).
+    match op {
+        simd::BinOp::Add => broadcast_binary(a, b, |x, y| x + y),
+        simd::BinOp::Sub => broadcast_binary(a, b, |x, y| x - y),
+        simd::BinOp::Mul => broadcast_binary(a, b, |x, y| x * y),
+        simd::BinOp::Div => broadcast_binary(a, b, |x, y| x / y),
+    }
+}
+
+/// `src ⊕ s` (or `s ⊕ src` when `scalar_lhs`) through the SIMD layer,
+/// with [`map`]'s threshold and chunking.
+fn map_binary_scalar(t: &Tensor, op: simd::BinOp, s: f32, scalar_lhs: bool) -> Tensor {
+    let src = t.as_slice();
+    let numel = src.len();
+    // Recycled buffer: every element is written below.
+    let mut out = alloc::acquire(numel);
+    if numel >= ELEMWISE_PARALLEL_THRESHOLD && !pool::is_serial() {
+        let chunk = pool::chunk_len(numel, 1, 4096);
+        pool::par_chunks_mut(&mut out, chunk, |ci, out_chunk| {
+            let start = ci * chunk;
+            let end = start + out_chunk.len();
+            simd::binary_scalar(op, &src[start..end], s, out_chunk, scalar_lhs);
+        });
+    } else {
+        simd::binary_scalar(op, src, s, &mut out, scalar_lhs);
+    }
+    Tensor::from_vec(out, t.shape().clone())
+}
+
+/// Unary elementwise op through the SIMD layer, with [`map`]'s threshold
+/// and chunking.
+fn map_unary(t: &Tensor, op: simd::UnOp) -> Tensor {
+    let src = t.as_slice();
+    let numel = src.len();
+    // Recycled buffer: every element is written below.
+    let mut out = alloc::acquire(numel);
+    if numel >= ELEMWISE_PARALLEL_THRESHOLD && !pool::is_serial() {
+        let chunk = pool::chunk_len(numel, 1, 4096);
+        pool::par_chunks_mut(&mut out, chunk, |ci, out_chunk| {
+            let start = ci * chunk;
+            simd::unary(op, &src[start..start + out_chunk.len()], out_chunk);
+        });
+    } else {
+        simd::unary(op, src, &mut out);
+    }
+    Tensor::from_vec(out, t.shape().clone())
+}
 
 /// Applies `f` elementwise over the broadcast of `a` and `b`.
 pub fn broadcast_binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
@@ -184,22 +264,22 @@ pub fn map_inplace(a: &mut Tensor, f: impl Fn(f32) -> f32 + Sync) {
 impl Tensor {
     /// Elementwise sum with broadcasting.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        broadcast_binary(self, other, |x, y| x + y)
+        broadcast_binary_op(self, other, simd::BinOp::Add)
     }
 
     /// Elementwise difference with broadcasting.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        broadcast_binary(self, other, |x, y| x - y)
+        broadcast_binary_op(self, other, simd::BinOp::Sub)
     }
 
     /// Elementwise (Hadamard) product with broadcasting.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        broadcast_binary(self, other, |x, y| x * y)
+        broadcast_binary_op(self, other, simd::BinOp::Mul)
     }
 
     /// Elementwise quotient with broadcasting.
     pub fn div(&self, other: &Tensor) -> Tensor {
-        broadcast_binary(self, other, |x, y| x / y)
+        broadcast_binary_op(self, other, simd::BinOp::Div)
     }
 
     /// Elementwise maximum with broadcasting.
@@ -214,22 +294,22 @@ impl Tensor {
 
     /// Adds a scalar.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        map(self, |x| x + s)
+        map_binary_scalar(self, simd::BinOp::Add, s, false)
     }
 
     /// Multiplies by a scalar.
     pub fn scale(&self, s: f32) -> Tensor {
-        map(self, |x| x * s)
+        map_binary_scalar(self, simd::BinOp::Mul, s, false)
     }
 
     /// Negation.
     pub fn neg(&self) -> Tensor {
-        map(self, |x| -x)
+        map_unary(self, simd::UnOp::Neg)
     }
 
     /// Elementwise absolute value.
     pub fn abs(&self) -> Tensor {
-        map(self, f32::abs)
+        map_unary(self, simd::UnOp::Abs)
     }
 
     /// Elementwise exponential.
@@ -244,7 +324,7 @@ impl Tensor {
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Tensor {
-        map(self, f32::sqrt)
+        map_unary(self, simd::UnOp::Sqrt)
     }
 
     /// Elementwise power with a float exponent.
@@ -254,12 +334,12 @@ impl Tensor {
 
     /// Elementwise square.
     pub fn square(&self) -> Tensor {
-        map(self, |x| x * x)
+        map_unary(self, simd::UnOp::Square)
     }
 
     /// Elementwise reciprocal.
     pub fn recip(&self) -> Tensor {
-        map(self, |x| 1.0 / x)
+        map_binary_scalar(self, simd::BinOp::Div, 1.0, true)
     }
 
     /// Logistic sigmoid, numerically stable for large |x|.
@@ -305,15 +385,11 @@ impl Tensor {
             let chunk = pool::chunk_len(dst.len(), 1, 4096);
             pool::par_chunks_mut(dst, chunk, |ci, chunk_dst| {
                 let start = ci * chunk;
-                for (a, &b) in chunk_dst.iter_mut().zip(&src[start..]) {
-                    *a += alpha * b;
-                }
+                simd::axpy(alpha, &src[start..start + chunk_dst.len()], chunk_dst);
             });
             return;
         }
-        for (a, &b) in dst.iter_mut().zip(src) {
-            *a += alpha * b;
-        }
+        simd::axpy(alpha, src, dst);
     }
 
     /// Materializes `self` broadcast to `target`.

@@ -10,6 +10,7 @@
 
 use crate::alloc;
 use crate::pool;
+use crate::simd;
 use crate::tensor::Tensor;
 use sagdfn_obs as obs;
 
@@ -23,6 +24,10 @@ const REDUCE_PARALLEL_THRESHOLD: usize = 64 * 1024;
 
 /// Below this many elements an axis reduction stays serial.
 const AXIS_PARALLEL_THRESHOLD: usize = 32 * 1024;
+
+/// Vectorized whole-row accumulator (`fast(dst, src_row)`): applies an
+/// axis reduction's combining function element-by-element over a row.
+type RowAccum = fn(&mut [f32], &[f32]);
 
 /// Chunked f64 accumulation of `per(v)` over `data`: partial sums per
 /// [`REDUCE_CHUNK`] block (parallel when large), combined left-to-right.
@@ -73,7 +78,9 @@ impl Tensor {
 
     /// Sum along `axis`, removing that dimension.
     pub fn sum_axis(&self, axis: usize) -> Tensor {
-        self.reduce_axis(axis, 0.0, |acc, v| acc + v)
+        // The vectorized row accumulator performs the identical `+=` per
+        // element (the SIMD tiers are bit-identical to this closure).
+        self.reduce_axis(axis, 0.0, |acc, v| acc + v, Some(simd::add_assign))
     }
 
     /// Mean along `axis`, removing that dimension.
@@ -84,10 +91,20 @@ impl Tensor {
 
     /// Max along `axis`, removing that dimension.
     pub fn max_axis(&self, axis: usize) -> Tensor {
-        self.reduce_axis(axis, f32::NEG_INFINITY, f32::max)
+        // No vectorized fast path: `f32::max` keeps Rust's NaN semantics.
+        self.reduce_axis(axis, f32::NEG_INFINITY, f32::max, None)
     }
 
-    fn reduce_axis(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    /// Axis reduction by `f`, with an optional vectorized row accumulator
+    /// `fast(dst, src_row)` that must apply `f` element-by-element (used
+    /// for whole contiguous rows; partial columns keep the scalar loop).
+    fn reduce_axis(
+        &self,
+        axis: usize,
+        init: f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+        fast: Option<RowAccum>,
+    ) -> Tensor {
         let rank = self.rank();
         assert!(axis < rank, "axis {axis} out of range for {}", self.shape());
         let dims = self.dims();
@@ -112,8 +129,13 @@ impl Tensor {
         let accumulate = |o: usize, i0: usize, dst: &mut [f32]| {
             for a in 0..axis_len {
                 let base = (o * axis_len + a) * inner + i0;
-                for (i, d) in dst.iter_mut().enumerate() {
-                    *d = f(*d, src[base + i]);
+                match fast {
+                    Some(g) => g(dst, &src[base..base + dst.len()]),
+                    None => {
+                        for (i, d) in dst.iter_mut().enumerate() {
+                            *d = f(*d, src[base + i]);
+                        }
+                    }
                 }
             }
         };

@@ -1,0 +1,1211 @@
+//! SIMD microkernels behind the [`dispatch`](crate::dispatch) layer.
+//!
+//! Every public function here is a safe wrapper that consults
+//! [`simd_tier`](crate::dispatch::simd_tier) once and runs one of four
+//! variants: `scalar` (the portable reference — the exact loops the repo
+//! shipped before this module existed), `neon`, `avx2` or `avx512`. Two
+//! vectorization strategies are used, both **bit-identical to scalar**:
+//!
+//! 1. **Feature-scoped auto-vectorization** for the elementwise, axpy,
+//!    axis-sum, spmm-row and entmax helper loops: the same plain-Rust
+//!    body is compiled once per tier under `#[target_feature(...)]`, so
+//!    the compiler may use 256/512-bit registers. The loops are written
+//!    so every output element is a pure function of its own inputs (no
+//!    cross-lane reduction), and LLVM only vectorizes when the lowering
+//!    is semantically exact — identical results are guaranteed by
+//!    construction, on every input including NaN and signed zeros.
+//! 2. **Hand-written register-blocked GEMM microkernels** (`std::arch`
+//!    intrinsics on x86_64, a blocked auto-vectorized body on NEON) for
+//!    `matmul`: MR×NR accumulator tiles held in registers, loaded from
+//!    and stored back to `C` once per tile. These keep the repo-wide
+//!    4-wide k-grouping contract — each group is summed as
+//!    `((a0·b0 + a1·b1) + a2·b2) + a3·b3` and added to the accumulator
+//!    with one add, remainder terms one at a time — which is exactly the
+//!    scalar kernel's association, applied lane-wise over the contiguous
+//!    `j` axis. No FMA is used anywhere: a fused multiply-add rounds
+//!    once where `mul`+`add` rounds twice, which would break bit
+//!    equality with the scalar path.
+//!
+//! What deliberately **stays scalar** (see DESIGN.md §12): the chunked
+//! f64 full reductions and the dot-shaped `pair_dot`/`matmul_nt` inner
+//! loops (horizontal sums would need re-association), and the libm-based
+//! transcendentals (`exp`/`ln`/`tanh`/`powf`), whose polynomial
+//! vectorization is not bit-compatible with libm. The big `matmul_nt` /
+//! `matmul_tn` products reach the blocked kernel anyway by packing the
+//! transposed operand first (see `matmul.rs`).
+
+use crate::dispatch::{simd_tier, SimdTier};
+
+/// Binary elementwise operation selector for [`binary`] /
+/// [`binary_scalar`]. Only ops whose vector lowering is IEEE-exact per
+/// lane belong here — max/min keep Rust's NaN semantics on the closure
+/// path in `ops.rs` instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `x + y`
+    Add,
+    /// `x - y`
+    Sub,
+    /// `x * y`
+    Mul,
+    /// `x / y`
+    Div,
+}
+
+/// Unary elementwise operation selector for [`unary`]. All four are
+/// bit-exact under vectorization (`neg`/`abs` are sign-bit ops, `sqrt`
+/// is correctly rounded, `square` is one multiply).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `|x|`
+    Abs,
+    /// `√x`
+    Sqrt,
+    /// `x · x`
+    Square,
+}
+
+/// Scalar edge kernel shared by every blocked matmul variant: the
+/// original serial i-k-j loop restricted to rows `[i0, i1)` and columns
+/// `[j0, j1)` of `C += A·B`. Running the full range *is* the scalar
+/// reference kernel.
+#[allow(clippy::too_many_arguments)]
+fn scalar_block(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+) {
+    for i in i0..i1 {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+            let b0 = &b[kk * n..(kk + 1) * n];
+            let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+            let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+            let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+            for j in j0..j1 {
+                c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let av = a_row[kk];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for j in j0..j1 {
+                c_row[j] += av * b_row[j];
+            }
+            kk += 1;
+        }
+    }
+}
+
+/// Generates the per-tier loop bodies. One instantiation per tier with
+/// that tier's `#[target_feature]` attribute: the *same* source compiles
+/// to scalar, NEON, AVX2 or AVX-512 code, so all four variants are
+/// semantically the same function — bit-identical results for free.
+///
+/// The functions are `unsafe fn` because the attributed variants may
+/// only run on CPUs with the feature; the safe dispatch wrappers below
+/// guarantee that via the cached probe.
+macro_rules! simd_impls {
+    ($(#[$attr:meta])*) => {
+        $(#[$attr])*
+        pub unsafe fn binary(op: super::BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+            use super::BinOp;
+            match op {
+                BinOp::Add => {
+                    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                        *o = x + y;
+                    }
+                }
+                BinOp::Sub => {
+                    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                        *o = x - y;
+                    }
+                }
+                BinOp::Mul => {
+                    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                        *o = x * y;
+                    }
+                }
+                BinOp::Div => {
+                    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                        *o = x / y;
+                    }
+                }
+            }
+        }
+
+        /// `out = src ⊕ s` (or `s ⊕ src` when `scalar_lhs`), preserving
+        /// the operand order of the closure tiers it replaces.
+        $(#[$attr])*
+        pub unsafe fn binary_scalar(
+            op: super::BinOp,
+            src: &[f32],
+            s: f32,
+            out: &mut [f32],
+            scalar_lhs: bool,
+        ) {
+            use super::BinOp;
+            match (op, scalar_lhs) {
+                (BinOp::Add, false) => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = x + s;
+                    }
+                }
+                (BinOp::Add, true) => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = s + x;
+                    }
+                }
+                (BinOp::Sub, false) => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = x - s;
+                    }
+                }
+                (BinOp::Sub, true) => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = s - x;
+                    }
+                }
+                (BinOp::Mul, false) => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = x * s;
+                    }
+                }
+                (BinOp::Mul, true) => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = s * x;
+                    }
+                }
+                (BinOp::Div, false) => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = x / s;
+                    }
+                }
+                (BinOp::Div, true) => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = s / x;
+                    }
+                }
+            }
+        }
+
+        $(#[$attr])*
+        pub unsafe fn unary(op: super::UnOp, src: &[f32], out: &mut [f32]) {
+            use super::UnOp;
+            match op {
+                UnOp::Neg => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = -x;
+                    }
+                }
+                UnOp::Abs => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = x.abs();
+                    }
+                }
+                UnOp::Sqrt => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = x.sqrt();
+                    }
+                }
+                UnOp::Square => {
+                    for (o, &x) in out.iter_mut().zip(src) {
+                        *o = x * x;
+                    }
+                }
+            }
+        }
+
+        /// `dst += alpha · src` — the optimizer hot loop.
+        $(#[$attr])*
+        pub unsafe fn axpy(alpha: f32, src: &[f32], dst: &mut [f32]) {
+            for (d, &x) in dst.iter_mut().zip(src) {
+                *d += alpha * x;
+            }
+        }
+
+        /// `dst += src` — the axis-sum accumulation step.
+        $(#[$attr])*
+        pub unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
+            for (d, &x) in dst.iter_mut().zip(src) {
+                *d += x;
+            }
+        }
+
+        /// `dst *= s` — softmax normalization.
+        $(#[$attr])*
+        pub unsafe fn scale_assign(dst: &mut [f32], s: f32) {
+            for d in dst.iter_mut() {
+                *d *= s;
+            }
+        }
+
+        /// The entmax-1.5 output map `p_j = [(z_j/2 − shift − τ)]₊²`.
+        $(#[$attr])*
+        pub unsafe fn entmax15_map(z: &[f32], shift: f64, tau: f64, p: &mut [f64]) {
+            for (o, &v) in p.iter_mut().zip(z) {
+                let d = v as f64 / 2.0 - shift - tau;
+                *o = if d > 0.0 { d * d } else { 0.0 };
+            }
+        }
+
+        /// `p /= total` — the defensive simplex normalization.
+        $(#[$attr])*
+        pub unsafe fn div_assign_f64(p: &mut [f64], total: f64) {
+            for v in p.iter_mut() {
+                *v /= total;
+            }
+        }
+
+        /// The entmax backward output map `dz_i = s_i · (g_i − mean)`.
+        $(#[$attr])*
+        pub unsafe fn entmax_backward_out(s: &[f64], grad_p: &[f32], mean: f64, out: &mut [f32]) {
+            for ((o, &si), &gi) in out.iter_mut().zip(s).zip(grad_p) {
+                *o = (si * (gi as f64 - mean)) as f32;
+            }
+        }
+
+    };
+}
+
+/// Generates the portable CSR-row kernel (scalar and NEON tiers). The
+/// x86 tiers get hand-written intrinsics instead: under wide target
+/// features LLVM's auto-vectorization of this body is ~2× *slower* than
+/// the baseline compile (measured on Emerald Rapids), so the shared
+/// source is only stamped out where it is known to codegen well.
+macro_rules! spmm_row_portable_impl {
+    ($(#[$attr:meta])*) => {
+        /// One CSR output row: nonzeros grouped by absolute ⌊col/4⌋
+        /// within `[0, 4⌊inner/4⌋)`, single adds in the remainder —
+        /// mirroring the dense kernel's unroll so each output element
+        /// sees the same sequence of nonzero partial sums. The `j` loops
+        /// over the contiguous feature axis vectorize.
+        $(#[$attr])*
+        pub unsafe fn spmm_row(
+            cols: &[u32],
+            vals: &[f32],
+            x: &[f32],
+            c_row: &mut [f32],
+            inner: usize,
+            c: usize,
+        ) {
+            let k4 = inner & !3;
+            let end = cols.len();
+            let mut p = 0;
+            while p < end {
+                let col = cols[p] as usize;
+                if col >= k4 {
+                    break;
+                }
+                let group_end = (col & !3) + 4;
+                let mut q = p + 1;
+                while q < end && (cols[q] as usize) < group_end {
+                    q += 1;
+                }
+                match q - p {
+                    1 => {
+                        let a0 = vals[p];
+                        let b0 = &x[col * c..(col + 1) * c];
+                        for j in 0..c {
+                            c_row[j] += a0 * b0[j];
+                        }
+                    }
+                    2 => {
+                        let (a0, a1) = (vals[p], vals[p + 1]);
+                        let b0 = &x[col * c..(col + 1) * c];
+                        let c1 = cols[p + 1] as usize;
+                        let b1 = &x[c1 * c..(c1 + 1) * c];
+                        for j in 0..c {
+                            c_row[j] += a0 * b0[j] + a1 * b1[j];
+                        }
+                    }
+                    3 => {
+                        let (a0, a1, a2) = (vals[p], vals[p + 1], vals[p + 2]);
+                        let b0 = &x[col * c..(col + 1) * c];
+                        let c1 = cols[p + 1] as usize;
+                        let b1 = &x[c1 * c..(c1 + 1) * c];
+                        let c2 = cols[p + 2] as usize;
+                        let b2 = &x[c2 * c..(c2 + 1) * c];
+                        for j in 0..c {
+                            c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j];
+                        }
+                    }
+                    _ => {
+                        let (a0, a1, a2, a3) =
+                            (vals[p], vals[p + 1], vals[p + 2], vals[p + 3]);
+                        let b0 = &x[col * c..(col + 1) * c];
+                        let c1 = cols[p + 1] as usize;
+                        let b1 = &x[c1 * c..(c1 + 1) * c];
+                        let c2 = cols[p + 2] as usize;
+                        let b2 = &x[c2 * c..(c2 + 1) * c];
+                        let c3 = cols[p + 3] as usize;
+                        let b3 = &x[c3 * c..(c3 + 1) * c];
+                        for j in 0..c {
+                            c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                        }
+                    }
+                }
+                p = q;
+            }
+            // Remainder region: the dense kernel adds these one at a time.
+            while p < end {
+                let col = cols[p] as usize;
+                let a0 = vals[p];
+                let b0 = &x[col * c..(col + 1) * c];
+                for j in 0..c {
+                    c_row[j] += a0 * b0[j];
+                }
+                p += 1;
+            }
+        }
+    };
+}
+
+/// `Σ_b Σ_k dy[b,i,k] · x[b,j,k]` with the feature axis unrolled in
+/// 4-aligned groups (matching the dense GEMM accumulation order). The
+/// single reference for both adjacency-gradient kernels: `dadj_dense`
+/// calls it per entry, and every `dadj_row` tier reproduces it exactly.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pair_dot(
+    dy: &[f32],
+    x: &[f32],
+    i: usize,
+    j: usize,
+    batch: usize,
+    n: usize,
+    m: usize,
+    c: usize,
+) -> f32 {
+    let mut acc = 0.0f32;
+    for b in 0..batch {
+        let g = &dy[(b * n + i) * c..(b * n + i + 1) * c];
+        let v = &x[(b * m + j) * c..(b * m + j + 1) * c];
+        let mut k = 0;
+        while k + 4 <= c {
+            acc += g[k] * v[k] + g[k + 1] * v[k + 1] + g[k + 2] * v[k + 2] + g[k + 3] * v[k + 3];
+            k += 4;
+        }
+        while k < c {
+            acc += g[k] * v[k];
+            k += 1;
+        }
+    }
+    acc
+}
+
+/// Generates the portable support-restricted adjacency-gradient row
+/// kernel (scalar and NEON tiers): one [`pair_dot`] per stored column.
+macro_rules! dadj_row_portable_impl {
+    ($(#[$attr:meta])*) => {
+        /// `out_row[j] = pair_dot(i, j)` for each stored column `j`.
+        #[allow(clippy::too_many_arguments)]
+        $(#[$attr])*
+        pub unsafe fn dadj_row(
+            dy: &[f32],
+            x: &[f32],
+            i: usize,
+            cols: &[u32],
+            out_row: &mut [f32],
+            batch: usize,
+            n: usize,
+            m: usize,
+            c: usize,
+        ) {
+            for &jc in cols {
+                let j = jc as usize;
+                out_row[j] = super::pair_dot(dy, x, i, j, batch, n, m, c);
+            }
+        }
+    };
+}
+
+/// Generates the hand-vectorized x86 CSR-row kernel for one vector
+/// width. The grouping driver is identical to the portable kernel; only
+/// the per-group accumulation is intrinsics (the auto-vectorizer's
+/// lowering of the same body under `avx2`/`avx512f` measures ~2× slower
+/// than baseline, see [`spmm_row_portable_impl`]).
+#[cfg(target_arch = "x86_64")]
+macro_rules! spmm_row_x86_impl {
+    ($feat:literal, $w:expr, $loadu:ident, $set1:ident, $mul:ident, $add:ident, $storeu:ident) => {
+        /// Accumulates one column group (1–4 nonzeros) into `c_row`:
+        /// vector `j` chunks evaluate the portable arm's exact
+        /// expression — the group terms are summed left-to-right and
+        /// added to `c_row[j]` with one add — then a scalar tail does
+        /// the same per element.
+        #[target_feature(enable = $feat)]
+        #[inline]
+        unsafe fn accum(vals: &[f32], rows: &[*const f32], c_row: &mut [f32], c: usize) {
+            use core::arch::x86_64::*;
+            let g = vals.len();
+            let mut j = 0;
+            while j + $w <= c {
+                let mut e = $mul($set1(vals[0]), $loadu(rows[0].add(j)));
+                for t in 1..g {
+                    e = $add(e, $mul($set1(vals[t]), $loadu(rows[t].add(j))));
+                }
+                let cp = c_row.as_mut_ptr().add(j);
+                $storeu(cp, $add($loadu(cp as *const f32), e));
+                j += $w;
+            }
+            while j < c {
+                let mut e = vals[0] * *rows[0].add(j);
+                for t in 1..g {
+                    e += vals[t] * *rows[t].add(j);
+                }
+                *c_row.get_unchecked_mut(j) += e;
+                j += 1;
+            }
+        }
+
+        /// Hand-vectorized CSR output row; grouping contract as in the
+        /// portable kernel.
+        #[target_feature(enable = $feat)]
+        pub unsafe fn spmm_row(
+            cols: &[u32],
+            vals: &[f32],
+            x: &[f32],
+            c_row: &mut [f32],
+            inner: usize,
+            c: usize,
+        ) {
+            let k4 = inner & !3;
+            let end = cols.len();
+            let mut rows: [*const f32; 4] = [core::ptr::null(); 4];
+            let mut p = 0;
+            while p < end {
+                let col = cols[p] as usize;
+                if col >= k4 {
+                    break;
+                }
+                let group_end = (col & !3) + 4;
+                let mut q = p + 1;
+                while q < end && (cols[q] as usize) < group_end {
+                    q += 1;
+                }
+                for t in 0..(q - p) {
+                    rows[t] = x.as_ptr().add(cols[p + t] as usize * c);
+                }
+                accum(&vals[p..q], &rows[..q - p], c_row, c);
+                p = q;
+            }
+            // Remainder region: the dense kernel adds these one at a time.
+            while p < end {
+                rows[0] = x.as_ptr().add(cols[p] as usize * c);
+                accum(&vals[p..p + 1], &rows[..1], c_row, c);
+                p += 1;
+            }
+        }
+    };
+}
+
+/// Hand-vectorized support-restricted adjacency-gradient row, shared by
+/// the AVX2 and AVX-512 tiers (baseline SSE suffices: the win comes from
+/// restructuring, not width). Four stored columns ride in the four lanes
+/// of one `__m128`; a 4×4 transpose turns four contiguous `x` row chunks
+/// into per-`k` column vectors, so each lane accumulates its pair dot
+/// with [`pair_dot`]'s exact association: per 4-wide `k` group
+/// `acc += ((g₀v₀ + g₁v₁) + g₂v₂) + g₃v₃`, remainder `k` one at a time,
+/// batches outer-to-inner. Leftover columns (< 4) fall back to
+/// [`pair_dot`] itself.
+///
+/// # Safety
+/// Callers must uphold the [`dadj_row`] wrapper's shape contract:
+/// `dy.len() == batch·n·c`, `x.len() == batch·m·c`, `out_row.len() == m`,
+/// `i < n`, and every entry of `cols` below `m`. SSE2 is baseline on
+/// x86_64, so no feature check is needed.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn dadj_row_x86(
+    dy: &[f32],
+    x: &[f32],
+    i: usize,
+    cols: &[u32],
+    out_row: &mut [f32],
+    batch: usize,
+    n: usize,
+    m: usize,
+    c: usize,
+) {
+    use core::arch::x86_64::*;
+    let mut p = 0;
+    while p + 4 <= cols.len() {
+        let j = [
+            cols[p] as usize,
+            cols[p + 1] as usize,
+            cols[p + 2] as usize,
+            cols[p + 3] as usize,
+        ];
+        let mut acc = _mm_setzero_ps();
+        for b in 0..batch {
+            let g = dy.as_ptr().add((b * n + i) * c);
+            let xr = [
+                x.as_ptr().add((b * m + j[0]) * c),
+                x.as_ptr().add((b * m + j[1]) * c),
+                x.as_ptr().add((b * m + j[2]) * c),
+                x.as_ptr().add((b * m + j[3]) * c),
+            ];
+            let mut k = 0;
+            while k + 4 <= c {
+                let gv = _mm_loadu_ps(g.add(k));
+                let r0 = _mm_loadu_ps(xr[0].add(k));
+                let r1 = _mm_loadu_ps(xr[1].add(k));
+                let r2 = _mm_loadu_ps(xr[2].add(k));
+                let r3 = _mm_loadu_ps(xr[3].add(k));
+                // 4×4 transpose: ck = [x_j0[k+t], x_j1[k+t], x_j2[k+t], x_j3[k+t]].
+                let t0 = _mm_unpacklo_ps(r0, r1);
+                let t1 = _mm_unpacklo_ps(r2, r3);
+                let t2 = _mm_unpackhi_ps(r0, r1);
+                let t3 = _mm_unpackhi_ps(r2, r3);
+                let c0 = _mm_movelh_ps(t0, t1);
+                let c1 = _mm_movehl_ps(t1, t0);
+                let c2 = _mm_movelh_ps(t2, t3);
+                let c3 = _mm_movehl_ps(t3, t2);
+                let g0 = _mm_shuffle_ps(gv, gv, 0b00_00_00_00);
+                let g1 = _mm_shuffle_ps(gv, gv, 0b01_01_01_01);
+                let g2 = _mm_shuffle_ps(gv, gv, 0b10_10_10_10);
+                let g3 = _mm_shuffle_ps(gv, gv, 0b11_11_11_11);
+                let mut e = _mm_mul_ps(g0, c0);
+                e = _mm_add_ps(e, _mm_mul_ps(g1, c1));
+                e = _mm_add_ps(e, _mm_mul_ps(g2, c2));
+                e = _mm_add_ps(e, _mm_mul_ps(g3, c3));
+                acc = _mm_add_ps(acc, e);
+                k += 4;
+            }
+            while k < c {
+                let gk = _mm_set1_ps(*g.add(k));
+                let xk = _mm_set_ps(*xr[3].add(k), *xr[2].add(k), *xr[1].add(k), *xr[0].add(k));
+                acc = _mm_add_ps(acc, _mm_mul_ps(gk, xk));
+                k += 1;
+            }
+        }
+        let mut lanes = [0.0f32; 4];
+        _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+        for t in 0..4 {
+            out_row[j[t]] = lanes[t];
+        }
+        p += 4;
+    }
+    while p < cols.len() {
+        let j = cols[p] as usize;
+        out_row[j] = pair_dot(dy, x, i, j, batch, n, m, c);
+        p += 1;
+    }
+}
+
+/// Generates the register-blocked plain-Rust GEMM body: 4×16 accumulator
+/// tiles with the scalar association, auto-vectorized under the tier's
+/// target feature. Used as the NEON tier's `matmul` (intrinsics-free so
+/// it compiles — and is unit-tested — on every arch via the scalar
+/// instantiation) .
+macro_rules! blocked_matmul_impl {
+    ($(#[$attr:meta])*) => {
+        /// `C += A·B` with 4-row × 16-column register tiles; edges fall
+        /// back to the scalar block kernel. Per element this performs the
+        /// scalar kernel's exact operation sequence: the accumulator is
+        /// initialized from `C`, each 4-wide k group is summed
+        /// left-to-right and added with one add, remainder k single adds,
+        /// one store at the end.
+        #[allow(dead_code)]
+        $(#[$attr])*
+        pub unsafe fn matmul_blocked(
+            a: &[f32],
+            b: &[f32],
+            c: &mut [f32],
+            m: usize,
+            k: usize,
+            n: usize,
+        ) {
+            const MR: usize = 4;
+            const NR: usize = 16;
+            let mut i = 0;
+            while i + MR <= m {
+                let mut j = 0;
+                while j + NR <= n {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for r in 0..MR {
+                        acc[r].copy_from_slice(&c[(i + r) * n + j..(i + r) * n + j + NR]);
+                    }
+                    let mut kk = 0;
+                    while kk + 4 <= k {
+                        for r in 0..MR {
+                            let a_row = &a[(i + r) * k..(i + r + 1) * k];
+                            let (a0, a1, a2, a3) =
+                                (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+                            let b0 = &b[kk * n + j..kk * n + j + NR];
+                            let b1 = &b[(kk + 1) * n + j..(kk + 1) * n + j + NR];
+                            let b2 = &b[(kk + 2) * n + j..(kk + 2) * n + j + NR];
+                            let b3 = &b[(kk + 3) * n + j..(kk + 3) * n + j + NR];
+                            let ar = &mut acc[r];
+                            for jj in 0..NR {
+                                ar[jj] += a0 * b0[jj] + a1 * b1[jj] + a2 * b2[jj] + a3 * b3[jj];
+                            }
+                        }
+                        kk += 4;
+                    }
+                    while kk < k {
+                        for r in 0..MR {
+                            let av = a[(i + r) * k + kk];
+                            let b0 = &b[kk * n + j..kk * n + j + NR];
+                            let ar = &mut acc[r];
+                            for jj in 0..NR {
+                                ar[jj] += av * b0[jj];
+                            }
+                        }
+                        kk += 1;
+                    }
+                    for r in 0..MR {
+                        c[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(&acc[r]);
+                    }
+                    j += NR;
+                }
+                if j < n {
+                    super::scalar_block(a, b, c, k, n, i, i + MR, j, n);
+                }
+                i += MR;
+            }
+            if i < m {
+                super::scalar_block(a, b, c, k, n, i, m, 0, n);
+            }
+        }
+    };
+}
+
+/// The portable reference tier — the pre-SIMD loops, verbatim.
+#[allow(clippy::missing_safety_doc)]
+pub(crate) mod scalar {
+    simd_impls!();
+    spmm_row_portable_impl!();
+    dadj_row_portable_impl!();
+    blocked_matmul_impl!();
+
+    /// The original serial i-k-j kernel: `C += A·B` over the full range.
+    pub unsafe fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        super::scalar_block(a, b, c, k, n, 0, m, 0, n);
+    }
+}
+
+/// aarch64 NEON tier: the shared bodies compiled with 128-bit vectors.
+#[cfg(target_arch = "aarch64")]
+#[allow(clippy::missing_safety_doc)]
+pub(crate) mod neon {
+    simd_impls!(#[target_feature(enable = "neon")]);
+    spmm_row_portable_impl!(#[target_feature(enable = "neon")]);
+    dadj_row_portable_impl!(#[target_feature(enable = "neon")]);
+    blocked_matmul_impl!(#[target_feature(enable = "neon")]);
+    pub use self::matmul_blocked as matmul;
+}
+
+/// x86_64 AVX2 tier: shared bodies under `avx2`, plus a hand-written
+/// 4×16 intrinsics GEMM microkernel (two ymm accumulators per row).
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::missing_safety_doc)]
+pub(crate) mod avx2 {
+    use std::arch::x86_64::*;
+
+    simd_impls!(#[target_feature(enable = "avx2")]);
+    spmm_row_x86_impl!(
+        "avx2",
+        8,
+        _mm256_loadu_ps,
+        _mm256_set1_ps,
+        _mm256_mul_ps,
+        _mm256_add_ps,
+        _mm256_storeu_ps
+    );
+    pub use super::dadj_row_x86 as dadj_row;
+
+    /// `C += A·B`, MR=4 rows × NR=16 columns of accumulators (2×__m256
+    /// per row). Same association as scalar: per 4-wide k group,
+    /// `g = ((a0·b0 + a1·b1) + a2·b2) + a3·b3; acc += g` lane-wise; no FMA.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        const MR: usize = 4;
+        const NR: usize = 16;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let cp = c.as_mut_ptr();
+        let mut i = 0;
+        while i + MR <= m {
+            let mut j = 0;
+            while j + NR <= n {
+                let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+                for (r, ar) in acc.iter_mut().enumerate() {
+                    ar[0] = _mm256_loadu_ps(cp.add((i + r) * n + j));
+                    ar[1] = _mm256_loadu_ps(cp.add((i + r) * n + j + 8));
+                }
+                let mut kk = 0;
+                while kk + 4 <= k {
+                    let b00 = _mm256_loadu_ps(bp.add(kk * n + j));
+                    let b01 = _mm256_loadu_ps(bp.add(kk * n + j + 8));
+                    let b10 = _mm256_loadu_ps(bp.add((kk + 1) * n + j));
+                    let b11 = _mm256_loadu_ps(bp.add((kk + 1) * n + j + 8));
+                    let b20 = _mm256_loadu_ps(bp.add((kk + 2) * n + j));
+                    let b21 = _mm256_loadu_ps(bp.add((kk + 2) * n + j + 8));
+                    let b30 = _mm256_loadu_ps(bp.add((kk + 3) * n + j));
+                    let b31 = _mm256_loadu_ps(bp.add((kk + 3) * n + j + 8));
+                    for (r, ar) in acc.iter_mut().enumerate() {
+                        let a0 = _mm256_set1_ps(*ap.add((i + r) * k + kk));
+                        let a1 = _mm256_set1_ps(*ap.add((i + r) * k + kk + 1));
+                        let a2 = _mm256_set1_ps(*ap.add((i + r) * k + kk + 2));
+                        let a3 = _mm256_set1_ps(*ap.add((i + r) * k + kk + 3));
+                        let mut g0 = _mm256_mul_ps(a0, b00);
+                        g0 = _mm256_add_ps(g0, _mm256_mul_ps(a1, b10));
+                        g0 = _mm256_add_ps(g0, _mm256_mul_ps(a2, b20));
+                        g0 = _mm256_add_ps(g0, _mm256_mul_ps(a3, b30));
+                        ar[0] = _mm256_add_ps(ar[0], g0);
+                        let mut g1 = _mm256_mul_ps(a0, b01);
+                        g1 = _mm256_add_ps(g1, _mm256_mul_ps(a1, b11));
+                        g1 = _mm256_add_ps(g1, _mm256_mul_ps(a2, b21));
+                        g1 = _mm256_add_ps(g1, _mm256_mul_ps(a3, b31));
+                        ar[1] = _mm256_add_ps(ar[1], g1);
+                    }
+                    kk += 4;
+                }
+                while kk < k {
+                    let b0 = _mm256_loadu_ps(bp.add(kk * n + j));
+                    let b1 = _mm256_loadu_ps(bp.add(kk * n + j + 8));
+                    for (r, ar) in acc.iter_mut().enumerate() {
+                        let av = _mm256_set1_ps(*ap.add((i + r) * k + kk));
+                        ar[0] = _mm256_add_ps(ar[0], _mm256_mul_ps(av, b0));
+                        ar[1] = _mm256_add_ps(ar[1], _mm256_mul_ps(av, b1));
+                    }
+                    kk += 1;
+                }
+                for (r, ar) in acc.iter().enumerate() {
+                    _mm256_storeu_ps(cp.add((i + r) * n + j), ar[0]);
+                    _mm256_storeu_ps(cp.add((i + r) * n + j + 8), ar[1]);
+                }
+                j += NR;
+            }
+            if j < n {
+                super::scalar_block(a, b, c, k, n, i, i + MR, j, n);
+            }
+            i += MR;
+        }
+        if i < m {
+            super::scalar_block(a, b, c, k, n, i, m, 0, n);
+        }
+    }
+}
+
+/// x86_64 AVX-512 tier: shared bodies under `avx512f`, plus the 8×32
+/// intrinsics GEMM microkernel (two zmm accumulators per row).
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::missing_safety_doc)]
+pub(crate) mod avx512 {
+    use std::arch::x86_64::*;
+
+    simd_impls!(#[target_feature(enable = "avx512f")]);
+    spmm_row_x86_impl!(
+        "avx512f",
+        16,
+        _mm512_loadu_ps,
+        _mm512_set1_ps,
+        _mm512_mul_ps,
+        _mm512_add_ps,
+        _mm512_storeu_ps
+    );
+    pub use super::dadj_row_x86 as dadj_row;
+
+    /// `C += A·B`, MR=8 rows × NR=32 columns of accumulators (2×__m512
+    /// per row). Same association as scalar; no FMA.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        const MR: usize = 8;
+        const NR: usize = 32;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let cp = c.as_mut_ptr();
+        let mut i = 0;
+        while i + MR <= m {
+            let mut j = 0;
+            while j + NR <= n {
+                let mut acc = [[_mm512_setzero_ps(); 2]; MR];
+                for (r, ar) in acc.iter_mut().enumerate() {
+                    ar[0] = _mm512_loadu_ps(cp.add((i + r) * n + j));
+                    ar[1] = _mm512_loadu_ps(cp.add((i + r) * n + j + 16));
+                }
+                let mut kk = 0;
+                while kk + 4 <= k {
+                    let b00 = _mm512_loadu_ps(bp.add(kk * n + j));
+                    let b01 = _mm512_loadu_ps(bp.add(kk * n + j + 16));
+                    let b10 = _mm512_loadu_ps(bp.add((kk + 1) * n + j));
+                    let b11 = _mm512_loadu_ps(bp.add((kk + 1) * n + j + 16));
+                    let b20 = _mm512_loadu_ps(bp.add((kk + 2) * n + j));
+                    let b21 = _mm512_loadu_ps(bp.add((kk + 2) * n + j + 16));
+                    let b30 = _mm512_loadu_ps(bp.add((kk + 3) * n + j));
+                    let b31 = _mm512_loadu_ps(bp.add((kk + 3) * n + j + 16));
+                    for (r, ar) in acc.iter_mut().enumerate() {
+                        let a0 = _mm512_set1_ps(*ap.add((i + r) * k + kk));
+                        let a1 = _mm512_set1_ps(*ap.add((i + r) * k + kk + 1));
+                        let a2 = _mm512_set1_ps(*ap.add((i + r) * k + kk + 2));
+                        let a3 = _mm512_set1_ps(*ap.add((i + r) * k + kk + 3));
+                        let mut g0 = _mm512_mul_ps(a0, b00);
+                        g0 = _mm512_add_ps(g0, _mm512_mul_ps(a1, b10));
+                        g0 = _mm512_add_ps(g0, _mm512_mul_ps(a2, b20));
+                        g0 = _mm512_add_ps(g0, _mm512_mul_ps(a3, b30));
+                        ar[0] = _mm512_add_ps(ar[0], g0);
+                        let mut g1 = _mm512_mul_ps(a0, b01);
+                        g1 = _mm512_add_ps(g1, _mm512_mul_ps(a1, b11));
+                        g1 = _mm512_add_ps(g1, _mm512_mul_ps(a2, b21));
+                        g1 = _mm512_add_ps(g1, _mm512_mul_ps(a3, b31));
+                        ar[1] = _mm512_add_ps(ar[1], g1);
+                    }
+                    kk += 4;
+                }
+                while kk < k {
+                    let b0 = _mm512_loadu_ps(bp.add(kk * n + j));
+                    let b1 = _mm512_loadu_ps(bp.add(kk * n + j + 16));
+                    for (r, ar) in acc.iter_mut().enumerate() {
+                        let av = _mm512_set1_ps(*ap.add((i + r) * k + kk));
+                        ar[0] = _mm512_add_ps(ar[0], _mm512_mul_ps(av, b0));
+                        ar[1] = _mm512_add_ps(ar[1], _mm512_mul_ps(av, b1));
+                    }
+                    kk += 1;
+                }
+                for (r, ar) in acc.iter().enumerate() {
+                    _mm512_storeu_ps(cp.add((i + r) * n + j), ar[0]);
+                    _mm512_storeu_ps(cp.add((i + r) * n + j + 16), ar[1]);
+                }
+                j += NR;
+            }
+            if j < n {
+                super::scalar_block(a, b, c, k, n, i, i + MR, j, n);
+            }
+            i += MR;
+        }
+        if i < m {
+            super::scalar_block(a, b, c, k, n, i, m, 0, n);
+        }
+    }
+}
+
+/// Routes a call to the active tier's variant. Safety: a non-scalar arm
+/// is only reachable when the cached probe confirmed the feature (the
+/// dispatch clamp in [`simd_tier`]), which is exactly the contract the
+/// `#[target_feature]` functions require.
+macro_rules! tier_dispatch {
+    ($fn:ident ( $($arg:expr),* )) => {{
+        match simd_tier() {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx512 => unsafe { avx512::$fn($($arg),*) },
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => unsafe { avx2::$fn($($arg),*) },
+            #[cfg(target_arch = "aarch64")]
+            SimdTier::Neon => unsafe { neon::$fn($($arg),*) },
+            _ => unsafe { scalar::$fn($($arg),*) },
+        }
+    }};
+}
+
+/// `C[m×n] += A[m×k] · B[k×n]` through the active tier's blocked kernel.
+/// Callers pass a zeroed (or partial-result) `c`; all tiers are
+/// bit-identical to the scalar serial kernel.
+pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    tier_dispatch!(matmul(a, b, c, m, k, n))
+}
+
+/// Elementwise `out = a ⊕ b` over equal-length slices.
+pub fn binary(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    debug_assert_eq!(b.len(), out.len());
+    tier_dispatch!(binary(op, a, b, out))
+}
+
+/// Elementwise `out = src ⊕ s` (or `s ⊕ src` when `scalar_lhs`).
+pub fn binary_scalar(op: BinOp, src: &[f32], s: f32, out: &mut [f32], scalar_lhs: bool) {
+    debug_assert_eq!(src.len(), out.len());
+    tier_dispatch!(binary_scalar(op, src, s, out, scalar_lhs))
+}
+
+/// Elementwise unary `out = op(src)`.
+pub fn unary(op: UnOp, src: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(src.len(), out.len());
+    tier_dispatch!(unary(op, src, out))
+}
+
+/// `dst += alpha · src`.
+pub fn axpy(alpha: f32, src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    tier_dispatch!(axpy(alpha, src, dst))
+}
+
+/// `dst += src` (the axis-sum accumulation step; fn-pointer compatible
+/// with `reduce_axis`'s fast path).
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    tier_dispatch!(add_assign(dst, src))
+}
+
+/// `dst *= s`.
+pub fn scale_assign(dst: &mut [f32], s: f32) {
+    tier_dispatch!(scale_assign(dst, s))
+}
+
+/// Entmax-1.5 output map into an f64 buffer.
+pub fn entmax15_map(z: &[f32], shift: f64, tau: f64, p: &mut [f64]) {
+    debug_assert_eq!(z.len(), p.len());
+    tier_dispatch!(entmax15_map(z, shift, tau, p))
+}
+
+/// `p /= total` over an f64 row.
+pub fn div_assign_f64(p: &mut [f64], total: f64) {
+    tier_dispatch!(div_assign_f64(p, total))
+}
+
+/// Entmax backward output map `out_i = (s_i · (g_i − mean)) as f32`.
+pub fn entmax_backward_out(s: &[f64], grad_p: &[f32], mean: f64, out: &mut [f32]) {
+    debug_assert_eq!(s.len(), out.len());
+    debug_assert_eq!(grad_p.len(), out.len());
+    tier_dispatch!(entmax_backward_out(s, grad_p, mean, out))
+}
+
+/// One CSR output row through the active tier (see the macro body for
+/// the grouping contract).
+pub fn spmm_row(cols: &[u32], vals: &[f32], x: &[f32], c_row: &mut [f32], inner: usize, c: usize) {
+    debug_assert_eq!(cols.len(), vals.len());
+    tier_dispatch!(spmm_row(cols, vals, x, c_row, inner, c))
+}
+
+/// Support-restricted adjacency-gradient row through the active tier:
+/// `out_row[j] = Σ_b Σ_k dy[b,i,k] · x[b,j,k]` for each stored column
+/// `j` in `cols`, with [`pair_dot`]'s exact association on every tier.
+/// Columns not in `cols` are left untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn dadj_row(
+    dy: &[f32],
+    x: &[f32],
+    i: usize,
+    cols: &[u32],
+    out_row: &mut [f32],
+    batch: usize,
+    n: usize,
+    m: usize,
+    c: usize,
+) {
+    debug_assert_eq!(dy.len(), batch * n * c);
+    debug_assert_eq!(x.len(), batch * m * c);
+    debug_assert_eq!(out_row.len(), m);
+    debug_assert!(i < n || batch == 0);
+    tier_dispatch!(dadj_row(dy, x, i, cols, out_row, batch, n, m, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{set_simd_mode, SimdMode};
+    use crate::rng::Rng64;
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Rng64::new(seed);
+        (0..len).map(|_| rng.next_f32() * 4.0 - 2.0).collect()
+    }
+
+    /// Runs `f` under every mode the hardware can express and asserts the
+    /// outputs are bit-identical to the forced-scalar run.
+    fn assert_all_tiers_match(mut f: impl FnMut() -> Vec<f32>, what: &str) {
+        let prev = set_simd_mode(SimdMode::Scalar);
+        let reference = f();
+        for mode in [SimdMode::Neon, SimdMode::Avx2, SimdMode::Avx512, SimdMode::Auto] {
+            set_simd_mode(mode);
+            let got = f();
+            assert_eq!(reference.len(), got.len(), "{what}: {mode:?} length");
+            for (i, (r, g)) in reference.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    r.to_bits(),
+                    g.to_bits(),
+                    "{what}: {mode:?} diverged from scalar at {i} ({r} vs {g})"
+                );
+            }
+        }
+        set_simd_mode(prev);
+    }
+
+    #[test]
+    fn matmul_tiers_bit_identical_odd_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 17), (17, 63, 65), (65, 65, 63), (8, 4, 32)] {
+            let a = rand_vec(m * k, 1 + m as u64);
+            let b = rand_vec(k * n, 2 + n as u64);
+            assert_all_tiers_match(
+                || {
+                    let mut c = vec![0.0f32; m * n];
+                    matmul(&a, &b, &mut c, m, k, n);
+                    c
+                },
+                &format!("matmul {m}x{k}x{n}"),
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_scalar_reference() {
+        // The NEON tier's kernel body, instantiated without a target
+        // feature, must agree with the original serial kernel everywhere.
+        for &(m, k, n) in &[(1, 3, 5), (4, 4, 16), (7, 9, 33), (65, 17, 63)] {
+            let a = rand_vec(m * k, 7 + k as u64);
+            let b = rand_vec(k * n, 8 + m as u64);
+            let mut c0 = vec![0.0f32; m * n];
+            let mut c1 = vec![0.0f32; m * n];
+            unsafe {
+                scalar::matmul(&a, &b, &mut c0, m, k, n);
+                scalar::matmul_blocked(&a, &b, &mut c1, m, k, n);
+            }
+            for (x, y) in c0.iter().zip(&c1) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_tiers_bit_identical() {
+        let a = rand_vec(1031, 3);
+        let b = rand_vec(1031, 4);
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div] {
+            assert_all_tiers_match(
+                || {
+                    let mut out = vec![0.0f32; a.len()];
+                    binary(op, &a, &b, &mut out);
+                    out
+                },
+                &format!("binary {op:?}"),
+            );
+            for lhs in [false, true] {
+                assert_all_tiers_match(
+                    || {
+                        let mut out = vec![0.0f32; a.len()];
+                        binary_scalar(op, &a, 0.37, &mut out, lhs);
+                        out
+                    },
+                    &format!("binary_scalar {op:?} lhs={lhs}"),
+                );
+            }
+        }
+        for op in [UnOp::Neg, UnOp::Abs, UnOp::Sqrt, UnOp::Square] {
+            assert_all_tiers_match(
+                || {
+                    let mut out = vec![0.0f32; a.len()];
+                    unary(op, &a, &mut out);
+                    out
+                },
+                &format!("unary {op:?}"),
+            );
+        }
+        assert_all_tiers_match(
+            || {
+                let mut d = a.clone();
+                axpy(0.731, &b, &mut d);
+                d
+            },
+            "axpy",
+        );
+        assert_all_tiers_match(
+            || {
+                let mut d = a.clone();
+                add_assign(&mut d, &b);
+                d
+            },
+            "add_assign",
+        );
+        assert_all_tiers_match(
+            || {
+                let mut d = a.clone();
+                scale_assign(&mut d, 1.0 / 3.0);
+                d
+            },
+            "scale_assign",
+        );
+    }
+
+    #[test]
+    fn entmax_helpers_tiers_bit_identical() {
+        let z = rand_vec(517, 9);
+        assert_all_tiers_match(
+            || {
+                let mut p = vec![0.0f64; z.len()];
+                entmax15_map(&z, 0.173, -0.062, &mut p);
+                let total: f64 = p.iter().sum();
+                div_assign_f64(&mut p, total);
+                let mut out = vec![0.0f32; z.len()];
+                entmax_backward_out(&p, &z, 0.021, &mut out);
+                out
+            },
+            "entmax helpers",
+        );
+    }
+
+    #[test]
+    fn spmm_row_tiers_bit_identical() {
+        // A row with group sizes 1..4, a straddle of the k4 boundary and
+        // remainder columns (inner=17 -> k4=16).
+        let inner = 17;
+        let c = 33;
+        let cols: Vec<u32> = vec![0, 1, 2, 3, 5, 7, 8, 11, 12, 13, 14, 16];
+        let vals = rand_vec(cols.len(), 5);
+        let x = rand_vec(inner * c, 6);
+        assert_all_tiers_match(
+            || {
+                let mut row = vec![0.0f32; c];
+                spmm_row(&cols, &vals, &x, &mut row, inner, c);
+                row
+            },
+            "spmm_row",
+        );
+    }
+
+    #[test]
+    fn dadj_row_tiers_bit_identical() {
+        // Shapes straddle both the 4-column lane grouping and the 4-wide
+        // k chunks (c=5/7 leave k singles; c=32 is all full chunks).
+        for &(batch, n, m, c) in &[(1, 3, 7, 5), (3, 5, 19, 7), (2, 4, 33, 32)] {
+            let dy = rand_vec(batch * n * c, 11 + c as u64);
+            let x = rand_vec(batch * m * c, 12 + m as u64);
+            let cols: Vec<u32> = (0..m as u32).filter(|j| j % 3 != 1).collect();
+            for i in [0usize, n - 1] {
+                assert_all_tiers_match(
+                    || {
+                        let mut row = vec![0.0f32; m];
+                        dadj_row(&dy, &x, i, &cols, &mut row, batch, n, m, c);
+                        row
+                    },
+                    &format!("dadj_row b={batch} n={n} m={m} c={c} i={i}"),
+                );
+            }
+        }
+        // Support restriction: stored columns get exactly `pair_dot`,
+        // everything else keeps its prior value on every tier.
+        let (batch, n, m, c) = (2usize, 3usize, 9usize, 6usize);
+        let dy = rand_vec(batch * n * c, 21);
+        let x = rand_vec(batch * m * c, 22);
+        let cols = [1u32, 4, 6, 7];
+        for mode in [SimdMode::Scalar, SimdMode::Auto] {
+            let prev = set_simd_mode(mode);
+            let mut row = vec![9.0f32; m];
+            dadj_row(&dy, &x, 1, &cols, &mut row, batch, n, m, c);
+            set_simd_mode(prev);
+            for (j, v) in row.iter().enumerate() {
+                if cols.contains(&(j as u32)) {
+                    let want = pair_dot(&dy, &x, 1, j, batch, n, m, c);
+                    assert_eq!(v.to_bits(), want.to_bits(), "{mode:?} column {j}");
+                } else {
+                    assert_eq!(*v, 9.0, "{mode:?} wrote column {j} outside the support");
+                }
+            }
+        }
+    }
+}

@@ -30,7 +30,9 @@
 //! [`should_use_sparse`].
 
 use crate::alloc;
+use crate::dispatch;
 use crate::pool;
+use crate::simd;
 use crate::tensor::Tensor;
 use sagdfn_obs as obs;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -42,6 +44,14 @@ const PARALLEL_THRESHOLD: usize = 64 * 1024;
 
 /// Minimum rows before the pool round-trip pays for itself.
 const ROWS_PARALLEL_THRESHOLD: usize = 8;
+
+/// Column-tile budget for the SpMM rhs panel: when one batch element's
+/// `x` slab (`inner · c · 4` bytes) overflows this, the contraction axis
+/// is processed in ascending column tiles so the active `x` rows stay
+/// cache-resident across output rows. Tile edges are multiples of 4, so
+/// the ⌊col/4⌋ accumulation groups never straddle a tile and the tiled
+/// walk performs the exact untiled nonzero sequence per output element.
+const X_TILE_BYTES: usize = 32 * 1024;
 
 // ---------------------------------------------------------------------
 // Sparse/dense dispatch policy
@@ -277,8 +287,9 @@ impl Csr {
     /// Support-restricted adjacency gradient: for each stored entry
     /// `(i, j)`, `dA[i,j] = Σ_b Σ_k dY[b,i,k] · X[b,j,k]`; entries outside
     /// the support stay exactly `0.0`. Agrees bit-for-bit with
-    /// [`dadj_dense`] at every stored position (both call the same
-    /// pair-dot routine).
+    /// [`dadj_dense`] at every stored position: every tier of the
+    /// vectorized row kernel reproduces the shared pair-dot routine's
+    /// exact association.
     ///
     /// # Panics
     /// Panics on rank/shape mismatches between `dy` and `x`.
@@ -291,16 +302,15 @@ impl Csr {
             4 * (dy.numel() + x.numel() + self.nnz()) as u64,
             4 * (n * m) as u64,
         );
+        obs::tally_simd(dispatch::simd_tier().index());
         let dy_s = dy.as_slice();
         let x_s = x.as_slice();
         let mut out = alloc::acquire_zeroed(n * m);
         let fill_rows = |row0: usize, out_rows: &mut [f32]| {
             for (rr, out_row) in out_rows.chunks_mut(m).enumerate() {
                 let i = row0 + rr;
-                for p in self.row_ptr[i]..self.row_ptr[i + 1] {
-                    let j = self.col_idx[p] as usize;
-                    out_row[j] = pair_dot(dy_s, x_s, i, j, batch, n, m, c);
-                }
+                let cols = &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]];
+                simd::dadj_row(dy_s, x_s, i, cols, out_row, batch, n, m, c);
             }
         };
         if n * m >= PARALLEL_THRESHOLD && n >= ROWS_PARALLEL_THRESHOLD && !pool::is_serial() {
@@ -340,7 +350,7 @@ pub fn dadj_dense(dy: &Tensor, x: &Tensor) -> Tensor {
         for (rr, out_row) in out_rows.chunks_mut(m).enumerate() {
             let i = row0 + rr;
             for (j, slot) in out_row.iter_mut().enumerate() {
-                *slot = pair_dot(dy_s, x_s, i, j, batch, n, m, c);
+                *slot = simd::pair_dot(dy_s, x_s, i, j, batch, n, m, c);
             }
         }
     };
@@ -373,42 +383,12 @@ fn dadj_check(dy: &Tensor, x: &Tensor, n: usize, m: usize) -> (usize, usize) {
     (dy.dims()[..rd - 2].iter().product(), c)
 }
 
-/// `Σ_b Σ_k dy[b,i,k] · x[b,j,k]` with the feature axis unrolled in
-/// 4-aligned groups (matching the dense GEMM accumulation order).
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn pair_dot(
-    dy: &[f32],
-    x: &[f32],
-    i: usize,
-    j: usize,
-    batch: usize,
-    n: usize,
-    m: usize,
-    c: usize,
-) -> f32 {
-    let mut acc = 0.0f32;
-    for b in 0..batch {
-        let g = &dy[(b * n + i) * c..(b * n + i + 1) * c];
-        let v = &x[(b * m + j) * c..(b * m + j + 1) * c];
-        let mut k = 0;
-        while k + 4 <= c {
-            acc += g[k] * v[k] + g[k + 1] * v[k + 1] + g[k + 2] * v[k + 2] + g[k + 3] * v[k + 3];
-            k += 4;
-        }
-        while k < c {
-            acc += g[k] * v[k];
-            k += 1;
-        }
-    }
-    acc
-}
 
 /// Row-parallel CSR·dense product over the given CSR arrays:
 /// `out[b, i, :] = Σ_p vals[p] · x[b, cols[p], :]` with the nonzeros of
-/// each row processed in groups aligned to absolute ⌊col/4⌋ boundaries —
-/// the exact accumulation structure of the dense `matmul_serial` kernel,
-/// so results match the dense product under `f32` equality.
+/// each row processed in groups aligned to absolute ⌊col/4⌋ boundaries
+/// ([`simd::spmm_row`]) — the exact accumulation structure of the dense
+/// GEMM kernel, so results match the dense product under `f32` equality.
 #[allow(clippy::too_many_arguments)]
 fn spmm_arrays(
     row_ptr: &[usize],
@@ -436,24 +416,61 @@ fn spmm_arrays(
         4 * (values.len() + x.numel()) as u64,
         4 * (batch * out_rows * c) as u64,
     );
+    obs::tally_simd(dispatch::simd_tier().index());
     let xs = x.as_slice();
     // Accumulating kernel (and rows without nonzeros must stay zero), so
     // the recycled buffer has to come back zeroed.
     let mut out = alloc::acquire_zeroed(batch * out_rows * c);
     let total_rows = batch * out_rows;
+    // Shape-only tiling decision (thread- and tier-invariant): tile the
+    // contraction axis when one batch's x slab overflows the budget.
+    let tile_w = (X_TILE_BYTES / (4 * c.max(1))).max(4) & !3;
+    let tiled = inner > tile_w;
     let fill = |row0: usize, chunk: &mut [f32]| {
-        for (rr, c_row) in chunk.chunks_mut(c).enumerate() {
-            let gr = row0 + rr;
-            let (b, i) = (gr / out_rows, gr % out_rows);
-            let x_b = &xs[b * inner * c..(b + 1) * inner * c];
-            spmm_row(
-                &col_idx[row_ptr[i]..row_ptr[i + 1]],
-                &values[row_ptr[i]..row_ptr[i + 1]],
-                x_b,
-                c_row,
-                inner,
-                c,
-            );
+        if tiled {
+            // Ascending 4-aligned column tiles, rows inner: every middle
+            // tile's columns sit below ⌊inner/4⌋·4 (tile edges are
+            // multiples of 4), so groups complete within their tile and
+            // each output row accumulates its nonzeros in the untiled
+            // order — bit-identical, just with a cache-sized x window.
+            let mut t0 = 0;
+            while t0 < inner {
+                let t1 = (t0 + tile_w).min(inner);
+                for (rr, c_row) in chunk.chunks_mut(c).enumerate() {
+                    let gr = row0 + rr;
+                    let (b, i) = (gr / out_rows, gr % out_rows);
+                    let x_b = &xs[b * inner * c..(b + 1) * inner * c];
+                    let row_cols = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+                    let row_vals = &values[row_ptr[i]..row_ptr[i + 1]];
+                    let p0 = row_cols.partition_point(|&cc| (cc as usize) < t0);
+                    let p1 = row_cols.partition_point(|&cc| (cc as usize) < t1);
+                    if p0 < p1 {
+                        simd::spmm_row(
+                            &row_cols[p0..p1],
+                            &row_vals[p0..p1],
+                            x_b,
+                            c_row,
+                            inner,
+                            c,
+                        );
+                    }
+                }
+                t0 = t1;
+            }
+        } else {
+            for (rr, c_row) in chunk.chunks_mut(c).enumerate() {
+                let gr = row0 + rr;
+                let (b, i) = (gr / out_rows, gr % out_rows);
+                let x_b = &xs[b * inner * c..(b + 1) * inner * c];
+                simd::spmm_row(
+                    &col_idx[row_ptr[i]..row_ptr[i + 1]],
+                    &values[row_ptr[i]..row_ptr[i + 1]],
+                    x_b,
+                    c_row,
+                    inner,
+                    c,
+                );
+            }
         }
     };
     if out.len() >= PARALLEL_THRESHOLD
@@ -470,81 +487,6 @@ fn spmm_arrays(
     let mut dims = x.dims().to_vec();
     dims[r - 2] = out_rows;
     Tensor::from_vec(out, dims.as_slice())
-}
-
-/// One output row: nonzeros grouped by absolute ⌊col/4⌋ within the
-/// unrolled region `[0, 4⌊inner/4⌋)`, single adds in the remainder —
-/// mirroring `matmul_serial`'s unroll so each output element sees the
-/// same sequence of nonzero partial sums as the dense kernel.
-#[inline]
-fn spmm_row(cols: &[u32], vals: &[f32], x: &[f32], c_row: &mut [f32], inner: usize, c: usize) {
-    let k4 = inner & !3;
-    let end = cols.len();
-    let mut p = 0;
-    while p < end {
-        let col = cols[p] as usize;
-        if col >= k4 {
-            break;
-        }
-        let group_end = (col & !3) + 4;
-        let mut q = p + 1;
-        while q < end && (cols[q] as usize) < group_end {
-            q += 1;
-        }
-        match q - p {
-            1 => {
-                let a0 = vals[p];
-                let b0 = &x[col * c..(col + 1) * c];
-                for j in 0..c {
-                    c_row[j] += a0 * b0[j];
-                }
-            }
-            2 => {
-                let (a0, a1) = (vals[p], vals[p + 1]);
-                let b0 = &x[col * c..(col + 1) * c];
-                let c1 = cols[p + 1] as usize;
-                let b1 = &x[c1 * c..(c1 + 1) * c];
-                for j in 0..c {
-                    c_row[j] += a0 * b0[j] + a1 * b1[j];
-                }
-            }
-            3 => {
-                let (a0, a1, a2) = (vals[p], vals[p + 1], vals[p + 2]);
-                let b0 = &x[col * c..(col + 1) * c];
-                let c1 = cols[p + 1] as usize;
-                let b1 = &x[c1 * c..(c1 + 1) * c];
-                let c2 = cols[p + 2] as usize;
-                let b2 = &x[c2 * c..(c2 + 1) * c];
-                for j in 0..c {
-                    c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j];
-                }
-            }
-            _ => {
-                let (a0, a1, a2, a3) = (vals[p], vals[p + 1], vals[p + 2], vals[p + 3]);
-                let b0 = &x[col * c..(col + 1) * c];
-                let c1 = cols[p + 1] as usize;
-                let b1 = &x[c1 * c..(c1 + 1) * c];
-                let c2 = cols[p + 2] as usize;
-                let b2 = &x[c2 * c..(c2 + 1) * c];
-                let c3 = cols[p + 3] as usize;
-                let b3 = &x[c3 * c..(c3 + 1) * c];
-                for j in 0..c {
-                    c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-                }
-            }
-        }
-        p = q;
-    }
-    // Remainder region: the dense kernel adds these columns one at a time.
-    while p < end {
-        let col = cols[p] as usize;
-        let a0 = vals[p];
-        let b0 = &x[col * c..(col + 1) * c];
-        for j in 0..c {
-            c_row[j] += a0 * b0[j];
-        }
-        p += 1;
-    }
 }
 
 #[cfg(test)]

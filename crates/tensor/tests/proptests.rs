@@ -1,7 +1,7 @@
 //! Property-based tests of the tensor substrate.
 
 use proptest::prelude::*;
-use sagdfn_tensor::{Csr, Rng64, Shape, Tensor};
+use sagdfn_tensor::{set_simd_mode, Csr, Rng64, Shape, SimdMode, Tensor};
 
 /// Strategy: a small tensor with its data.
 fn small_tensor() -> impl Strategy<Value = Tensor> {
@@ -25,6 +25,40 @@ fn sparse_matrix() -> impl Strategy<Value = Tensor> {
             Tensor::from_vec(data, [r, c])
         })
     })
+}
+
+/// Strategy: a dimension that exercises every SIMD edge — singleton,
+/// below one vector, straddling the widest vector, and one past a
+/// register-block boundary.
+fn odd_dim() -> impl Strategy<Value = usize> {
+    const DIMS: [usize; 6] = [1, 3, 7, 17, 63, 65];
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+/// Runs `f` with the SIMD dispatch forced to `mode`, restoring the
+/// previous mode afterwards.
+fn with_mode<R>(mode: SimdMode, f: impl FnOnce() -> R) -> R {
+    let prev = set_simd_mode(mode);
+    let r = f();
+    set_simd_mode(prev);
+    r
+}
+
+/// Asserts two tensors are bit-for-bit identical.
+macro_rules! prop_assert_bits_eq {
+    ($a:expr, $b:expr, $what:expr) => {{
+        let (a, b) = (&$a, &$b);
+        prop_assert!(
+            a.shape() == b.shape(),
+            "{} shape: {:?} vs {:?}",
+            $what,
+            a.shape(),
+            b.shape()
+        );
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            prop_assert!(x.to_bits() == y.to_bits(), "{}[{}]: {} vs {}", $what, i, x, y);
+        }
+    }};
 }
 
 proptest! {
@@ -151,5 +185,66 @@ proptest! {
         prop_assert_eq!(csr.spmm(&x), a.matmul(&x));
         let g = Tensor::rand_uniform([a.dim(0), c], -2.0, 2.0, &mut rng);
         prop_assert_eq!(csr.spmm_t(&g), a.matmul_tn(&g));
+    }
+}
+
+// ---------------------------------------------------------------------
+// SIMD dispatch vs forced-scalar kernels: every variant the host can run
+// must be bit-for-bit identical to the scalar reference on shapes that
+// straddle vector widths and register-block edges. Fewer cases per test:
+// each case runs every kernel twice on up-to-65³ shapes.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simd_matmuls_bit_match_scalar(
+        seed in 0u64..1000, m in odd_dim(), k in odd_dim(), n in odd_dim(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::rand_uniform([m, k], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -2.0, 2.0, &mut rng);
+        let c = Tensor::rand_uniform([n, k], -2.0, 2.0, &mut rng);
+        let at = Tensor::rand_uniform([k, m], -2.0, 2.0, &mut rng);
+        let run = || (a.matmul(&b), a.matmul_nt(&c), at.matmul_tn(&b));
+        let scalar = with_mode(SimdMode::Scalar, run);
+        let auto = with_mode(SimdMode::Auto, run);
+        prop_assert_bits_eq!(scalar.0, auto.0, "matmul");
+        prop_assert_bits_eq!(scalar.1, auto.1, "matmul_nt");
+        prop_assert_bits_eq!(scalar.2, auto.2, "matmul_tn");
+    }
+
+    #[test]
+    fn simd_sparse_kernels_bit_match_scalar(
+        a in sparse_matrix(), seed in 0u64..500, batch in 1usize..3, c in odd_dim(),
+    ) {
+        let (n, m) = (a.dim(0), a.dim(1));
+        let mut rng = Rng64::new(seed);
+        let x = Tensor::rand_uniform([batch, m, c], -2.0, 2.0, &mut rng);
+        let g = Tensor::rand_uniform([batch, n, c], -2.0, 2.0, &mut rng);
+        let csr = Csr::from_dense(&a);
+        let run = || (csr.spmm(&x), csr.spmm_t(&g), csr.dadj(&g, &x));
+        let scalar = with_mode(SimdMode::Scalar, run);
+        let auto = with_mode(SimdMode::Auto, run);
+        prop_assert_bits_eq!(scalar.0, auto.0, "spmm");
+        prop_assert_bits_eq!(scalar.1, auto.1, "spmm_t");
+        prop_assert_bits_eq!(scalar.2, auto.2, "dadj");
+    }
+
+    #[test]
+    fn simd_elementwise_bit_match_scalar(seed in 0u64..1000, r in odd_dim(), c in odd_dim()) {
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::rand_uniform([r, c], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform([r, c], -2.0, 2.0, &mut rng);
+        let run = || {
+            (a.add(&b), a.mul(&b), a.sigmoid(), a.scale(0.37), a.sum_axis(0), a.sum_axis(1))
+        };
+        let scalar = with_mode(SimdMode::Scalar, run);
+        let auto = with_mode(SimdMode::Auto, run);
+        prop_assert_bits_eq!(scalar.0, auto.0, "add");
+        prop_assert_bits_eq!(scalar.1, auto.1, "mul");
+        prop_assert_bits_eq!(scalar.2, auto.2, "sigmoid");
+        prop_assert_bits_eq!(scalar.3, auto.3, "scale");
+        prop_assert_bits_eq!(scalar.4, auto.4, "sum_axis0");
+        prop_assert_bits_eq!(scalar.5, auto.5, "sum_axis1");
     }
 }

@@ -17,9 +17,32 @@ echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo
+echo "== determinism matrix under forced-scalar kernels (SAGDFN_SIMD=scalar) =="
+# Every SIMD tier must be bit-identical to the scalar reference; rerun
+# the cross-mode equality suites with the dispatch pinned to scalar so a
+# drifting vector kernel cannot hide behind an identically-drifting one.
+SAGDFN_SIMD=scalar cargo test -q --release --test simd_dispatch --test sparse_dense \
+    --test baseline_matrix
+
+echo
+echo "== bench_tensor smoke (SIMD + pool regression guard) =="
+TENSOR_OUT="$(mktemp)"
+trap 'rm -f "$TENSOR_OUT"' EXIT
+if [ -f BENCH_tensor.json ]; then
+    # Fails if matmul_512's single-thread SIMD speedup falls under the
+    # per-tier floor (3x on avx512) or the pooled arm regresses vs serial.
+    cargo run --release -q -p sagdfn-bench --bin bench_tensor -- \
+        --reps 7 --out "$TENSOR_OUT" --check BENCH_tensor.json
+else
+    echo "(no committed BENCH_tensor.json; smoke run only)"
+    cargo run --release -q -p sagdfn-bench --bin bench_tensor -- \
+        --reps 7 --out "$TENSOR_OUT"
+fi
+
+echo
 echo "== bench_train_step smoke (allocation-churn regression guard) =="
 SMOKE_OUT="$(mktemp)"
-trap 'rm -f "$SMOKE_OUT"' EXIT
+trap 'rm -f "$TENSOR_OUT" "$SMOKE_OUT"' EXIT
 if [ -f BENCH_train.json ]; then
     # Fails if recycled bytes/step regresses past the committed baseline.
     cargo run --release -q -p sagdfn-bench --bin bench_train_step -- \
@@ -33,7 +56,7 @@ fi
 echo
 echo "== bench_diffusion smoke (sparse-kernel regression guard) =="
 DIFF_OUT="$(mktemp)"
-trap 'rm -f "$SMOKE_OUT" "$DIFF_OUT"' EXIT
+trap 'rm -f "$TENSOR_OUT" "$SMOKE_OUT" "$DIFF_OUT"' EXIT
 if [ -f BENCH_diffusion.json ]; then
     # Fails if the 90%-zeros sparse speedup collapses or the auto
     # dispatch stops falling back to dense on dense adjacencies.
@@ -48,7 +71,7 @@ fi
 echo
 echo "== bench_trace smoke (observability overhead guard) =="
 TRACE_OUT="$(mktemp)"
-trap 'rm -f "$SMOKE_OUT" "$DIFF_OUT" "$TRACE_OUT"' EXIT
+trap 'rm -f "$TENSOR_OUT" "$SMOKE_OUT" "$DIFF_OUT" "$TRACE_OUT"' EXIT
 if [ -f BENCH_trace.json ]; then
     # Fails if counters-mode tracing costs more than 3% over off, or if
     # any trace mode perturbs training results.
@@ -63,7 +86,7 @@ fi
 echo
 echo "== bench_infer smoke (inference-path regression guard) =="
 INFER_OUT="$(mktemp)"
-trap 'rm -f "$SMOKE_OUT" "$DIFF_OUT" "$TRACE_OUT" "$INFER_OUT"' EXIT
+trap 'rm -f "$TENSOR_OUT" "$SMOKE_OUT" "$DIFF_OUT" "$TRACE_OUT" "$INFER_OUT"' EXIT
 if [ -f BENCH_infer.json ]; then
     # Fails if the frozen-plan no-grad eval drops below 1.3x taped-eval
     # throughput, the plan cache stops hitting, or any eval mode changes
