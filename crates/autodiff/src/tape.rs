@@ -81,6 +81,15 @@ impl Tape {
         self.len() == 0
     }
 
+    /// Number of no-grad forward values stored since the last reset
+    /// (the eval arena, disjoint from [`Tape::len`]). A compiled plan
+    /// executor bypasses the tape entirely, so a planned eval forward
+    /// stores exactly one value here — the output constant — where the
+    /// interpreted no-grad pass stores one per recorded op.
+    pub fn eval_len(&self) -> usize {
+        self.eval_values.borrow().len()
+    }
+
     /// Enters no-grad mode until the returned guard drops. While active,
     /// `Var` ops compute forward values through the exact same kernels but
     /// skip node recording and backward-closure allocation entirely.

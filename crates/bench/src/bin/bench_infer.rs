@@ -1,28 +1,41 @@
 //! Inference-path benchmark: measures seconds/batch for a full eval sweep
-//! in three execution modes — the recording tape ("taped", what training
-//! uses), the no-grad tape with the adjacency rebuilt per batch, and the
-//! no-grad tape with the frozen adjacency plan reused across batches (the
-//! `trainer::predict` path). Writes `BENCH_infer.json`.
+//! in four execution modes — the recording tape ("taped", what training
+//! uses), the no-grad tape with the adjacency rebuilt per batch, the
+//! no-grad tape with the frozen adjacency plan reused across batches but
+//! still interpreted op-by-op, and the compiled plan executor
+//! (`SAGDFN_PLAN`, the default `Mode::Eval` path since the plan-executor
+//! change). Writes `BENCH_infer.json`.
+//!
+//! The four arms are timed *interleaved* — every rep runs one pass of
+//! each arm back to back — and each pass is timed individually with the
+//! per-arm minimum reported. Eval passes here run in single-digit
+//! milliseconds: one scheduler hiccup inside a single accumulated
+//! measurement, or CPU frequency drift between two arms timed in
+//! separate blocks, can invert a real 1.6x speedup into an apparent
+//! regression (the same phantom-regression fix `bench_tensor` uses).
 //!
 //! The workload is attention-heavy (wide embeddings, several SSMA heads)
 //! so the per-batch adjacency rebuild is a real cost, as it is at paper
-//! scale where `N·M` pair scoring dominates. All three modes must produce
-//! bit-identical predictions; the frozen mode must also register plan-cache
-//! hits in the `sagdfn-obs` counters.
+//! scale where `N·M` pair scoring dominates. All four modes must produce
+//! bit-identical predictions; the frozen mode must register plan-cache
+//! hits and the planned mode must run its compiled schedule with zero
+//! steady-state allocator acquires.
 //!
 //! Usage: `bench_infer [--out FILE] [--steps N] [--check BASELINE]`
 //!
-//! With `--check`, the process exits nonzero unless the freshly measured
-//! frozen-plan eval is at least 1.3x faster than the taped eval and the
-//! plan cache recorded at least one hit — `scripts/check.sh` uses this as
-//! the inference-path regression guard.
+//! With `--check`, the process exits nonzero unless the no-grad tape is
+//! at least as fast as the taped eval, the frozen-plan eval is >= 1.3x
+//! taped, the planned executor is >= 2.5x taped, the plan cache recorded
+//! at least one hit, and the steady-state planned pass acquired zero
+//! buffers — `scripts/check.sh` uses this as the inference-path
+//! regression guard.
 
 use sagdfn_autodiff::Tape;
-use sagdfn_core::{Mode, Sagdfn, SagdfnConfig};
-use sagdfn_data::{SplitSpec, ThreeWaySplit};
+use sagdfn_core::{set_plan_mode, Mode, PlanMode, Sagdfn, SagdfnConfig};
+use sagdfn_data::{Batch, SplitSpec, ThreeWaySplit};
 use sagdfn_json::Json;
 use sagdfn_obs as obs;
-use sagdfn_tensor::pool;
+use sagdfn_tensor::{pool, Tensor};
 use std::time::Instant;
 
 const WARMUP_REPS: usize = 2;
@@ -34,8 +47,10 @@ enum RunKind {
     Taped,
     /// No-grad tape, adjacency still rebuilt per batch.
     NoGradRebuilt,
-    /// No-grad tape, frozen adjacency plan reused across batches.
+    /// No-grad tape, frozen adjacency plan reused, interpreted ops.
     NoGradFrozen,
+    /// Compiled plan executor: frozen adjacency + linearized schedule.
+    Planned,
 }
 
 /// An attention-heavy eval workload: adjacency construction (SSMA pair
@@ -67,48 +82,79 @@ fn workload() -> (Sagdfn, ThreeWaySplit) {
     (model, split)
 }
 
-/// Runs `reps` full passes over the eval split (after warmup) and returns
-/// seconds/batch plus the bit pattern of every prediction from one pass.
-fn run_eval(model: &Sagdfn, split: &ThreeWaySplit, kind: RunKind, reps: usize) -> (f64, Vec<u32>) {
-    let batch_size = model.config().batch_size;
-    let batches: Vec<Vec<usize>> = split.test.batch_ids(batch_size, None);
+/// One full pass over the eval split in the given mode, returning its
+/// wall-clock seconds. Collects every prediction's bit pattern into
+/// `bits` when provided (pass `None` for timed reps).
+fn one_pass(
+    model: &Sagdfn,
+    split: &ThreeWaySplit,
+    batches: &[Vec<usize>],
+    kind: RunKind,
+    mut bits: Option<&mut Vec<u32>>,
+) -> f64 {
+    // The frozen arm must measure the *interpreted* eval path, so the
+    // plan executor is pinned off for every arm except Planned.
+    let prev_plan = set_plan_mode(if kind == RunKind::Planned {
+        PlanMode::On
+    } else {
+        PlanMode::Off
+    });
     let tape = Tape::new();
     let _no_grad = (kind != RunKind::Taped).then(|| tape.no_grad());
-    let mode = if kind == RunKind::NoGradFrozen {
+    let mode = if kind == RunKind::NoGradFrozen || kind == RunKind::Planned {
         Mode::Eval
     } else {
         Mode::Train // dropout is 0, so train-mode math == eval math
     };
-    // A fresh plan per pass kind: the first frozen batch pays one build,
-    // the rest hit the cache.
-    model.invalidate_plan();
-
-    let mut bits: Vec<u32> = Vec::new();
-    let pass = |collect: bool, bits: &mut Vec<u32>| {
-        for ids in &batches {
-            let _step = obs::kernel(obs::Kernel::EvalStep, 0, 0, 0);
-            let batch = split.test.make_batch(ids);
-            tape.reset();
-            let bind = model.params.bind(&tape);
-            let pred = model
-                .forward(&tape, &bind, &batch, split.scaler, mode)
-                .value();
-            if collect {
-                bits.extend(pred.as_slice().iter().map(|v| v.to_bits()));
-            }
-        }
-    };
-
-    for _ in 0..WARMUP_REPS {
-        pass(false, &mut bits);
-    }
-    bits.clear();
     let t0 = Instant::now();
-    for rep in 0..reps {
-        pass(rep == 0, &mut bits);
+    for ids in batches {
+        let _step = obs::kernel(obs::Kernel::EvalStep, 0, 0, 0);
+        let batch = split.test.make_batch(ids);
+        tape.reset();
+        let bind = model.params.bind(&tape);
+        let pred = model
+            .forward(&tape, &bind, &batch, split.scaler, mode)
+            .value();
+        if let Some(bits) = bits.as_deref_mut() {
+            bits.extend(pred.as_slice().iter().map(|v| v.to_bits()));
+        }
     }
     let seconds = t0.elapsed().as_secs_f64();
-    (seconds / (reps * batches.len()) as f64, bits)
+    set_plan_mode(prev_plan);
+    seconds
+}
+
+/// Measures allocator acquires across one steady-state planned pass:
+/// batches and output buffers are materialized up front, a warmup pass
+/// compiles the schedules, then the counted pass must acquire nothing.
+fn planned_steady_state_acquires(model: &Sagdfn, split: &ThreeWaySplit) -> u64 {
+    let batch_size = model.config().batch_size;
+    let scaler = split.scaler;
+    let mut work: Vec<(Batch, Tensor)> = split
+        .test
+        .batch_ids(batch_size, None)
+        .iter()
+        .map(|ids| {
+            let batch = split.test.make_batch(ids);
+            let out = Tensor::zeros([batch.y.dim(0), batch.x.dim(1), batch.x.dim(2)]);
+            (batch, out)
+        })
+        .collect();
+    let prev_plan = set_plan_mode(PlanMode::On);
+    model.invalidate_plan();
+    for (batch, out) in &mut work {
+        assert!(
+            model.planned_forward_into(batch, scaler, out),
+            "planned path must be eligible for the GRU workload"
+        );
+    }
+    let before = obs::snapshot();
+    for (batch, out) in &mut work {
+        model.planned_forward_into(batch, scaler, out);
+    }
+    let delta = obs::snapshot().since(&before);
+    set_plan_mode(prev_plan);
+    delta.alloc_acquires
 }
 
 fn main() {
@@ -127,7 +173,7 @@ fn main() {
     }
 
     // Counters stay on for every mode (same overhead everywhere) so the
-    // plan-cache build/hit tally is visible in the output.
+    // plan-cache build/hit tally and per-op schedule times are visible.
     obs::set_trace_mode(obs::TraceMode::Counters);
 
     let (model, split) = workload();
@@ -138,19 +184,56 @@ fn main() {
         split.test.len()
     );
 
-    let (taped_spb, taped_bits) = run_eval(&model, &split, RunKind::Taped, reps);
-    let (rebuilt_spb, rebuilt_bits) = run_eval(&model, &split, RunKind::NoGradRebuilt, reps);
+    let kinds = [
+        RunKind::Taped,
+        RunKind::NoGradRebuilt,
+        RunKind::NoGradFrozen,
+        RunKind::Planned,
+    ];
+    let batches: Vec<Vec<usize>> = split.test.batch_ids(model.config().batch_size, None);
+    // One plan invalidation up front: the first frozen-path pass pays the
+    // single adjacency build and schedule compile during warmup, then
+    // every later pass hits the caches.
+    model.invalidate_plan();
     let counters_before = obs::snapshot();
-    let (frozen_spb, frozen_bits) = run_eval(&model, &split, RunKind::NoGradFrozen, reps);
+    let mut all_bits: Vec<Vec<u32>> = Vec::new();
+    for kind in kinds {
+        for _ in 0..WARMUP_REPS {
+            one_pass(&model, &split, &batches, kind, None);
+        }
+        let mut bits = Vec::new();
+        one_pass(&model, &split, &batches, kind, Some(&mut bits));
+        all_bits.push(bits);
+    }
+    // Interleaved, order-alternating timing: each rep runs one pass of
+    // every arm back to back so frequency drift hits all arms alike, and
+    // odd reps reverse the arm order so no arm always inherits the
+    // thermal/boost state left by the longest arm; min-of-reps per arm.
+    let mut best = [f64::INFINITY; 4];
+    for rep in 0..reps {
+        let order: Vec<usize> = if rep % 2 == 0 {
+            (0..kinds.len()).collect()
+        } else {
+            (0..kinds.len()).rev().collect()
+        };
+        for k in order {
+            best[k] = best[k].min(one_pass(&model, &split, &batches, kinds[k], None));
+        }
+    }
     let counters = obs::snapshot().since(&counters_before);
+    let per_batch = |k: usize| best[k] / batches.len() as f64;
+    let (taped_spb, rebuilt_spb, frozen_spb, planned_spb) =
+        (per_batch(0), per_batch(1), per_batch(2), per_batch(3));
+    let [taped_bits, rebuilt_bits, frozen_bits, planned_bits] =
+        <[Vec<u32>; 4]>::try_from(all_bits).expect("four arms");
+    let planned_acquires = planned_steady_state_acquires(&model, &split);
 
-    let bit_identical = taped_bits == rebuilt_bits && taped_bits == frozen_bits;
+    let bit_identical =
+        taped_bits == rebuilt_bits && taped_bits == frozen_bits && taped_bits == planned_bits;
     let speedup_nograd = taped_spb / rebuilt_spb;
     let speedup_frozen = taped_spb / frozen_spb;
-    println!(
-        "  taped           {:>9.3} ms/batch",
-        taped_spb * 1e3
-    );
+    let speedup_planned = taped_spb / planned_spb;
+    println!("  taped           {:>9.3} ms/batch", taped_spb * 1e3);
     println!(
         "  no-grad rebuilt {:>9.3} ms/batch   ({speedup_nograd:.2}x vs taped)",
         rebuilt_spb * 1e3
@@ -160,16 +243,28 @@ fn main() {
         frozen_spb * 1e3
     );
     println!(
-        "  plan cache: {} builds / {} hits   predictions bit-identical: {bit_identical}",
-        counters.plan_builds, counters.plan_hits
+        "  planned         {:>9.3} ms/batch   ({speedup_planned:.2}x vs taped)",
+        planned_spb * 1e3
     );
+    println!(
+        "  plan cache: {} builds / {} hits   schedule: {} compiles / {} runs   predictions bit-identical: {bit_identical}",
+        counters.plan_builds, counters.plan_hits, counters.plan_compiles, counters.plan_execs
+    );
+    println!("  steady-state planned pass: {planned_acquires} allocator acquires");
+    if let Some(table) = model.plan_table() {
+        println!("\n{table}");
+    }
     assert!(
         bit_identical,
-        "no-grad / frozen eval changed predictions — bit-identity contract violated"
+        "no-grad / frozen / planned eval changed predictions — bit-identity contract violated"
     );
     assert!(
         counters.plan_builds >= 1,
         "frozen eval never built an adjacency plan"
+    );
+    assert!(
+        counters.plan_compiles >= 1 && counters.plan_execs >= 1,
+        "planned eval never ran its compiled schedule"
     );
 
     let doc = Json::obj([
@@ -179,10 +274,15 @@ fn main() {
         ("taped_seconds_per_batch", Json::from(taped_spb)),
         ("nograd_seconds_per_batch", Json::from(rebuilt_spb)),
         ("frozen_seconds_per_batch", Json::from(frozen_spb)),
+        ("planned_seconds_per_batch", Json::from(planned_spb)),
         ("speedup_nograd", Json::from(speedup_nograd)),
         ("speedup_frozen", Json::from(speedup_frozen)),
+        ("speedup_planned", Json::from(speedup_planned)),
         ("plan_builds", Json::from(counters.plan_builds)),
         ("plan_hits", Json::from(counters.plan_hits)),
+        ("plan_compiles", Json::from(counters.plan_compiles)),
+        ("plan_execs", Json::from(counters.plan_execs)),
+        ("planned_acquires", Json::from(planned_acquires)),
         ("bit_identical", Json::from(bit_identical)),
     ]);
     std::fs::write(&out_path, doc.to_string_pretty().expect("serialize"))
@@ -198,15 +298,27 @@ fn main() {
             .and_then(|v| v.as_f64())
             .expect("baseline speedup_frozen");
         println!(
-            "  regression guard: frozen speedup {speedup_frozen:.2}x (baseline {base_speedup:.2}x, floor 1.30x)"
+            "  regression guard: frozen {speedup_frozen:.2}x (baseline {base_speedup:.2}x, floor 1.30x), \
+             no-grad {speedup_nograd:.2}x (floor 1.00x), planned {speedup_planned:.2}x (floor 2.50x)"
         );
-        if speedup_frozen < 1.3 {
-            eprintln!("inference regression: frozen-plan eval no longer >= 1.3x taped eval");
+        fn fail(msg: &str) -> ! {
+            eprintln!("inference regression: {msg}");
             std::process::exit(1);
         }
+        if speedup_frozen < 1.3 {
+            fail("frozen-plan eval no longer >= 1.3x taped eval");
+        }
+        if speedup_nograd < 1.0 {
+            fail("no-grad eval slower than the taped eval");
+        }
+        if speedup_planned < 2.5 {
+            fail("planned executor no longer >= 2.5x taped eval");
+        }
         if counters.plan_hits == 0 {
-            eprintln!("inference regression: plan cache recorded zero hits across batches");
-            std::process::exit(1);
+            fail("plan cache recorded zero hits across batches");
+        }
+        if planned_acquires != 0 {
+            fail("steady-state planned pass acquired buffers (arena slots must be pre-resolved)");
         }
     }
 }

@@ -335,6 +335,11 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     }
     let delta = obs::snapshot().since(&base);
     println!("\n{}", obs::format_table(&delta));
+    // The eval sweep above ran through the plan executor (unless
+    // SAGDFN_PLAN=off): show the compiled schedule with per-op times.
+    if let Some(table) = model.plan_table() {
+        println!("{table}");
+    }
 
     if mode == obs::TraceMode::Full {
         let records = obs::write_trace(&out).map_err(|e| e.to_string())?;

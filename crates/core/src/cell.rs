@@ -112,6 +112,21 @@ impl OneStepFastGConv {
     pub fn input_dim(&self) -> usize {
         self.input_dim
     }
+
+    /// The reset-gate graph convolution (plan-executor compile input).
+    pub(crate) fn gconv_r(&self) -> &GConv {
+        &self.gconv_r
+    }
+
+    /// The update-gate graph convolution.
+    pub(crate) fn gconv_z(&self) -> &GConv {
+        &self.gconv_z
+    }
+
+    /// The candidate graph convolution.
+    pub(crate) fn gconv_h(&self) -> &GConv {
+        &self.gconv_h
+    }
 }
 
 #[cfg(test)]

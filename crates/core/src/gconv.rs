@@ -201,6 +201,21 @@ impl FrozenPlan {
     pub fn has_csr(&self) -> bool {
         self.csr.is_some()
     }
+
+    /// The frozen adjacency weight values (plan-executor compile input).
+    pub(crate) fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// The frozen `(D+I)^{-1}` normalizer, shape `(1, N, 1)`.
+    pub(crate) fn deg_inv(&self) -> &Tensor {
+        &self.deg_inv
+    }
+
+    /// The frozen CSR execution plan, `None` when dense dispatch won.
+    pub(crate) fn csr(&self) -> Option<&Rc<Csr>> {
+        self.csr.as_ref()
+    }
 }
 
 /// The learnable part of Eq. 9: one `Linear` per diffusion depth `j`,
@@ -252,6 +267,11 @@ impl GConv {
     /// Diffusion depth `J`.
     pub fn depth(&self) -> usize {
         self.steps.len()
+    }
+
+    /// The per-depth linear maps (plan-executor compile input).
+    pub(crate) fn steps(&self) -> &[Linear] {
+        &self.steps
     }
 }
 

@@ -29,11 +29,13 @@ pub mod cell;
 pub mod config;
 pub mod gconv;
 pub mod model;
+pub mod plan;
 pub mod sns;
 pub mod trainer;
 
 pub use ablation::Variant;
 pub use config::{Backbone, SagdfnConfig};
 pub use model::Sagdfn;
+pub use plan::{plan_mode, set_plan_mode, PlanMode};
 pub use sagdfn_nn::Mode;
 pub use trainer::{EpochStats, TrainReport};

@@ -5,6 +5,7 @@ use crate::attention::{inner_product_adjacency, SparseSpatialAttention};
 use crate::cell::OneStepFastGConv;
 use crate::config::{Backbone, SagdfnConfig};
 use crate::gconv::{Adjacency, FrozenPlan, GConv};
+use crate::plan::{self, PlanDims, PlanExecutor};
 use crate::sns::NeighborSampler;
 use sagdfn_autodiff::{Tape, Var};
 use sagdfn_data::{Batch, ZScore};
@@ -36,6 +37,10 @@ pub struct Sagdfn {
     /// Eval-mode adjacency cache: frozen slim weights, normalizer and CSR
     /// plan, shared across batches until the parameters can have changed.
     frozen: RefCell<Option<Rc<FrozenPlan>>>,
+    /// Compiled eval schedules, one per batch shape seen (a sweep's tail
+    /// batch compiles its own). Entries are tied to the `FrozenPlan` they
+    /// were built from, so [`Sagdfn::invalidate_plan`] drops them too.
+    planned: RefCell<Vec<PlanExecutor>>,
 }
 
 impl Sagdfn {
@@ -93,6 +98,7 @@ impl Sagdfn {
             rng,
             topo,
             frozen: RefCell::new(None),
+            planned: RefCell::new(Vec::new()),
         }
     }
 
@@ -165,6 +171,7 @@ impl Sagdfn {
     /// next eval forward rebuilds it once.
     pub fn invalidate_plan(&self) {
         self.frozen.borrow_mut().take();
+        self.planned.borrow_mut().clear();
     }
 
     /// The frozen eval-mode adjacency artifacts, built once per parameter
@@ -236,12 +243,90 @@ impl Sagdfn {
         // recomputes them on the tape so gradients reach E and the SSMA.
         let adj = match mode {
             Mode::Train => self.adjacency(tape, bind, mode),
-            Mode::Eval => Adjacency::from_plan(tape, &self.frozen_plan()),
+            Mode::Eval => {
+                // The compiled plan executor covers the no-teacher GRU
+                // forward; everything else falls back to the interpreter
+                // over the frozen adjacency.
+                if teacher.is_empty() {
+                    if let Some(pred) = self.try_planned(batch, scaler) {
+                        return tape.constant(pred);
+                    }
+                }
+                Adjacency::from_plan(tape, &self.frozen_plan())
+            }
         };
         let (_, _b, n) = (batch.x.dim(0), batch.x.dim(1), batch.x.dim(2));
         assert_eq!(n, self.n, "batch node count mismatch");
         self.body
             .forward(tape, bind, &adj, batch, scaler, self.cfg.hidden, teacher, mode)
+    }
+
+    /// Runs the planned eval forward if this model/mode is eligible,
+    /// returning the raw-unit predictions `(f, B, N)`.
+    fn try_planned(&self, batch: &Batch, scaler: ZScore) -> Option<Tensor> {
+        if !plan::plan_enabled() || !matches!(self.body, Body::Gru { .. }) {
+            return None;
+        }
+        let (f_len, b) = (batch.y.dim(0), batch.x.dim(1));
+        let mut out = Tensor::zeros([f_len, b, self.n]);
+        self.planned_forward_into(batch, scaler, &mut out)
+            .then_some(out)
+    }
+
+    /// Runs the compiled eval schedule directly into `out` (shaped
+    /// `(f, B, N)`), bypassing the tape entirely. Compiles the schedule
+    /// on first use per batch shape; steady-state calls perform zero
+    /// allocator acquires. Returns `false` without touching `out` when
+    /// the planned path is ineligible (non-GRU backbone or
+    /// `SAGDFN_PLAN=off`), in which case the caller falls back to
+    /// [`Sagdfn::forward`]. Bit-identical to the interpreted eval
+    /// forward (`tests/plan_executor.rs`).
+    pub fn planned_forward_into(&self, batch: &Batch, scaler: ZScore, out: &mut Tensor) -> bool {
+        if !plan::plan_enabled() {
+            return false;
+        }
+        let Body::Gru {
+            encoders,
+            decoders,
+            head,
+        } = &self.body
+        else {
+            return false;
+        };
+        let frozen = self.frozen_plan();
+        let dims = PlanDims {
+            b: batch.x.dim(1),
+            n: batch.x.dim(2),
+            m: frozen.index().map_or(self.n, <[usize]>::len),
+            h_len: batch.x.dim(0),
+            f_len: batch.y.dim(0),
+            hidden: self.cfg.hidden,
+        };
+        let mut cache = self.planned.borrow_mut();
+        // Executors compiled against a dropped FrozenPlan can never match
+        // again — the model's Rc was replaced — so prune them here
+        // (invalidate_plan also clears; this catches rebuilds that
+        // happened between invalidation and now).
+        cache.retain(|e| e.same_frozen(&frozen));
+        let exec = match cache
+            .iter_mut()
+            .position(|e| e.matches(&frozen, dims, scaler))
+        {
+            Some(i) => &mut cache[i],
+            None => {
+                cache.push(plan::compile(encoders, decoders, head, &frozen, dims, scaler));
+                cache.last_mut().expect("just pushed")
+            }
+        };
+        exec.run_into(&self.params, batch, out.as_mut_slice());
+        true
+    }
+
+    /// Renders the most recently compiled eval schedule as a table
+    /// (op kind, shape, kernel choice, buffer slots), or `None` when no
+    /// planned forward has run yet. Surfaced by `sagdfn profile`.
+    pub fn plan_table(&self) -> Option<String> {
+        self.planned.borrow().last().map(PlanExecutor::table)
     }
 
     /// Scheduled-sampling teacher probability at a training iteration:

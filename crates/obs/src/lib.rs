@@ -227,6 +227,9 @@ static DISPATCH_SPARSE: AtomicU64 = AtomicU64::new(0);
 static DISPATCH_DENSE: AtomicU64 = AtomicU64::new(0);
 static PLAN_BUILDS: AtomicU64 = AtomicU64::new(0);
 static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_COMPILES: AtomicU64 = AtomicU64::new(0);
+static PLAN_EXECS: AtomicU64 = AtomicU64::new(0);
+static PLAN_OPS: AtomicU64 = AtomicU64::new(0);
 static SIMD_TIERS: [AtomicU64; SIMD_TIER_COUNT] = [
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -308,6 +311,27 @@ pub fn tally_plan(hit: bool) {
         return;
     }
     add(if hit { &PLAN_HITS } else { &PLAN_BUILDS }, 1);
+}
+
+/// Records one plan-executor compile (a record-once walk of the eval
+/// forward that emitted a linearized kernel schedule).
+#[inline]
+pub fn tally_plan_compile() {
+    if !enabled() {
+        return;
+    }
+    add(&PLAN_COMPILES, 1);
+}
+
+/// Records one planned forward: a full run of a compiled schedule of
+/// `ops` kernel invocations.
+#[inline]
+pub fn tally_plan_exec(ops: u64) {
+    if !enabled() {
+        return;
+    }
+    add(&PLAN_EXECS, 1);
+    add(&PLAN_OPS, ops);
 }
 
 /// Records one hot-kernel dispatch through the SIMD layer. `tier` is the
@@ -410,6 +434,12 @@ pub struct Snapshot {
     pub plan_builds: u64,
     /// Frozen-plan cache hits (cached plan reused across batches).
     pub plan_hits: u64,
+    /// Plan-executor schedule compiles (record-once walks).
+    pub plan_compiles: u64,
+    /// Planned forwards executed through a compiled schedule.
+    pub plan_execs: u64,
+    /// Scheduled kernel ops run across all planned forwards.
+    pub plan_ops: u64,
     /// Hot-kernel dispatches per SIMD tier (see [`SIMD_TIER_NAMES`]).
     pub simd_tiers: [u64; SIMD_TIER_COUNT],
 }
@@ -438,6 +468,9 @@ pub fn snapshot() -> Snapshot {
     s.dispatch_dense = DISPATCH_DENSE.load(Ordering::Relaxed);
     s.plan_builds = PLAN_BUILDS.load(Ordering::Relaxed);
     s.plan_hits = PLAN_HITS.load(Ordering::Relaxed);
+    s.plan_compiles = PLAN_COMPILES.load(Ordering::Relaxed);
+    s.plan_execs = PLAN_EXECS.load(Ordering::Relaxed);
+    s.plan_ops = PLAN_OPS.load(Ordering::Relaxed);
     for (i, c) in SIMD_TIERS.iter().enumerate() {
         s.simd_tiers[i] = c.load(Ordering::Relaxed);
     }
@@ -474,6 +507,9 @@ impl Snapshot {
         d.dispatch_dense = self.dispatch_dense.saturating_sub(base.dispatch_dense);
         d.plan_builds = self.plan_builds.saturating_sub(base.plan_builds);
         d.plan_hits = self.plan_hits.saturating_sub(base.plan_hits);
+        d.plan_compiles = self.plan_compiles.saturating_sub(base.plan_compiles);
+        d.plan_execs = self.plan_execs.saturating_sub(base.plan_execs);
+        d.plan_ops = self.plan_ops.saturating_sub(base.plan_ops);
         for i in 0..SIMD_TIER_COUNT {
             d.simd_tiers[i] = self.simd_tiers[i].saturating_sub(base.simd_tiers[i]);
         }
@@ -503,6 +539,9 @@ pub fn reset_counters() {
         &DISPATCH_DENSE,
         &PLAN_BUILDS,
         &PLAN_HITS,
+        &PLAN_COMPILES,
+        &PLAN_EXECS,
+        &PLAN_OPS,
     ] {
         g.store(0, Ordering::Relaxed);
     }
@@ -811,6 +850,12 @@ pub fn format_table(snap: &Snapshot) -> String {
         snap.plan_builds,
         snap.plan_hits,
     ));
+    if snap.plan_compiles > 0 || snap.plan_execs > 0 {
+        out.push_str(&format!(
+            "plan executor: {} compiles / {} runs ({} scheduled ops)\n",
+            snap.plan_compiles, snap.plan_execs, snap.plan_ops,
+        ));
+    }
     let simd_total: u64 = snap.simd_tiers.iter().sum();
     if simd_total > 0 {
         let parts: Vec<String> = snap
@@ -856,6 +901,8 @@ mod tests {
         tally_dispatch(false);
         tally_plan(false);
         tally_plan(true);
+        tally_plan_compile();
+        tally_plan_exec(42);
         tally_simd(0);
         tally_simd(3);
         tally_simd(99); // clamps to the last slot
@@ -869,6 +916,7 @@ mod tests {
         assert_eq!((d.alloc_acquires, d.alloc_acquire_bytes), (1, 1024));
         assert_eq!((d.dispatch_sparse, d.dispatch_dense), (1, 1));
         assert_eq!((d.plan_builds, d.plan_hits), (1, 1));
+        assert_eq!((d.plan_compiles, d.plan_execs, d.plan_ops), (1, 1, 42));
         assert_eq!(d.simd_tiers, [1, 0, 0, 2]);
         // Spans stay off in counters mode.
         assert!(span("counters_no_span").is_none());

@@ -65,6 +65,44 @@ fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     }
 }
 
+/// Whether [`gemm_into`] would row-split a `m×n` output across the
+/// worker pool right now. Plan builders call this once at compile time
+/// and pin the decision into the schedule; the pool size is fixed for
+/// the process lifetime so the hint cannot go stale.
+pub fn gemm_pooled_hint(m: usize, n: usize) -> bool {
+    m * n >= PARALLEL_THRESHOLD && m >= 8 && !pool::is_serial()
+}
+
+/// `C[m×n] = A[m×k] · B[k×n]` into a caller-provided buffer with the
+/// pooled/serial decision made by the caller (see [`gemm_pooled_hint`]).
+/// Zero-fills `c` first, so steady-state plan executors reuse one slot
+/// with no allocator traffic. Bit-identical to `Tensor::matmul` on
+/// rank-2 operands: both split only row ranges, never the k loop.
+pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, pooled: bool) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let _g = obs::kernel(
+        obs::Kernel::Matmul,
+        2 * m as u64 * k as u64 * n as u64,
+        4 * (m * k + k * n) as u64,
+        4 * (m * n) as u64,
+    );
+    obs::tally_simd(dispatch::simd_tier().index());
+    c.fill(0.0);
+    if pooled && !pool::is_serial() {
+        let rows_per = m.div_ceil(pool::num_threads().min(m));
+        pool::par_chunks_mut(c, rows_per * n, |chunk_i, c_chunk| {
+            let row0 = chunk_i * rows_per;
+            let rows = c_chunk.len() / n;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            simd::matmul(a_chunk, b, c_chunk, rows, k, n);
+        });
+    } else {
+        simd::matmul(a, b, c, m, k, n);
+    }
+}
+
 /// Serial `C = A · Bᵀ` for output rows `[i0, i1)`: each output element
 /// is a dot product of two contiguous rows, accumulated in the same
 /// 4-wide k groups (and single-step remainder) as [`matmul_serial`], so

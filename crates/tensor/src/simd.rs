@@ -36,6 +36,21 @@
 
 use crate::dispatch::{simd_tier, SimdTier};
 
+/// The repo's canonical numerically-stable sigmoid (the exact body
+/// `Tensor::sigmoid` maps per element). The fused chain kernels call
+/// this same function so their outputs are bit-identical to the unfused
+/// `sigmoid` → `mul` → … sequences they replace. `exp` stays a libm
+/// call on every tier (see the module docs).
+#[inline(always)]
+fn sigmoid_exact(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
 /// Binary elementwise operation selector for [`binary`] /
 /// [`binary_scalar`]. Only ops whose vector lowering is IEEE-exact per
 /// lane belong here — max/min keep Rust's NaN semantics on the closure
@@ -274,6 +289,82 @@ macro_rules! simd_impls {
         pub unsafe fn entmax_backward_out(s: &[f64], grad_p: &[f32], mean: f64, out: &mut [f32]) {
             for ((o, &si), &gi) in out.iter_mut().zip(s).zip(grad_p) {
                 *o = (si * (gi as f64 - mean)) as f32;
+            }
+        }
+
+        /// Fused GRU reset-gate apply `out = σ(pre) · h`, replacing the
+        /// unfused `sigmoid` → `mul` pair (one pass, no intermediate).
+        /// `σ` is the shared libm-exact helper, so every tier matches
+        /// the two-kernel sequence bit for bit.
+        $(#[$attr])*
+        pub unsafe fn sigmoid_mul(pre: &[f32], h: &[f32], out: &mut [f32]) {
+            for ((o, &p), &hv) in out.iter_mut().zip(pre).zip(h) {
+                *o = super::sigmoid_exact(p) * hv;
+            }
+        }
+
+        /// Fused GRU output combine
+        /// `out = z·h + ((−z) + 1)·tanh(hc)` with `z = σ(zp)`,
+        /// replacing the six-kernel `sigmoid`/`tanh`/`mul`/`neg`/
+        /// `add_scalar`/`mul`/`add` chain. The association mirrors the
+        /// unfused sequence exactly: `(z·h) + (((−z)+1)·t)`.
+        $(#[$attr])*
+        pub unsafe fn gru_combine(zp: &[f32], hc: &[f32], h: &[f32], out: &mut [f32]) {
+            for (((o, &zv), &hcv), &hv) in out.iter_mut().zip(zp).zip(hc).zip(h) {
+                let z = super::sigmoid_exact(zv);
+                let t = hcv.tanh();
+                *o = z * hv + ((-z) + 1.0) * t;
+            }
+        }
+
+        /// Fused diffusion epilogue `out[r,j] = (ax[r,j] + x[r,j]) · deg[r mod n]`
+        /// over `rows = len/c` rows — the `add` → broadcast-`mul` pair
+        /// of `Adjacency::diffuse` in one pass. `deg` holds the `n`
+        /// per-node inverse degrees; rows cycle through it batch-major.
+        $(#[$attr])*
+        pub unsafe fn diffuse_epilogue(ax: &[f32], x: &[f32], deg: &[f32], out: &mut [f32], c: usize) {
+            let n = deg.len();
+            let rows = out.len() / c;
+            for r in 0..rows {
+                let s = deg[r % n];
+                let o = &mut out[r * c..(r + 1) * c];
+                let av = &ax[r * c..(r + 1) * c];
+                let xv = &x[r * c..(r + 1) * c];
+                for j in 0..c {
+                    o[j] = (av[j] + xv[j]) * s;
+                }
+            }
+        }
+
+        /// In-place broadcast bias add `y[r,j] += bias[j]` — the linear
+        /// layer's epilogue without materializing a broadcast operand.
+        $(#[$attr])*
+        pub unsafe fn bias_add(y: &mut [f32], bias: &[f32]) {
+            let nb = bias.len();
+            for row in y.chunks_exact_mut(nb) {
+                for (v, &b) in row.iter_mut().zip(bias) {
+                    *v += b;
+                }
+            }
+        }
+
+        /// Fused affine `out = (src + a) · m` — the z-score normalize
+        /// order (`add_scalar` then `scale`).
+        $(#[$attr])*
+        pub unsafe fn add_then_scale(src: &[f32], a: f32, m: f32, out: &mut [f32]) {
+            for (o, &v) in out.iter_mut().zip(src) {
+                *o = (v + a) * m;
+            }
+        }
+
+        /// Fused affine `out = src · m + a` — the inverse-transform
+        /// order (`scale` then `add_scalar`). Rust never contracts a
+        /// `*`/`+` pair into an FMA, so this rounds twice like the
+        /// two-kernel sequence it replaces.
+        $(#[$attr])*
+        pub unsafe fn scale_then_add(src: &[f32], m: f32, a: f32, out: &mut [f32]) {
+            for (o, &v) in out.iter_mut().zip(src) {
+                *o = v * m + a;
             }
         }
 
@@ -1006,6 +1097,49 @@ pub fn dadj_row(
     tier_dispatch!(dadj_row(dy, x, i, cols, out_row, batch, n, m, c))
 }
 
+/// Fused GRU reset-gate apply `out = σ(pre) · h`.
+pub fn sigmoid_mul(pre: &[f32], h: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(pre.len(), out.len());
+    debug_assert_eq!(h.len(), out.len());
+    tier_dispatch!(sigmoid_mul(pre, h, out))
+}
+
+/// Fused GRU output combine `out = σ(zp)·h + (1−σ(zp))·tanh(hc)`.
+pub fn gru_combine(zp: &[f32], hc: &[f32], h: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(zp.len(), out.len());
+    debug_assert_eq!(hc.len(), out.len());
+    debug_assert_eq!(h.len(), out.len());
+    tier_dispatch!(gru_combine(zp, hc, h, out))
+}
+
+/// Fused diffusion epilogue `out[r] = (ax[r] + x[r]) · deg[r mod n]`
+/// over `out.len() / c` rows of `c` features.
+pub fn diffuse_epilogue(ax: &[f32], x: &[f32], deg: &[f32], out: &mut [f32], c: usize) {
+    debug_assert_eq!(ax.len(), out.len());
+    debug_assert_eq!(x.len(), out.len());
+    debug_assert!(c > 0 && out.len().is_multiple_of(c));
+    debug_assert!(!deg.is_empty() && (out.len() / c).is_multiple_of(deg.len()));
+    tier_dispatch!(diffuse_epilogue(ax, x, deg, out, c))
+}
+
+/// In-place broadcast bias add `y[r,j] += bias[j]`.
+pub fn bias_add(y: &mut [f32], bias: &[f32]) {
+    debug_assert!(!bias.is_empty() && y.len().is_multiple_of(bias.len()));
+    tier_dispatch!(bias_add(y, bias))
+}
+
+/// Fused affine `out = (src + a) · m` (normalize order).
+pub fn add_then_scale(src: &[f32], a: f32, m: f32, out: &mut [f32]) {
+    debug_assert_eq!(src.len(), out.len());
+    tier_dispatch!(add_then_scale(src, a, m, out))
+}
+
+/// Fused affine `out = src · m + a` (inverse-transform order).
+pub fn scale_then_add(src: &[f32], m: f32, a: f32, out: &mut [f32]) {
+    debug_assert_eq!(src.len(), out.len());
+    tier_dispatch!(scale_then_add(src, m, a, out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1146,6 +1280,100 @@ mod tests {
                 out
             },
             "entmax helpers",
+        );
+    }
+
+    #[test]
+    fn fused_chain_kernels_match_unfused_sequence_per_tier() {
+        use crate::Tensor;
+        // Odd length exercises every vector-width edge; values span both
+        // sigmoid branches.
+        let len = 1031usize;
+        let pre = rand_vec(len, 31);
+        let hc = rand_vec(len, 32);
+        let h = rand_vec(len, 33);
+        let t = |v: &[f32]| Tensor::from_vec(v.to_vec(), [len]);
+        for mode in [
+            SimdMode::Scalar,
+            SimdMode::Neon,
+            SimdMode::Avx2,
+            SimdMode::Avx512,
+            SimdMode::Auto,
+        ] {
+            let prev = set_simd_mode(mode);
+            // σ(pre)·h vs the sigmoid → mul pair.
+            let mut fused = vec![0.0f32; len];
+            sigmoid_mul(&pre, &h, &mut fused);
+            let unfused = t(&pre).sigmoid().mul(&t(&h));
+            for (i, (f, u)) in fused.iter().zip(unfused.as_slice()).enumerate() {
+                assert_eq!(f.to_bits(), u.to_bits(), "sigmoid_mul {mode:?} [{i}]");
+            }
+            // z·h + (1−z)·tanh(hc) vs the full unfused gate chain.
+            let mut fused = vec![0.0f32; len];
+            gru_combine(&pre, &hc, &h, &mut fused);
+            let z = t(&pre).sigmoid();
+            let ht = t(&hc).tanh();
+            let unfused = z.mul(&t(&h)).add(&z.neg().add_scalar(1.0).mul(&ht));
+            for (i, (f, u)) in fused.iter().zip(unfused.as_slice()).enumerate() {
+                assert_eq!(f.to_bits(), u.to_bits(), "gru_combine {mode:?} [{i}]");
+            }
+            // (ax + x) · deg vs add → broadcast-mul (batch=2, n=7, c=?).
+            let (b, n) = (2usize, 7usize);
+            let c = len / (b * n);
+            let rows = b * n * c;
+            let deg = rand_vec(n, 34);
+            let mut fused = vec![0.0f32; rows];
+            diffuse_epilogue(&pre[..rows], &h[..rows], &deg, &mut fused, c);
+            let ax_t = Tensor::from_vec(pre[..rows].to_vec(), [b, n, c]);
+            let x_t = Tensor::from_vec(h[..rows].to_vec(), [b, n, c]);
+            let deg_t = Tensor::from_vec(deg.clone(), [1, n, 1]);
+            let unfused = ax_t.add(&x_t).mul(&deg_t);
+            for (i, (f, u)) in fused.iter().zip(unfused.as_slice()).enumerate() {
+                assert_eq!(f.to_bits(), u.to_bits(), "diffuse_epilogue {mode:?} [{i}]");
+            }
+            // In-place bias add vs broadcast add (odd column count).
+            let nb = 13usize;
+            let bias = rand_vec(nb, 35);
+            let elems = (len / nb) * nb;
+            let mut fused = pre[..elems].to_vec();
+            bias_add(&mut fused, &bias);
+            let y_t = Tensor::from_vec(pre[..elems].to_vec(), [elems / nb, nb]);
+            let b_t = Tensor::from_vec(bias.clone(), [1, nb]);
+            let unfused = y_t.add(&b_t);
+            for (i, (f, u)) in fused.iter().zip(unfused.as_slice()).enumerate() {
+                assert_eq!(f.to_bits(), u.to_bits(), "bias_add {mode:?} [{i}]");
+            }
+            // Affine pairs vs add_scalar/scale sequences.
+            let mut fused = vec![0.0f32; len];
+            add_then_scale(&pre, -0.37, 1.73, &mut fused);
+            let unfused = t(&pre).add_scalar(-0.37).scale(1.73);
+            for (i, (f, u)) in fused.iter().zip(unfused.as_slice()).enumerate() {
+                assert_eq!(f.to_bits(), u.to_bits(), "add_then_scale {mode:?} [{i}]");
+            }
+            let mut fused = vec![0.0f32; len];
+            scale_then_add(&pre, 1.73, -0.37, &mut fused);
+            let unfused = t(&pre).scale(1.73).add_scalar(-0.37);
+            for (i, (f, u)) in fused.iter().zip(unfused.as_slice()).enumerate() {
+                assert_eq!(f.to_bits(), u.to_bits(), "scale_then_add {mode:?} [{i}]");
+            }
+            set_simd_mode(prev);
+        }
+        // Cross-tier identity of the fused kernels themselves.
+        assert_all_tiers_match(
+            || {
+                let mut out = vec![0.0f32; len];
+                gru_combine(&pre, &hc, &h, &mut out);
+                out
+            },
+            "gru_combine tiers",
+        );
+        assert_all_tiers_match(
+            || {
+                let mut out = vec![0.0f32; len];
+                sigmoid_mul(&pre, &h, &mut out);
+                out
+            },
+            "sigmoid_mul tiers",
         );
     }
 

@@ -284,6 +284,40 @@ impl Csr {
         )
     }
 
+    /// `Y[b] = A · X[b]` over raw slices into a caller-provided buffer,
+    /// with the pooled/serial decision made by the caller (see
+    /// [`spmm_pooled_hint`]). Zero-fills `out` first (the row kernel
+    /// accumulates), so steady-state plan executors reuse one slot with
+    /// no allocator traffic. Bit-identical to [`Csr::spmm`]: the same
+    /// row kernel runs over the same chunk boundaries.
+    ///
+    /// # Panics
+    /// Panics when `x` / `out` lengths disagree with `(batch, c)`.
+    pub fn spmm_into(&self, x: &[f32], batch: usize, c: usize, out: &mut [f32], pooled: bool) {
+        assert_eq!(x.len(), batch * self.n_cols * c, "spmm_into x length");
+        assert_eq!(out.len(), batch * self.n_rows * c, "spmm_into out length");
+        let _g = obs::kernel(
+            obs::Kernel::Spmm,
+            2 * (batch * self.nnz() * c) as u64,
+            4 * (self.nnz() + x.len()) as u64,
+            4 * out.len() as u64,
+        );
+        obs::tally_simd(dispatch::simd_tier().index());
+        out.fill(0.0);
+        spmm_slices(
+            &self.row_ptr,
+            &self.col_idx,
+            &self.values,
+            self.n_rows,
+            self.n_cols,
+            x,
+            batch,
+            c,
+            out,
+            pooled,
+        );
+    }
+
     /// Support-restricted adjacency gradient: for each stored entry
     /// `(i, j)`, `dA[i,j] = Σ_b Σ_k dY[b,i,k] · X[b,j,k]`; entries outside
     /// the support stay exactly `0.0`. Agrees bit-for-bit with
@@ -421,6 +455,40 @@ fn spmm_arrays(
     // Accumulating kernel (and rows without nonzeros must stay zero), so
     // the recycled buffer has to come back zeroed.
     let mut out = alloc::acquire_zeroed(batch * out_rows * c);
+    let pooled = spmm_pooled_hint(out.len(), batch * out_rows);
+    spmm_slices(
+        row_ptr, col_idx, values, out_rows, inner, xs, batch, c, &mut out, pooled,
+    );
+    let mut dims = x.dims().to_vec();
+    dims[r - 2] = out_rows;
+    Tensor::from_vec(out, dims.as_slice())
+}
+
+/// Whether [`spmm_slices`] would row-split `total_rows` rows of an
+/// `out_len`-element product across the worker pool right now. Plan
+/// builders pin this decision at compile time (the pool size is fixed
+/// for the process lifetime).
+pub fn spmm_pooled_hint(out_len: usize, total_rows: usize) -> bool {
+    out_len >= PARALLEL_THRESHOLD && total_rows >= ROWS_PARALLEL_THRESHOLD && !pool::is_serial()
+}
+
+/// The shared CSR·dense core over raw slices: fills a pre-zeroed `out`
+/// with `out[b, i, :] += Σ_p vals[p] · x[b, cols[p], :]`. Tiling and
+/// chunk boundaries are pure functions of the sizes, so every caller
+/// (tensor-returning or slot-writing) produces identical bits.
+#[allow(clippy::too_many_arguments)]
+fn spmm_slices(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f32],
+    out_rows: usize,
+    inner: usize,
+    xs: &[f32],
+    batch: usize,
+    c: usize,
+    out: &mut [f32],
+    pooled: bool,
+) {
     let total_rows = batch * out_rows;
     // Shape-only tiling decision (thread- and tier-invariant): tile the
     // contraction axis when one batch's x slab overflows the budget.
@@ -473,20 +541,14 @@ fn spmm_arrays(
             }
         }
     };
-    if out.len() >= PARALLEL_THRESHOLD
-        && total_rows >= ROWS_PARALLEL_THRESHOLD
-        && !pool::is_serial()
-    {
+    if pooled && !pool::is_serial() {
         let rows_per = total_rows.div_ceil(pool::num_threads().min(total_rows));
-        pool::par_chunks_mut(&mut out, rows_per * c, |ci, chunk| {
+        pool::par_chunks_mut(out, rows_per * c, |ci, chunk| {
             fill(ci * rows_per, chunk);
         });
     } else {
-        fill(0, &mut out);
+        fill(0, out);
     }
-    let mut dims = x.dims().to_vec();
-    dims[r - 2] = out_rows;
-    Tensor::from_vec(out, dims.as_slice())
 }
 
 #[cfg(test)]
@@ -547,6 +609,23 @@ mod tests {
         let y = csr.spmm(&x);
         assert_eq!(y.dims(), &[4, 12, 6]);
         assert_eq!(y, a.matmul(&x));
+    }
+
+    #[test]
+    fn spmm_into_matches_spmm_bitwise() {
+        let mut rng = Rng64::new(77);
+        let a = sparse_rand(12, 10, 0.5, 3);
+        let x = Tensor::rand_uniform([4, 10, 6], -1.0, 1.0, &mut rng);
+        let csr = Csr::from_dense(&a);
+        let want = csr.spmm(&x);
+        for pooled in [false, true] {
+            // Dirty slot: spmm_into must zero it before accumulating.
+            let mut out = vec![7.0f32; 4 * 12 * 6];
+            csr.spmm_into(x.as_slice(), 4, 6, &mut out, pooled);
+            for (i, (g, w)) in out.iter().zip(want.as_slice()).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "pooled={pooled} [{i}]");
+            }
+        }
     }
 
     #[test]

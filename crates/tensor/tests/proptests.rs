@@ -231,6 +231,71 @@ proptest! {
     }
 
     #[test]
+    fn fused_gru_chains_bit_match_unfused(seed in 0u64..1000, r in odd_dim(), c in odd_dim()) {
+        use sagdfn_tensor::simd;
+        let mut rng = Rng64::new(seed);
+        let pre = Tensor::rand_uniform([r, c], -4.0, 4.0, &mut rng);
+        let hc = Tensor::rand_uniform([r, c], -4.0, 4.0, &mut rng);
+        let h = Tensor::rand_uniform([r, c], -2.0, 2.0, &mut rng);
+        for mode in [SimdMode::Scalar, SimdMode::Auto] {
+            let (sm, gc) = with_mode(mode, || {
+                let mut sm = vec![0.0f32; r * c];
+                simd::sigmoid_mul(pre.as_slice(), h.as_slice(), &mut sm);
+                let mut gc = vec![0.0f32; r * c];
+                simd::gru_combine(pre.as_slice(), hc.as_slice(), h.as_slice(), &mut gc);
+                (sm, gc)
+            });
+            // Unfused oracles: the exact op sequences from the GRU cell.
+            let sm_ref = pre.sigmoid().mul(&h);
+            let z = pre.sigmoid();
+            let gc_ref = z.mul(&h).add(&z.neg().add_scalar(1.0).mul(&hc.tanh()));
+            for (i, (f, u)) in sm.iter().zip(sm_ref.as_slice()).enumerate() {
+                prop_assert!(f.to_bits() == u.to_bits(), "sigmoid_mul {mode:?} [{i}]: {f} vs {u}");
+            }
+            for (i, (f, u)) in gc.iter().zip(gc_ref.as_slice()).enumerate() {
+                prop_assert!(f.to_bits() == u.to_bits(), "gru_combine {mode:?} [{i}]: {f} vs {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_epilogues_bit_match_unfused(seed in 0u64..1000, b in 1usize..3, n in odd_dim(), c in odd_dim()) {
+        use sagdfn_tensor::simd;
+        let mut rng = Rng64::new(seed);
+        let ax = Tensor::rand_uniform([b, n, c], -2.0, 2.0, &mut rng);
+        let x = Tensor::rand_uniform([b, n, c], -2.0, 2.0, &mut rng);
+        let deg = Tensor::rand_uniform([1, n, 1], 0.1, 1.0, &mut rng);
+        let bias = Tensor::rand_uniform([1, c], -1.0, 1.0, &mut rng);
+        for mode in [SimdMode::Scalar, SimdMode::Auto] {
+            let (ep, ba, ats, sta) = with_mode(mode, || {
+                let mut ep = vec![0.0f32; b * n * c];
+                simd::diffuse_epilogue(ax.as_slice(), x.as_slice(), deg.as_slice(), &mut ep, c);
+                let mut ba = ax.as_slice().to_vec();
+                simd::bias_add(&mut ba, bias.as_slice());
+                let mut ats = vec![0.0f32; b * n * c];
+                simd::add_then_scale(x.as_slice(), -0.37, 1.73, &mut ats);
+                let mut sta = vec![0.0f32; b * n * c];
+                simd::scale_then_add(x.as_slice(), 1.73, -0.37, &mut sta);
+                (ep, ba, ats, sta)
+            });
+            let ep_ref = ax.add(&x).mul(&deg);
+            let ba_ref = ax.reshape([b * n, c]).add(&bias);
+            let ats_ref = x.add_scalar(-0.37).scale(1.73);
+            let sta_ref = x.scale(1.73).add_scalar(-0.37);
+            for (what, got, want) in [
+                ("diffuse_epilogue", &ep, &ep_ref),
+                ("bias_add", &ba, &ba_ref),
+                ("add_then_scale", &ats, &ats_ref),
+                ("scale_then_add", &sta, &sta_ref),
+            ] {
+                for (i, (f, u)) in got.iter().zip(want.as_slice()).enumerate() {
+                    prop_assert!(f.to_bits() == u.to_bits(), "{what} {mode:?} [{i}]: {f} vs {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn simd_elementwise_bit_match_scalar(seed in 0u64..1000, r in odd_dim(), c in odd_dim()) {
         let mut rng = Rng64::new(seed);
         let a = Tensor::rand_uniform([r, c], -2.0, 2.0, &mut rng);

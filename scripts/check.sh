@@ -25,6 +25,14 @@ SAGDFN_SIMD=scalar cargo test -q --release --test simd_dispatch --test sparse_de
     --test baseline_matrix
 
 echo
+echo "== determinism matrix with the plan executor pinned on and off =="
+# The compiled eval schedule must stay bit-identical to the interpreted
+# eval whichever way the dispatch env resolves; rerun the oracle and the
+# eval-equivalence suite with SAGDFN_PLAN forced both ways.
+SAGDFN_PLAN=on cargo test -q --release --test plan_executor --test eval_mode
+SAGDFN_PLAN=off cargo test -q --release --test plan_executor --test eval_mode
+
+echo
 echo "== bench_tensor smoke (SIMD + pool regression guard) =="
 TENSOR_OUT="$(mktemp)"
 trap 'rm -f "$TENSOR_OUT"' EXIT
@@ -89,8 +97,10 @@ INFER_OUT="$(mktemp)"
 trap 'rm -f "$TENSOR_OUT" "$SMOKE_OUT" "$DIFF_OUT" "$TRACE_OUT" "$INFER_OUT"' EXIT
 if [ -f BENCH_infer.json ]; then
     # Fails if the frozen-plan no-grad eval drops below 1.3x taped-eval
-    # throughput, the plan cache stops hitting, or any eval mode changes
-    # predictions.
+    # throughput, the no-grad tape falls behind the taped eval, the
+    # compiled plan executor drops below 2.5x taped, the plan cache stops
+    # hitting, a steady-state planned pass acquires buffers, or any eval
+    # mode changes predictions.
     cargo run --release -q -p sagdfn-bench --bin bench_infer -- \
         --steps 6 --out "$INFER_OUT" --check BENCH_infer.json
 else
