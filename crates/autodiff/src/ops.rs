@@ -7,9 +7,8 @@
 
 use crate::tape::{reduce_grad_to_shape, Var};
 use sagdfn_tensor::ops::{broadcast_binary, map};
-use sagdfn_tensor::sparse::{dadj_dense, Csr};
+use sagdfn_tensor::sparse::{dadj_dense, DiffusePlan};
 use sagdfn_tensor::{Shape, Tensor};
-use std::rc::Rc;
 
 impl<'t> Var<'t> {
     fn same_tape(&self, other: &Var<'t>) {
@@ -159,22 +158,32 @@ impl<'t> Var<'t> {
     }
 
     /// Graph-diffusion product `Y[b] = A · X[b]` for the adjacency `self`
-    /// (`(n, m)`) and features `x` (`(..batch, m, c)`), optionally through
-    /// a CSR sparse kernel.
+    /// (`(n, m)`) and features `x` (`(..batch, m, c)`), executed per the
+    /// [`DiffusePlan`] chosen for this adjacency state.
     ///
-    /// With `csr = Some(...)` (built from `self`'s forward value) the
-    /// forward runs [`Csr::spmm`] and the backward computes
-    /// `dX = Aᵀ·dY` via [`Csr::spmm_t`] and `dA` restricted to the CSR
-    /// support via [`Csr::dadj`]. The support restriction is exact
-    /// end-to-end for entmax-produced adjacencies: the α-entmax Jacobian
-    /// vanishes outside the support, so dropped `dA` entries only ever
-    /// multiply exact zeros upstream (DESIGN.md §9). With `csr = None`
-    /// the same products run on the dense transpose-free kernels; both
-    /// paths agree under `f32` equality.
-    pub fn spmm_diffuse(&self, x: &Var<'t>, csr: Option<Rc<Csr>>) -> Var<'t> {
+    /// * [`DiffusePlan::Sparse`]: forward runs [`ShardedCsr::spmm`] and
+    ///   the backward computes `dX = Aᵀ·dY` via [`ShardedCsr::spmm_t`]
+    ///   and `dA` restricted to the CSR support via
+    ///   [`ShardedCsr::dadj`].
+    /// * [`DiffusePlan::Hybrid`]: both products stay on the dense
+    ///   transpose-free GEMMs (which win at moderate density), while
+    ///   `dA` still runs the support-restricted [`ShardedCsr::dadj`] —
+    ///   the one kernel where skipping zeros pays at any density.
+    /// * [`DiffusePlan::Dense`]: everything on the dense kernels.
+    ///
+    /// The support restriction of `dA` is exact end-to-end for
+    /// entmax-produced adjacencies: the α-entmax Jacobian vanishes
+    /// outside the support, so dropped `dA` entries only ever multiply
+    /// exact zeros upstream (DESIGN.md §9). All three pipelines agree
+    /// under `f32` equality.
+    ///
+    /// [`ShardedCsr::spmm`]: sagdfn_tensor::sparse::ShardedCsr::spmm
+    /// [`ShardedCsr::spmm_t`]: sagdfn_tensor::sparse::ShardedCsr::spmm_t
+    /// [`ShardedCsr::dadj`]: sagdfn_tensor::sparse::ShardedCsr::dadj
+    pub fn spmm_diffuse(&self, x: &Var<'t>, plan: DiffusePlan) -> Var<'t> {
         self.same_tape(x);
         assert_eq!(self.shape().rank(), 2, "spmm_diffuse adjacency must be rank 2");
-        if let Some(c) = &csr {
+        if let Some(c) = plan.csr() {
             let dims = self.dims();
             assert_eq!(
                 (c.n_rows(), c.n_cols()),
@@ -182,15 +191,16 @@ impl<'t> Var<'t> {
                 "CSR shape does not match the adjacency var"
             );
         }
-        let value = match &csr {
-            Some(c) => x.with_value(|xv| c.spmm(xv)),
-            None => self.with_value(|a| x.with_value(|xv| a.matmul(xv))),
+        let value = match &plan {
+            DiffusePlan::Sparse(c) => x.with_value(|xv| c.spmm(xv)),
+            _ => self.with_value(|a| x.with_value(|xv| a.matmul(xv))),
         };
         self.tape.push_op(value, &[*self, *x], move |g, parents, _| {
             let (a, xv) = (parents[0], parents[1]);
-            match &csr {
-                Some(c) => vec![c.dadj(g, xv), c.spmm_t(g)],
-                None => vec![dadj_dense(g, xv), a.matmul_tn(g)],
+            match &plan {
+                DiffusePlan::Sparse(c) => vec![c.dadj(g, xv), c.spmm_t(g)],
+                DiffusePlan::Hybrid(c) => vec![c.dadj(g, xv), a.matmul_tn(g)],
+                DiffusePlan::Dense => vec![dadj_dense(g, xv), a.matmul_tn(g)],
             }
         })
     }
@@ -553,18 +563,20 @@ mod tests {
 
     #[test]
     fn spmm_diffuse_dense_grad() {
+        use sagdfn_tensor::sparse::DiffusePlan;
         check_gradients(&[randn(&[4, 6], 57), randn(&[2, 6, 3], 58)], |_, v| {
-            v[0].spmm_diffuse(&v[1], None).square().sum()
+            v[0].spmm_diffuse(&v[1], DiffusePlan::Dense).square().sum()
         });
     }
 
-    /// The support-restricted `dA` of the sparse path must reproduce the
-    /// dense gradient once both are pushed through the entmax backward:
-    /// off-support entries of the dense `dA` only multiply exact-zero
-    /// entmax Jacobian rows, so dropping them is lossless.
+    /// The support-restricted `dA` of the sparse and hybrid pipelines
+    /// must reproduce the dense gradient once both are pushed through
+    /// the entmax backward: off-support entries of the dense `dA` only
+    /// multiply exact-zero entmax Jacobian rows, so dropping them is
+    /// lossless.
     #[test]
-    fn spmm_diffuse_sparse_matches_dense_after_entmax() {
-        use sagdfn_tensor::sparse::Csr;
+    fn spmm_diffuse_sparse_and_hybrid_match_dense_after_entmax() {
+        use sagdfn_tensor::sparse::{DiffusePlan, ShardedCsr};
         use std::rc::Rc;
 
         let mut rng = Rng64::new(59);
@@ -572,17 +584,23 @@ mod tests {
         let z0 = Tensor::rand_uniform([5, 8], -4.0, 4.0, &mut rng);
         let x0 = Tensor::rand_uniform([2, 8, 3], -1.0, 1.0, &mut rng);
 
-        let run = |sparse: bool| {
+        let run = |kind: &str| {
             let tape = Tape::new();
             let z = tape.leaf(z0.clone());
             let x = tape.leaf(x0.clone());
             let p = z.entmax_rows(1.5);
-            let csr = sparse.then(|| {
-                let c = Csr::from_dense(&p.value());
-                assert!(c.nnz() < 5 * 8, "entmax output unexpectedly dense");
-                Rc::new(c)
-            });
-            let loss = p.spmm_diffuse(&x, csr).square().sum();
+            let plan = match kind {
+                "dense" => DiffusePlan::Dense,
+                _ => {
+                    let c = ShardedCsr::from_dense(&p.value(), 1);
+                    assert!(c.nnz() < 5 * 8, "entmax output unexpectedly dense");
+                    match kind {
+                        "hybrid" => DiffusePlan::Hybrid(Rc::new(c)),
+                        _ => DiffusePlan::Sparse(Rc::new(c)),
+                    }
+                }
+            };
+            let loss = p.spmm_diffuse(&x, plan).square().sum();
             let grads = loss.backward();
             (
                 loss.value(),
@@ -591,11 +609,13 @@ mod tests {
             )
         };
 
-        let (loss_d, gz_d, gx_d) = run(false);
-        let (loss_s, gz_s, gx_s) = run(true);
-        assert_eq!(loss_s, loss_d);
-        assert_eq!(gz_s, gz_d);
-        assert_eq!(gx_s, gx_d);
+        let (loss_d, gz_d, gx_d) = run("dense");
+        for kind in ["sparse", "hybrid"] {
+            let (loss_s, gz_s, gx_s) = run(kind);
+            assert_eq!(loss_s, loss_d, "{kind}");
+            assert_eq!(gz_s, gz_d, "{kind}");
+            assert_eq!(gx_s, gx_d, "{kind}");
+        }
     }
 
     #[test]

@@ -4,8 +4,31 @@
 //! into a full frontier.
 
 use sagdfn_bench::RunArgs;
-use sagdfn_memsim::{ModelFamily, V100_32GB};
+use sagdfn_memsim::{plan_shards, ModelFamily, V100_32GB};
 use std::io::Write;
+
+/// Largest N whose node-sharded plan (DESIGN.md §14) still fits the
+/// card: the graph-side working set shrinks with the shard count, so the
+/// frontier is set by the unshardable activations.
+fn max_sharded_n(batch: usize) -> usize {
+    let fits = |n: usize| plan_shards(n, batch, V100_32GB.capacity_bytes).fits;
+    if !fits(10) {
+        return 0;
+    }
+    let (mut lo, mut hi) = (10usize, 10_000_000);
+    if fits(hi) {
+        return usize::MAX;
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
 
 fn main() {
     let args = RunArgs::parse();
@@ -35,6 +58,21 @@ fn main() {
         }
         println!();
     }
+    // The sharded frontier: same SAGDFN memory model, but the adaptive
+    // graph tensors are split across node shards (`plan_shards`), so only
+    // one shard's slice is live at a time.
+    print!("{:>16}", "sagdfn+shards");
+    for b in batches {
+        let max = max_sharded_n(b);
+        let cell = if max == usize::MAX {
+            "inf".to_string()
+        } else {
+            max.to_string()
+        };
+        print!(" {cell:>10}");
+        writeln!(csv, "sagdfn+shards,{b},{cell}").unwrap();
+    }
+    println!();
     println!("\nwrote {}/ext_oom_frontier.csv", args.out_dir);
     println!(
         "anchors: AGCRN@64 ≈ 1750, GTS@64 ≈ 1000, D2STGNN@64 ≈ 200 (paper Table IV); \

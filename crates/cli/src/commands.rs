@@ -310,6 +310,23 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     let base = obs::snapshot();
     println!("profiling {steps} training steps on {n} nodes ({scale:?} scale, {mode:?} mode)");
     println!("{}", sagdfn_tensor::dispatch::description());
+    // The resolved shard plan (SAGDFN_SHARDS > cfg.shards > memsim auto)
+    // and the memory split that justified it.
+    let plan = sagdfn_memsim::plan_shards(
+        n,
+        batch_size,
+        sagdfn_memsim::V100_32GB.capacity_bytes,
+    );
+    println!(
+        "node shards: {} (auto plan: {} shards of {} rows, {:.2} MB graph/shard, \
+         {:.2} MB modeled peak{})",
+        model.shards(),
+        plan.shards,
+        plan.shard_rows,
+        plan.bytes_per_shard as f64 / 1e6,
+        plan.total_bytes as f64 / 1e6,
+        if plan.fits { "" } else { ", exceeds V100-32GB" },
+    );
     for step in 0..steps {
         let step_guard = obs::kernel(obs::Kernel::TrainStep, 0, 0, 0);
         let batch = split.train.make_batch(&ids);

@@ -75,33 +75,55 @@ impl SparseSpatialAttention {
         index: &[usize],
         mode: Mode,
     ) -> Var<'t> {
+        let n = e.dims()[0];
+        self.forward_rows(bind, e, index, 0, n, mode)
+    }
+
+    /// Computes rows `[r0, r1)` of the slim adjacency, returning an
+    /// `(r1−r0)×M` var. Every op in the chain — pair-table gather, head
+    /// FFNs, per-row entmax, and the `W_a` combine — treats output rows
+    /// independently, so the result is bit-identical to the corresponding
+    /// row block of [`SparseSpatialAttention::forward`]. The node-sharded
+    /// eval path (DESIGN.md §14) uses this to assemble `A_s` one shard at
+    /// a time, capping the `(rows·M, 2d)` pair-table peak at a shard's
+    /// worth instead of the full `N·M` table.
+    pub fn forward_rows<'t>(
+        &self,
+        bind: &Binding<'t>,
+        e: Var<'t>,
+        index: &[usize],
+        r0: usize,
+        r1: usize,
+        mode: Mode,
+    ) -> Var<'t> {
         let dims = e.dims();
         let (n, d) = (dims[0], dims[1]);
         assert_eq!(d, self.embed_dim, "embedding dim mismatch");
-        let m = index.len();
+        assert!(r0 <= r1 && r1 <= n, "row range [{r0}, {r1}) out of 0..{n}");
+        let (rows, m) = (r1 - r0, index.len());
 
-        // Eq. 1, vectorized over all nodes: build the (N·M, 2d) pair table.
-        let rep_idx: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat_n(i, m)).collect();
-        let neigh_idx: Vec<usize> = (0..n).flat_map(|_| index.iter().copied()).collect();
+        // Eq. 1, vectorized over the row block: the (rows·M, 2d) pair table.
+        let rep_idx: Vec<usize> = (r0..r1).flat_map(|i| std::iter::repeat_n(i, m)).collect();
+        let neigh_idx: Vec<usize> = (0..rows).flat_map(|_| index.iter().copied()).collect();
         let e_rep = e.index_select(0, &rep_idx);
         let e_neigh = e.index_select(0, &neigh_idx);
-        let pairs = Var::concat(&[e_rep, e_neigh], 1); // (N·M, 2d)
+        let pairs = Var::concat(&[e_rep, e_neigh], 1); // (rows·M, 2d)
         let pairs = self.dropout.forward(pairs, mode);
 
-        // Eq. 2–3 per head: FFN → (N, M, 2), entmax down the M axis.
+        // Eq. 2–3 per head: FFN → (rows, M, 2), entmax down the M axis.
         let mut head_scores = Vec::with_capacity(self.heads.len());
         for ffn in &self.heads {
-            let y = ffn.forward(bind, pairs); // (N·M, 2)
-            let y = y.reshape([n, m, 2]).transpose_last2(); // (N, 2, M)
-            head_scores.push(y.entmax_rows(self.alpha)); // (N, 2, M)
+            let y = ffn.forward(bind, pairs); // (rows·M, 2)
+            let y = y.reshape([rows, m, 2]).transpose_last2(); // (rows, 2, M)
+            head_scores.push(y.entmax_rows(self.alpha)); // (rows, 2, M)
         }
 
-        // Eq. 4–6: concat heads -> (N, 2P, M), transpose -> (N, M, 2P),
-        // linear combine with W_a -> (N, M).
-        let z = Var::concat(&head_scores, 1); // (N, 2P, M)
-        let z = z.transpose_last2(); // (N, M, 2P)
-        let z2 = z.reshape([n * m, 2 * self.heads.len()]);
-        z2.matmul(&bind.var(self.w_a)).reshape([n, m])
+        // Eq. 4–6: concat heads -> (rows, 2P, M), transpose ->
+        // (rows, M, 2P), linear combine with W_a -> (rows, M).
+        let z = Var::concat(&head_scores, 1); // (rows, 2P, M)
+        let z = z.transpose_last2(); // (rows, M, 2P)
+        let z2 = z.reshape([rows * m, 2 * self.heads.len()]);
+        z2.matmul(&bind.var(self.w_a)).reshape([rows, m])
     }
 
     /// Number of heads `P`.
@@ -206,6 +228,31 @@ mod tests {
             let sum: f32 = row.iter().sum();
             assert!((sum - 1.0).abs() < 1e-3, "row sum {sum}");
             assert!(row.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn forward_rows_bit_identical_to_full_forward_block() {
+        let n = 13;
+        let (mut params, attn, cfg, mut rng) = setup(n);
+        let e_id = params.add("E", Tensor::rand_normal([n, cfg.embed_dim], 0.0, 1.0, &mut rng));
+        let tape = Tape::new();
+        let bind = params.bind(&tape);
+        let index: Vec<usize> = (0..cfg.m).collect();
+        let full = attn
+            .forward(&bind, bind.var(e_id), &index, Mode::Eval)
+            .value();
+        let m = index.len();
+        for (r0, r1) in [(0, n), (0, 4), (4, 9), (9, n)] {
+            let block = attn
+                .forward_rows(&bind, bind.var(e_id), &index, r0, r1, Mode::Eval)
+                .value();
+            let want: Vec<u32> = full.as_slice()[r0 * m..r1 * m]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let got: Vec<u32> = block.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(want, got, "rows [{r0}, {r1}) diverged");
         }
     }
 

@@ -76,6 +76,14 @@ pub struct SagdfnConfig {
     /// and graph-convolution inputs. 0 disables dropout entirely and keeps
     /// the model bit-identical to a dropout-free build.
     pub dropout: f32,
+    /// Node-shard count for the diffusion working set (DESIGN.md §14).
+    /// `0` = auto: ask `sagdfn-memsim` to plan the smallest count whose
+    /// modeled peak fits a V100-32GB; `1` disables sharding; `k > 1`
+    /// forces `k` row shards. The `SAGDFN_SHARDS` environment variable
+    /// (`auto` or a count) overrides this field at model construction.
+    /// Sharding never changes results: shard boundaries are 4-aligned so
+    /// every sharded kernel is bit-identical to its unsharded form.
+    pub shards: usize,
 }
 
 impl Default for SagdfnConfig {
@@ -102,6 +110,7 @@ impl Default for SagdfnConfig {
             scheduled_sampling: false,
             ss_decay: 2000.0,
             dropout: 0.0,
+            shards: 0,
         }
     }
 }
@@ -154,12 +163,15 @@ impl SagdfnConfig {
             ("scheduled_sampling", Json::from(self.scheduled_sampling)),
             ("ss_decay", Json::from(self.ss_decay)),
             ("dropout", Json::from(self.dropout)),
+            ("shards", Json::from(self.shards)),
         ])
     }
 
-    /// Deserializes a config; every field is required except `dropout`,
-    /// which defaults to 0 so sidecars written before the field existed
-    /// still load (absent dropout and zero dropout are the same model).
+    /// Deserializes a config; every field is required except `dropout`
+    /// and `shards`, which default to 0 so sidecars written before the
+    /// fields existed still load (absent dropout is zero dropout, and
+    /// absent shards is auto planning — neither changes the model's
+    /// numerical results).
     pub fn from_json(doc: &Json) -> Result<SagdfnConfig, JsonError> {
         Ok(SagdfnConfig {
             embed_dim: doc.req("embed_dim")?.as_usize()?,
@@ -185,6 +197,10 @@ impl SagdfnConfig {
             dropout: match doc.get("dropout") {
                 Some(v) => v.as_f32()?,
                 None => 0.0,
+            },
+            shards: match doc.get("shards") {
+                Some(v) => v.as_usize()?,
+                None => 0,
             },
         })
     }
@@ -305,6 +321,20 @@ mod tests {
         let text = c.to_json().to_string_pretty().unwrap();
         let back = SagdfnConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(format!("{c:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn from_json_defaults_absent_shards_to_auto() {
+        let mut c = SagdfnConfig::for_scale(Scale::Tiny, 20);
+        c.shards = 3;
+        let text = c.to_json().to_string_pretty().unwrap();
+        let back = SagdfnConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.shards, 3);
+        // A sidecar written before the field existed still loads as auto
+        // (rename the key so the document simply lacks "shards").
+        let stripped = text.replace("\"shards\"", "\"shards_legacy\"");
+        let old = SagdfnConfig::from_json(&Json::parse(&stripped).unwrap()).unwrap();
+        assert_eq!(old.shards, 0);
     }
 
     #[test]

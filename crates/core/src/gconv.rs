@@ -15,8 +15,8 @@
 
 use sagdfn_autodiff::{Tape, Var};
 use sagdfn_nn::{Binding, Dropout, Linear, Mode, Params};
-use sagdfn_tensor::sparse::Csr;
-use sagdfn_tensor::{Rng64, Tensor};
+use sagdfn_tensor::sparse::{DiffusePlan, ShardedCsr};
+use sagdfn_tensor::{Rng64, SpmmDispatch, Tensor};
 use std::cell::{Cell, OnceCell};
 use std::rc::Rc;
 
@@ -33,11 +33,12 @@ const DEGREE_FLOOR: f32 = 0.1;
 /// are computed once and shared by every diffusion step of the chain:
 ///
 /// * the `(D+I)^{-1}` normalizer (previously rebuilt per step), and
-/// * a CSR *execution plan* for the weights, chosen by measured density
-///   (`sparse::should_use_sparse`, overridable via `SAGDFN_SPARSE`).
-///   With entmax-produced adjacencies the exact zeros make the sparse
-///   kernels pay off well below full density; a `None` plan keeps the
-///   transpose-free dense GEMMs.
+/// * a [`DiffusePlan`] for the weights, chosen by measured density
+///   (`sparse::spmm_dispatch`, overridable via `SAGDFN_SPARSE`): dense
+///   GEMMs throughout, full CSR, or the hybrid that keeps products on
+///   the GEMMs and only the adjacency gradient on the
+///   support-restricted CSR. With entmax-produced adjacencies the exact
+///   zeros make the restriction lossless (DESIGN.md §9).
 pub struct Adjacency<'t> {
     /// `A_s`, `(N, M)` (slim) or `(N, N)` (dense).
     weights: Var<'t>,
@@ -45,8 +46,10 @@ pub struct Adjacency<'t> {
     index: Option<Vec<usize>>,
     /// Cached `(D+I)^{-1}` var, `(1, N, 1)`.
     deg_inv: Cell<Option<Var<'t>>>,
-    /// Lazily-built CSR plan (`None` once built = dense dispatch).
-    plan: OnceCell<Option<Rc<Csr>>>,
+    /// Row-shard count for the CSR plan (DESIGN.md §14); 1 = unsharded.
+    shards: usize,
+    /// Lazily-built execution plan (dense / hybrid / sparse).
+    plan: OnceCell<DiffusePlan>,
 }
 
 impl<'t> Adjacency<'t> {
@@ -61,8 +64,17 @@ impl<'t> Adjacency<'t> {
             weights,
             index: Some(index),
             deg_inv: Cell::new(None),
+            shards: 1,
             plan: OnceCell::new(),
         }
+    }
+
+    /// Sets the row-shard count used when a CSR plan is built (node
+    /// sharding, DESIGN.md §14). Every shard count produces bit-identical
+    /// diffusion results; `k` only bounds the per-shard working set.
+    pub fn with_shards(mut self, k: usize) -> Self {
+        self.shards = k.max(1);
+        self
     }
 
     /// Dense `N×N` adjacency (predefined topology or quadratic baselines).
@@ -76,6 +88,7 @@ impl<'t> Adjacency<'t> {
             weights,
             index: None,
             deg_inv: Cell::new(None),
+            shards: 1,
             plan: OnceCell::new(),
         }
     }
@@ -107,7 +120,7 @@ impl<'t> Adjacency<'t> {
             Some(index) => x.index_select(1, index), // (B, M, c)
             None => x,
         };
-        let ax = self.weights.spmm_diffuse(&gathered, self.plan()); // (B, N, c)
+        let ax = self.weights.spmm_diffuse(&gathered, self.plan_for(dims[0])); // (B, N, c)
         ax.add(&x).mul(&self.degree_inverse())
     }
 
@@ -116,19 +129,21 @@ impl<'t> Adjacency<'t> {
         self.weights.dims()[0]
     }
 
-    /// The CSR plan for this pass: built on first use from the measured
-    /// number of exact zeros in the weights, `None` when dense wins.
-    fn plan(&self) -> Option<Rc<Csr>> {
+    /// The execution plan for this pass: built on first use from the
+    /// measured number of exact zeros in the weights and the product
+    /// batch size ([`sagdfn_tensor::spmm_dispatch`]); the CSR is only
+    /// constructed when the chosen pipeline uses it.
+    fn plan_for(&self, batch: usize) -> DiffusePlan {
         self.plan
             .get_or_init(|| {
                 self.weights.with_value(|w| {
-                    let m = w.dim(1);
+                    let (n, m) = (w.dim(0), w.dim(1));
                     let nnz: usize = sagdfn_entmax::support_counts(w.as_slice(), m)
                         .iter()
                         .map(|&c| c as usize)
                         .sum();
-                    sagdfn_tensor::should_use_sparse(nnz, w.numel())
-                        .then(|| Rc::new(Csr::from_dense(w)))
+                    let dispatch = sagdfn_tensor::spmm_dispatch(n, m, batch, nnz);
+                    DiffusePlan::build(dispatch, || ShardedCsr::from_dense(w, self.shards))
                 })
             })
             .clone()
@@ -153,10 +168,12 @@ impl<'t> Adjacency<'t> {
     /// the `(D+I)^{-1}` normalizer and the CSR plan — into a tape-free
     /// [`FrozenPlan`]. Both artifacts are forced through the exact same
     /// ops `diffuse` would run, so a reconstructed adjacency is
-    /// bit-identical to a freshly built one.
-    pub fn freeze(&self) -> FrozenPlan {
+    /// bit-identical to a freshly built one. `batch_hint` is the batch
+    /// size the sparse-vs-dense dispatch is costed against (eval batches
+    /// all share one frozen plan).
+    pub fn freeze(&self, batch_hint: usize) -> FrozenPlan {
         FrozenPlan {
-            csr: self.plan(),
+            plan: self.plan_for(batch_hint),
             deg_inv: self.degree_inverse().value(),
             weights: self.weights.value(),
             index: self.index.clone(),
@@ -164,16 +181,17 @@ impl<'t> Adjacency<'t> {
     }
 
     /// Rebuilds an adjacency on `tape` from a frozen plan: the weights and
-    /// normalizer are re-injected as constants and the CSR plan is pre-set,
-    /// so no per-batch degree/density work happens at all.
+    /// normalizer are re-injected as constants and the execution plan is
+    /// pre-set, so no per-batch degree/density work happens at all.
     pub fn from_plan(tape: &'t Tape, plan: &FrozenPlan) -> Self {
         let adj = Adjacency {
             weights: tape.constant(plan.weights.clone()),
             index: plan.index.clone(),
             deg_inv: Cell::new(Some(tape.constant(plan.deg_inv.clone()))),
+            shards: plan.plan.shard_count(),
             plan: OnceCell::new(),
         };
-        let _ = adj.plan.set(plan.csr.clone());
+        let _ = adj.plan.set(plan.plan.clone());
         adj
     }
 }
@@ -188,7 +206,7 @@ pub struct FrozenPlan {
     weights: Tensor,
     deg_inv: Tensor,
     index: Option<Vec<usize>>,
-    csr: Option<Rc<Csr>>,
+    plan: DiffusePlan,
 }
 
 impl FrozenPlan {
@@ -197,9 +215,17 @@ impl FrozenPlan {
         self.index.as_deref()
     }
 
-    /// Whether the frozen execution plan dispatches to the CSR kernels.
-    pub fn has_csr(&self) -> bool {
-        self.csr.is_some()
+    /// The frozen dispatch decision (dense / hybrid / sparse).
+    pub fn dispatch(&self) -> SpmmDispatch {
+        self.plan.dispatch()
+    }
+
+    /// Whether the frozen plan runs the forward product on the CSR
+    /// kernels. The hybrid pipeline answers `false`: its CSR exists
+    /// only for the training-time adjacency gradient, and eval (which
+    /// never takes gradients) sticks to the dense GEMM.
+    pub fn products_sparse(&self) -> bool {
+        self.plan.products_sparse()
     }
 
     /// The frozen adjacency weight values (plan-executor compile input).
@@ -212,9 +238,14 @@ impl FrozenPlan {
         &self.deg_inv
     }
 
-    /// The frozen CSR execution plan, `None` when dense dispatch won.
-    pub(crate) fn csr(&self) -> Option<&Rc<Csr>> {
-        self.csr.as_ref()
+    /// The frozen CSR, `None` when the all-dense pipeline won.
+    pub(crate) fn csr(&self) -> Option<&Rc<ShardedCsr>> {
+        self.plan.csr()
+    }
+
+    /// Shard count of the frozen CSR plan (1 when dense dispatch won).
+    pub fn shard_count(&self) -> usize {
+        self.plan.shard_count()
     }
 }
 
@@ -390,7 +421,7 @@ mod tests {
         let t1 = Tape::new();
         let fresh = Adjacency::slim(t1.constant(w.clone()), index.clone());
         let want = fresh.diffuse(t1.constant(x0.clone())).value();
-        let plan = fresh.freeze();
+        let plan = fresh.freeze(2);
         assert_eq!(plan.index(), Some(index.as_slice()));
 
         let t2 = Tape::new();

@@ -25,6 +25,10 @@ pub struct Sagdfn {
     cfg: SagdfnConfig,
     variant: Variant,
     n: usize,
+    /// Resolved node-shard count (≥ 1), fixed at construction:
+    /// `SAGDFN_SHARDS` env > `cfg.shards` > memsim auto plan. See
+    /// [`Sagdfn::shards`].
+    shards: usize,
     embed: ParamId,
     attn: SparseSpatialAttention,
     body: Body,
@@ -84,11 +88,13 @@ impl Sagdfn {
         if let Some(t) = &topo {
             assert_eq!(t.dims(), &[n, n], "topology adjacency must be N x N");
         }
+        let shards = resolve_shards(&cfg, n);
         Sagdfn {
             params,
             cfg,
             variant,
             n,
+            shards,
             embed,
             attn,
             body,
@@ -105,6 +111,14 @@ impl Sagdfn {
     /// Number of nodes the model was built for.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Resolved node-shard count for the diffusion working set (≥ 1).
+    /// Sharding is a memory-layout decision only: shards = 1 and
+    /// shards = k produce bit-identical losses, gradients and
+    /// predictions (DESIGN.md §14, `tests/sparse_dense.rs`).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The active configuration.
@@ -177,23 +191,63 @@ impl Sagdfn {
     /// The frozen eval-mode adjacency artifacts, built once per parameter
     /// state on a scratch no-grad tape (the exact same ops as the train
     /// path, so eval stays bit-identical) and reused across batches.
+    ///
+    /// With `shards > 1` and an attention-bearing variant, `A_s` is
+    /// assembled one row shard at a time — each shard's pair table,
+    /// head FFNs and entmax run on their own scratch tape that is torn
+    /// down before the next shard starts, so the eval-graph peak holds a
+    /// `(rows·M, 2d)` table instead of the full `(N·M, 2d)` one. Every op
+    /// in that chain is row-independent, so the assembled adjacency is
+    /// bit-identical to the unsharded build
+    /// (`attention::tests::forward_rows_bit_identical_to_full_forward_block`).
     pub fn frozen_plan(&self) -> Rc<FrozenPlan> {
         if let Some(plan) = self.frozen.borrow().as_ref() {
             sagdfn_obs::tally_plan(true);
             return Rc::clone(plan);
         }
         sagdfn_obs::tally_plan(false);
-        let tape = Tape::new();
-        let _guard = tape.no_grad();
-        let bind = self.params.bind(&tape);
-        let plan = Rc::new(self.adjacency(&tape, &bind, Mode::Eval).freeze());
+        let batch_hint = self.cfg.batch_size;
+        let uses_attn = !matches!(
+            self.variant,
+            Variant::WithoutSnsSsma | Variant::WithoutAttention
+        );
+        let frozen = if self.shards > 1 && uses_attn {
+            let m = self.index.len();
+            let rows_per = self.n.div_ceil(self.shards);
+            let mut weights = Tensor::zeros([self.n, m]);
+            let mut r0 = 0;
+            while r0 < self.n {
+                let r1 = (r0 + rows_per).min(self.n);
+                let _span = sagdfn_obs::span("frozen_plan.attn_shard");
+                let tape = Tape::new();
+                let _guard = tape.no_grad();
+                let bind = self.params.bind(&tape);
+                let block = self
+                    .attn
+                    .forward_rows(&bind, bind.var(self.embed), &self.index, r0, r1, Mode::Eval)
+                    .value();
+                weights.as_mut_slice()[r0 * m..r1 * m].copy_from_slice(block.as_slice());
+                r0 = r1;
+            }
+            let tape = Tape::new();
+            let _guard = tape.no_grad();
+            Adjacency::slim(tape.constant(weights), self.index.clone())
+                .with_shards(self.shards)
+                .freeze(batch_hint)
+        } else {
+            let tape = Tape::new();
+            let _guard = tape.no_grad();
+            let bind = self.params.bind(&tape);
+            self.adjacency(&tape, &bind, Mode::Eval).freeze(batch_hint)
+        };
+        let plan = Rc::new(frozen);
         *self.frozen.borrow_mut() = Some(Rc::clone(&plan));
         plan
     }
 
     /// Computes this step's adjacency on the tape (Algorithm 2 line 7).
     pub fn adjacency<'t>(&self, tape: &'t Tape, bind: &Binding<'t>, mode: Mode) -> Adjacency<'t> {
-        match self.variant {
+        let adj = match self.variant {
             Variant::WithoutSnsSsma => {
                 Adjacency::dense(tape.constant(self.topo.clone().expect("topology set")))
             }
@@ -206,7 +260,8 @@ impl Sagdfn {
                 self.attn.forward(bind, bind.var(self.embed), &self.index, mode),
                 self.index.clone(),
             ),
-        }
+        };
+        adj.with_shards(self.shards)
     }
 
     /// Full encoder-decoder forward pass (Algorithm 2 lines 8–12).
@@ -352,6 +407,28 @@ impl Sagdfn {
             .map(|&v| if v.abs() > 1e-4 { 1.0 } else { 0.0 })
             .collect();
         Tensor::from_vec(data, target.shape().clone())
+    }
+}
+
+/// Resolves the node-shard count for a model over `n` nodes.
+/// Precedence: the `SAGDFN_SHARDS` environment variable (`auto` or a
+/// count ≥ 1; anything unparseable falls back to `auto`) beats
+/// `cfg.shards` (0 = auto) beats the memsim auto plan — the smallest
+/// shard count whose modeled peak fits a V100-32GB at the configured
+/// batch size, which keeps small graphs unsharded and engages sharding
+/// only at paper scale.
+fn resolve_shards(cfg: &SagdfnConfig, n: usize) -> usize {
+    let auto = || {
+        sagdfn_memsim::plan_shards(n, cfg.batch_size, sagdfn_memsim::V100_32GB.capacity_bytes)
+            .shards
+    };
+    match std::env::var("SAGDFN_SHARDS").as_deref() {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(k) if k >= 1 => k,
+            _ => auto(),
+        },
+        Err(_) if cfg.shards > 0 => cfg.shards,
+        Err(_) => auto(),
     }
 }
 
@@ -998,6 +1075,44 @@ mod tests {
         assert!(Rc::ptr_eq(&plan, &model.frozen_plan()));
         model.invalidate_plan();
         assert!(model.frozen.borrow().is_none());
+    }
+
+    #[test]
+    fn sharded_model_bit_identical_to_unsharded() {
+        // shards = 1 vs shards = 3 must agree bitwise on the loss, every
+        // parameter gradient, and the eval predictions (DESIGN.md §14).
+        let run = |shards: usize| -> Vec<u32> {
+            let data = sagdfn_data::metr_la_like(Scale::Tiny);
+            let n = data.dataset.nodes();
+            let mut cfg = SagdfnConfig::for_scale(Scale::Tiny, n);
+            cfg.shards = shards;
+            let model = Sagdfn::new(n, cfg);
+            if std::env::var("SAGDFN_SHARDS").is_err() {
+                assert_eq!(model.shards(), shards);
+            }
+            let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(4, 4));
+            let batch = split.train.make_batch(&[0, 1]);
+            let tape = Tape::new();
+            let bind = model.params.bind(&tape);
+            let pred = model.forward(&tape, &bind, &batch, split.scaler, Mode::Train);
+            let mask = Sagdfn::loss_mask(&batch.y);
+            let loss = sagdfn_nn::masked_mae(pred, &batch.y, &mask);
+            let grads = loss.backward();
+            let mut bits = vec![loss.value().as_slice()[0].to_bits()];
+            for id in model.params.ids() {
+                let g = bind.grad(&grads, id).expect("gradient");
+                bits.extend(g.as_slice().iter().map(|v| v.to_bits()));
+            }
+            let eval_tape = Tape::new();
+            let _guard = eval_tape.no_grad();
+            let ebind = model.params.bind(&eval_tape);
+            let ev = model
+                .forward(&eval_tape, &ebind, &batch, split.scaler, Mode::Eval)
+                .value();
+            bits.extend(ev.as_slice().iter().map(|v| v.to_bits()));
+            bits
+        };
+        assert_eq!(run(1), run(3), "sharding changed numerical results");
     }
 
     #[test]

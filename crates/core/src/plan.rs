@@ -385,7 +385,10 @@ impl<'f> Builder<'f> {
             x
         };
         let ax = self.fresh(d.rows() * c);
-        if self.frozen.has_csr() {
+        // Only the full-sparse plan runs the eval product on the CSR;
+        // the hybrid's CSR serves the training-time adjacency gradient
+        // and its forward product stays on the (faster) dense GEMM.
+        if self.frozen.products_sparse() {
             let pooled = sparse::spmm_pooled_hint(d.rows() * c, d.rows());
             self.ops.push(Op::Spmm {
                 src: gathered,

@@ -17,7 +17,7 @@
 //! Multi-Head Attention; the sorted candidate matrix persists across
 //! iterations, so significance estimates refine as `E` trains.
 
-use sagdfn_tensor::{Rng64, Tensor};
+use sagdfn_tensor::{pool, Rng64, Tensor};
 
 /// The candidate-neighbor state of Algorithm 1.
 #[derive(Clone, Debug)]
@@ -71,13 +71,20 @@ impl NeighborSampler {
         };
 
         // Lines 1–5: rank each candidate queue by embedding distance.
-        for (i, row) in self.candidates.iter_mut().enumerate() {
-            row.sort_by(|&a, &b| {
-                dist2(i, a)
-                    .partial_cmp(&dist2(i, b))
-                    .expect("non-finite embedding distance")
-            });
-        }
+        // Rows sort independently and each sort is deterministic, so the
+        // fan-out over the worker pool is bit-identical to the serial
+        // loop regardless of thread count.
+        let rows_per = n.div_ceil(pool::num_threads().min(n).max(1)).max(1);
+        pool::par_chunks_mut(&mut self.candidates, rows_per, |chunk_idx, rows| {
+            for (j, row) in rows.iter_mut().enumerate() {
+                let i = chunk_idx * rows_per + j;
+                row.sort_by(|&a, &b| {
+                    dist2(i, a)
+                        .partial_cmp(&dist2(i, b))
+                        .expect("non-finite embedding distance")
+                });
+            }
+        });
 
         // Lines 6–7: vote over the top-K positions.
         let mut freq = vec![0usize; n];

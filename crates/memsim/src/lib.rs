@@ -29,6 +29,8 @@
 
 pub mod complexity;
 pub mod model;
+pub mod shards;
 
 pub use complexity::{complexity_row, flops_estimate, ComplexityRow};
 pub use model::{Gpu, ModelFamily, WorkloadDims, A100_40GB, A100_80GB, V100_16GB, V100_32GB};
+pub use shards::{plan_shards, ShardPlan};

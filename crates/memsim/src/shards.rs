@@ -1,0 +1,140 @@
+//! Shard planning: pick a node-shard count against a memory budget.
+//!
+//! The node-sharded diffusion stack (DESIGN.md §14) splits the adjacency
+//! and attention working set into `k` contiguous row shards, shrinking
+//! the graph-proportional peak from `O(n·m·d)` to `O(n·m·d / k)` while
+//! leaving the recurrent activations — which every shard's output feeds
+//! into — whole. [`plan_shards`] inverts that relation: given `n`,
+//! `batch` and a byte budget, it returns the smallest shard count whose
+//! modeled peak fits, mirroring how [`ModelFamily`](crate::ModelFamily)
+//! models the paper's Table IV–VII OOM '×' entries.
+
+use crate::model::{ModelFamily, WorkloadDims};
+
+/// The shard count chosen by [`plan_shards`] for one workload, plus the
+/// modeled memory split backing the decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Chosen shard count (≥ 1).
+    pub shards: usize,
+    /// Rows per shard, rounded up to a multiple of 4 (the sharded CSR
+    /// kernels require 4-aligned shard boundaries; the last shard may be
+    /// shorter).
+    pub shard_rows: usize,
+    /// Modeled graph/attention bytes per shard (the shardable term).
+    pub bytes_per_shard: u64,
+    /// Modeled peak bytes at this shard count: unshardable activations
+    /// plus one shard's graph/attention working set.
+    pub total_bytes: u64,
+    /// Whether `total_bytes` fits the budget. `false` means even the
+    /// maximum shard count (one 4-row shard at a time) overflows —
+    /// the activations alone are too large.
+    pub fits: bool,
+}
+
+/// Picks the smallest node-shard count whose modeled training peak fits
+/// `budget_bytes` for a SAGDFN workload over `n` nodes at batch size
+/// `batch` (paper-shaped dims otherwise, see [`WorkloadDims::paper`]).
+///
+/// The model splits the SAGDFN training peak into:
+///
+/// * **activations** — recurrent states across the horizon, proportional
+///   to `batch·n·hidden·t`; these feed the loss for every node and are
+///   *not* divided by sharding;
+/// * **graph working set** — slim adjacency, attention pair tables and
+///   diffusion scratch, proportional to `n·m`; sharding divides this
+///   by `k` (each shard's rows are built, used, and released in turn).
+///
+/// `peak(k) = activations + graph/k` is monotone nonincreasing in `k`,
+/// so the smallest fitting count is found by binary search; when even
+/// the per-4-rows maximum overflows, the plan reports that max shard
+/// count with `fits = false`.
+pub fn plan_shards(n: usize, batch: usize, budget_bytes: u64) -> ShardPlan {
+    let dims = WorkloadDims::paper(n, batch);
+    let fixed = ModelFamily::Sagdfn.activation_bytes(&dims);
+    let graph = ModelFamily::Sagdfn.graph_bytes(&dims);
+    // Max useful shard count: one minimal 4-row shard in flight.
+    let k_max = n.div_ceil(4).max(1) as u64;
+    let peak = |k: u64| fixed + graph.div_ceil(k);
+    let k = if peak(k_max) > budget_bytes {
+        k_max
+    } else {
+        let (mut lo, mut hi) = (1u64, k_max);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if peak(mid) <= budget_bytes {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    };
+    let shards = k as usize;
+    let shard_rows = n.div_ceil(shards).div_ceil(4).max(1) * 4;
+    ShardPlan {
+        shards,
+        shard_rows,
+        bytes_per_shard: graph.div_ceil(k),
+        total_bytes: peak(k),
+        fits: peak(k) <= budget_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::V100_32GB;
+
+    #[test]
+    fn small_workloads_stay_unsharded() {
+        // METR-LA-sized graphs fit a V100 outright: no sharding.
+        let plan = plan_shards(207, 64, V100_32GB.capacity_bytes);
+        assert_eq!(plan.shards, 1);
+        assert!(plan.fits);
+    }
+
+    #[test]
+    fn shard_rows_are_4_aligned_and_cover_n() {
+        for n in [207, 2000, 8000, 20000] {
+            for budget in [1u64 << 28, 1 << 30, 1 << 33] {
+                let plan = plan_shards(n, 32, budget);
+                assert_eq!(plan.shard_rows % 4, 0, "n={n}");
+                assert!(plan.shard_rows * plan.shards >= n, "n={n} budget={budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_budgets_never_pick_fewer_shards() {
+        let n = 20000;
+        let mut last = usize::MAX;
+        for budget in [1u64 << 36, 1 << 34, 1 << 32, 1 << 30] {
+            let plan = plan_shards(n, 64, budget);
+            assert!(plan.shards <= last, "budget={budget}");
+            last = plan.shards;
+        }
+    }
+
+    #[test]
+    fn chosen_count_is_minimal() {
+        let n = 20000;
+        let budget = 1u64 << 31; // 2 GiB: forces sharding at paper dims.
+        let plan = plan_shards(n, 1, budget);
+        assert!(plan.shards > 1, "2 GiB must not fit the whole graph");
+        assert!(plan.fits);
+        // One fewer shard must overflow (minimality).
+        let dims = WorkloadDims::paper(n, 1);
+        let fixed = ModelFamily::Sagdfn.activation_bytes(&dims);
+        let graph = ModelFamily::Sagdfn.graph_bytes(&dims);
+        assert!(fixed + graph.div_ceil(plan.shards as u64 - 1) > budget);
+    }
+
+    #[test]
+    fn impossible_budgets_report_unfit() {
+        // Activations alone exceed a 1 MiB budget: no k can fit.
+        let plan = plan_shards(20000, 64, 1 << 20);
+        assert!(!plan.fits);
+        assert!(plan.shards >= 1);
+    }
+}

@@ -225,6 +225,8 @@ static ALLOC_RELEASES: AtomicU64 = AtomicU64::new(0);
 static ALLOC_RELEASE_BYTES: AtomicU64 = AtomicU64::new(0);
 static DISPATCH_SPARSE: AtomicU64 = AtomicU64::new(0);
 static DISPATCH_DENSE: AtomicU64 = AtomicU64::new(0);
+static SHARDED_OPS: AtomicU64 = AtomicU64::new(0);
+static SHARD_SLABS: AtomicU64 = AtomicU64::new(0);
 static PLAN_BUILDS: AtomicU64 = AtomicU64::new(0);
 static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
 static PLAN_COMPILES: AtomicU64 = AtomicU64::new(0);
@@ -301,6 +303,19 @@ pub fn tally_dispatch(sparse: bool) {
         return;
     }
     add(if sparse { &DISPATCH_SPARSE } else { &DISPATCH_DENSE }, 1);
+}
+
+/// Records one node-sharded kernel execution over `shards` row shards
+/// (DESIGN.md §14). Unsharded runs (`shards <= 1`) tally nothing, so
+/// these counters are exact "how much sharding happened" meters: a
+/// shards = 1 workload reports zeros.
+#[inline]
+pub fn tally_shards(shards: u64) {
+    if shards <= 1 || !enabled() {
+        return;
+    }
+    add(&SHARDED_OPS, 1);
+    add(&SHARD_SLABS, shards);
 }
 
 /// Records one frozen-plan cache lookup: `hit = true` when a cached
@@ -430,6 +445,10 @@ pub struct Snapshot {
     pub dispatch_sparse: u64,
     /// Density dispatches that chose the dense GEMMs.
     pub dispatch_dense: u64,
+    /// Kernel executions that ran node-sharded (shard count > 1).
+    pub sharded_ops: u64,
+    /// Total row shards processed across those executions.
+    pub shard_slabs: u64,
     /// Frozen-plan cache misses (plan built from the embeddings).
     pub plan_builds: u64,
     /// Frozen-plan cache hits (cached plan reused across batches).
@@ -466,6 +485,8 @@ pub fn snapshot() -> Snapshot {
     s.alloc_release_bytes = ALLOC_RELEASE_BYTES.load(Ordering::Relaxed);
     s.dispatch_sparse = DISPATCH_SPARSE.load(Ordering::Relaxed);
     s.dispatch_dense = DISPATCH_DENSE.load(Ordering::Relaxed);
+    s.sharded_ops = SHARDED_OPS.load(Ordering::Relaxed);
+    s.shard_slabs = SHARD_SLABS.load(Ordering::Relaxed);
     s.plan_builds = PLAN_BUILDS.load(Ordering::Relaxed);
     s.plan_hits = PLAN_HITS.load(Ordering::Relaxed);
     s.plan_compiles = PLAN_COMPILES.load(Ordering::Relaxed);
@@ -505,6 +526,8 @@ impl Snapshot {
         d.alloc_release_bytes = self.alloc_release_bytes.saturating_sub(base.alloc_release_bytes);
         d.dispatch_sparse = self.dispatch_sparse.saturating_sub(base.dispatch_sparse);
         d.dispatch_dense = self.dispatch_dense.saturating_sub(base.dispatch_dense);
+        d.sharded_ops = self.sharded_ops.saturating_sub(base.sharded_ops);
+        d.shard_slabs = self.shard_slabs.saturating_sub(base.shard_slabs);
         d.plan_builds = self.plan_builds.saturating_sub(base.plan_builds);
         d.plan_hits = self.plan_hits.saturating_sub(base.plan_hits);
         d.plan_compiles = self.plan_compiles.saturating_sub(base.plan_compiles);
@@ -537,6 +560,8 @@ pub fn reset_counters() {
         &ALLOC_RELEASE_BYTES,
         &DISPATCH_SPARSE,
         &DISPATCH_DENSE,
+        &SHARDED_OPS,
+        &SHARD_SLABS,
         &PLAN_BUILDS,
         &PLAN_HITS,
         &PLAN_COMPILES,
@@ -613,8 +638,13 @@ fn open_span(name: &'static str, _reserved: u32) -> Option<Span> {
     // `ts_ns + dur_ns` then equals the drop time relative to the epoch,
     // so span ends are ordered exactly like their drops (nesting holds
     // at ns resolution instead of up to the skew between two reads).
+    // The epoch must be pinned before `t0` is read: the process's first
+    // span otherwise initialises it after its own start, `duration_since`
+    // saturates to 0, and that span's apparent end drifts past its true
+    // drop time by the init latency — a spurious nesting violation.
+    let e = epoch();
     let t0 = Instant::now();
-    let ts_ns = t0.duration_since(epoch()).as_nanos() as u64;
+    let ts_ns = t0.duration_since(e).as_nanos() as u64;
     Some(Span {
         name,
         id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
@@ -850,6 +880,12 @@ pub fn format_table(snap: &Snapshot) -> String {
         snap.plan_builds,
         snap.plan_hits,
     ));
+    if snap.sharded_ops > 0 {
+        out.push_str(&format!(
+            "node sharding: {} sharded kernel runs over {} row shards\n",
+            snap.sharded_ops, snap.shard_slabs,
+        ));
+    }
     if snap.plan_compiles > 0 || snap.plan_execs > 0 {
         out.push_str(&format!(
             "plan executor: {} compiles / {} runs ({} scheduled ops)\n",
@@ -899,6 +935,8 @@ mod tests {
         tally_alloc_release(1024);
         tally_dispatch(true);
         tally_dispatch(false);
+        tally_shards(1); // no-op: unsharded runs tally nothing
+        tally_shards(4);
         tally_plan(false);
         tally_plan(true);
         tally_plan_compile();
@@ -915,6 +953,7 @@ mod tests {
         assert_eq!((d.pool_regions, d.pool_tasks), (1, 8));
         assert_eq!((d.alloc_acquires, d.alloc_acquire_bytes), (1, 1024));
         assert_eq!((d.dispatch_sparse, d.dispatch_dense), (1, 1));
+        assert_eq!((d.sharded_ops, d.shard_slabs), (1, 4));
         assert_eq!((d.plan_builds, d.plan_hits), (1, 1));
         assert_eq!((d.plan_compiles, d.plan_execs, d.plan_ops), (1, 1, 42));
         assert_eq!(d.simd_tiers, [1, 0, 0, 2]);

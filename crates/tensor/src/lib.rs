@@ -47,5 +47,8 @@ pub use dispatch::{
 };
 pub use rng::Rng64;
 pub use shape::Shape;
-pub use sparse::{set_sparse_mode, should_use_sparse, sparse_mode, Csr, SparseMode};
+pub use sparse::{
+    set_sparse_mode, should_use_sparse, sparse_mode, spmm_dispatch, Csr, DiffusePlan, ShardedCsr,
+    SparseMode, SpmmDispatch,
+};
 pub use tensor::Tensor;

@@ -464,6 +464,370 @@ macro_rules! spmm_row_portable_impl {
     };
 }
 
+/// Generates the portable pre-decoded CSR-row kernel (scalar and NEON
+/// tiers). Each `groups` entry packs `(start << 3) | len` over the
+/// caller's `cols`/`vals` slices — aligned-region groups carry 1–4
+/// nonzeros sharing `⌊col/4⌋`, remainder nonzeros (`col ≥ 4⌊inner/4⌋`)
+/// are singleton groups, exactly the decode [`spmm_row`] performs
+/// inline. Pre-decoding lets the caller amortize the group scan across
+/// batches; the accumulation per output element is identical.
+macro_rules! spmm_row_grouped_portable_impl {
+    ($(#[$attr:meta])*) => {
+        /// One CSR output row from pre-decoded column groups; same
+        /// per-element accumulation sequence as [`spmm_row`].
+        $(#[$attr])*
+        pub unsafe fn spmm_row_grouped(
+            groups: &[u64],
+            cols: &[u32],
+            vals: &[f32],
+            x: &[f32],
+            c_row: &mut [f32],
+            c: usize,
+        ) {
+            for &g in groups {
+                let p = (g >> 3) as usize;
+                match g & 7 {
+                    1 => {
+                        let a0 = vals[p];
+                        let b0 = &x[cols[p] as usize * c..][..c];
+                        for j in 0..c {
+                            c_row[j] += a0 * b0[j];
+                        }
+                    }
+                    2 => {
+                        let (a0, a1) = (vals[p], vals[p + 1]);
+                        let b0 = &x[cols[p] as usize * c..][..c];
+                        let b1 = &x[cols[p + 1] as usize * c..][..c];
+                        for j in 0..c {
+                            c_row[j] += a0 * b0[j] + a1 * b1[j];
+                        }
+                    }
+                    3 => {
+                        let (a0, a1, a2) = (vals[p], vals[p + 1], vals[p + 2]);
+                        let b0 = &x[cols[p] as usize * c..][..c];
+                        let b1 = &x[cols[p + 1] as usize * c..][..c];
+                        let b2 = &x[cols[p + 2] as usize * c..][..c];
+                        for j in 0..c {
+                            c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j];
+                        }
+                    }
+                    _ => {
+                        let (a0, a1, a2, a3) =
+                            (vals[p], vals[p + 1], vals[p + 2], vals[p + 3]);
+                        let b0 = &x[cols[p] as usize * c..][..c];
+                        let b1 = &x[cols[p + 1] as usize * c..][..c];
+                        let b2 = &x[cols[p + 2] as usize * c..][..c];
+                        let b3 = &x[cols[p + 3] as usize * c..][..c];
+                        for j in 0..c {
+                            c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// Generates the hand-vectorized x86 pre-decoded CSR-row kernel for one
+/// vector width. Unlike [`spmm_row_x86_impl`]'s per-group
+/// load-accumulate-store, the output row is walked in register-width
+/// chunks held across **all** groups: per chunk the accumulator is
+/// loaded once, receives one add per group (each group's terms summed
+/// left-to-right first), and is stored once. Per output element that is
+/// the same add sequence as the per-group kernel — `((c₀+e₁)+e₂)+…` —
+/// so results are bit-identical while the per-group output-row memory
+/// traffic disappears.
+#[cfg(target_arch = "x86_64")]
+macro_rules! spmm_row_grouped_x86_impl {
+    ($feat:literal, $w:expr, $loadu:ident, $set1:ident, $mul:ident, $add:ident, $storeu:ident) => {
+        /// One CSR output row from pre-decoded column groups; grouping
+        /// and accumulation contract as in the portable kernel.
+        #[target_feature(enable = $feat)]
+        pub unsafe fn spmm_row_grouped(
+            groups: &[u64],
+            cols: &[u32],
+            vals: &[f32],
+            x: &[f32],
+            c_row: &mut [f32],
+            c: usize,
+        ) {
+            let xp = x.as_ptr();
+            let vp = vals.as_ptr();
+            let ip = cols.as_ptr();
+            let mut j = 0;
+            while j + $w <= c {
+                let crp = c_row.as_mut_ptr().add(j);
+                let mut acc = $loadu(crp as *const f32);
+                for &g in groups {
+                    let p = (g >> 3) as usize;
+                    let len = (g & 7) as usize;
+                    let mut e = $mul(
+                        $set1(*vp.add(p)),
+                        $loadu(xp.add(*ip.add(p) as usize * c + j)),
+                    );
+                    for t in 1..len {
+                        e = $add(
+                            e,
+                            $mul(
+                                $set1(*vp.add(p + t)),
+                                $loadu(xp.add(*ip.add(p + t) as usize * c + j)),
+                            ),
+                        );
+                    }
+                    acc = $add(acc, e);
+                }
+                $storeu(crp, acc);
+                j += $w;
+            }
+            while j < c {
+                let mut acc = *c_row.get_unchecked(j);
+                for &g in groups {
+                    let p = (g >> 3) as usize;
+                    let len = (g & 7) as usize;
+                    let mut e = *vp.add(p) * *xp.add(*ip.add(p) as usize * c + j);
+                    for t in 1..len {
+                        e += *vp.add(p + t) * *xp.add(*ip.add(p + t) as usize * c + j);
+                    }
+                    acc += e;
+                }
+                *c_row.get_unchecked_mut(j) = acc;
+                j += 1;
+            }
+        }
+    };
+}
+
+/// Generates the portable batched pre-decoded CSR-row kernel (scalar
+/// and NEON tiers): per batch slab, each group's entries are accumulated
+/// left-to-right with one `+=` per group — the exact
+/// [`spmm_row_grouped`] sequence. The batch dimension only selects
+/// independent output elements, so any batch walk is bit-identical.
+macro_rules! spmm_row_grouped_batched_portable_impl {
+    ($(#[$attr:meta])*) => {
+        /// All batch slabs of one CSR output row from pre-decoded column
+        /// groups. See the safety contract on the dispatch wrapper.
+        #[allow(clippy::too_many_arguments)]
+        $(#[$attr])*
+        pub unsafe fn spmm_row_grouped_batched(
+            groups: &[u64],
+            cols: &[u32],
+            vals: &[f32],
+            x: *const f32,
+            x_stride: usize,
+            out: *mut f32,
+            out_stride: usize,
+            batch: usize,
+            inner: usize,
+            c: usize,
+        ) {
+            let _ = inner;
+            for b in 0..batch {
+                let xb = x.add(b * x_stride);
+                let ob = out.add(b * out_stride);
+                for &g in groups {
+                    let p = (g >> 3) as usize;
+                    let len = (g & 7) as usize;
+                    for j in 0..c {
+                        let mut e = *vals.get_unchecked(p)
+                            * *xb.add(*cols.get_unchecked(p) as usize * c + j);
+                        for t in 1..len {
+                            e += *vals.get_unchecked(p + t)
+                                * *xb.add(*cols.get_unchecked(p + t) as usize * c + j);
+                        }
+                        *ob.add(j) += e;
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// Generates the hand-vectorized x86 batched pre-decoded CSR-row kernel
+/// for one vector width and batch-block size. The win over calling
+/// [`spmm_row_grouped`] per batch: the group walk — including its
+/// hard-to-predict per-group length dispatch — runs once per row block
+/// while `BLK` batches' accumulators ride in registers (`BLK × 2`
+/// vectors, j blocked two vector widths at a time), and each group's
+/// value broadcasts are shared across the block. Per output element the
+/// accumulation sequence is exactly [`spmm_row_grouped`]'s.
+///
+/// (A branch-free variant was tried: padding every group to a fixed
+/// four-term schedule with hardware-masked adds. It lost — at 50 %
+/// density the padding nearly doubles the flops and the extra group
+/// bookkeeping outweighs the saved mispredicts, measuring ~45 % slower
+/// than this branchy walk.)
+#[cfg(target_arch = "x86_64")]
+macro_rules! spmm_row_grouped_batched_x86_impl {
+    ($feat:literal, $w:expr, $bb:expr, $loadu:ident, $set1:ident, $mul:ident, $add:ident, $storeu:ident) => {
+        /// One batch block of `BLK` slabs; `x`/`out` point at the
+        /// block's first slab.
+        #[target_feature(enable = $feat)]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn grouped_batched_blk<const BLK: usize>(
+            groups: &[u64],
+            cols: &[u32],
+            vals: &[f32],
+            x: *const f32,
+            x_stride: usize,
+            out: *mut f32,
+            out_stride: usize,
+            c: usize,
+        ) {
+            let vp = vals.as_ptr();
+            let ip = cols.as_ptr();
+            let mut j = 0;
+            // Two vector widths of j per pass, all BLK batch
+            // accumulators held in registers across the group walk.
+            while j + 2 * $w <= c {
+                let mut acc = [[$set1(0.0f32); 2]; BLK];
+                for b in 0..BLK {
+                    let op = out.add(b * out_stride + j);
+                    acc[b][0] = $loadu(op as *const f32);
+                    acc[b][1] = $loadu(op.add($w) as *const f32);
+                }
+                for &g in groups {
+                    let p = (g >> 3) as usize;
+                    let len = (g & 7) as usize;
+                    let a0 = $set1(*vp.add(p));
+                    let o0 = *ip.add(p) as usize * c + j;
+                    let mut e = [[$set1(0.0f32); 2]; BLK];
+                    for b in 0..BLK {
+                        let xs = x.add(b * x_stride + o0);
+                        e[b][0] = $mul(a0, $loadu(xs));
+                        e[b][1] = $mul(a0, $loadu(xs.add($w)));
+                    }
+                    for t in 1..len {
+                        let at = $set1(*vp.add(p + t));
+                        let ot = *ip.add(p + t) as usize * c + j;
+                        for b in 0..BLK {
+                            let xs = x.add(b * x_stride + ot);
+                            e[b][0] = $add(e[b][0], $mul(at, $loadu(xs)));
+                            e[b][1] = $add(e[b][1], $mul(at, $loadu(xs.add($w))));
+                        }
+                    }
+                    for b in 0..BLK {
+                        acc[b][0] = $add(acc[b][0], e[b][0]);
+                        acc[b][1] = $add(acc[b][1], e[b][1]);
+                    }
+                }
+                for b in 0..BLK {
+                    let op = out.add(b * out_stride + j);
+                    $storeu(op, acc[b][0]);
+                    $storeu(op.add($w), acc[b][1]);
+                }
+                j += 2 * $w;
+            }
+            // Single vector width of j.
+            while j + $w <= c {
+                let mut acc = [$set1(0.0f32); BLK];
+                for b in 0..BLK {
+                    acc[b] = $loadu(out.add(b * out_stride + j) as *const f32);
+                }
+                for &g in groups {
+                    let p = (g >> 3) as usize;
+                    let len = (g & 7) as usize;
+                    let a0 = $set1(*vp.add(p));
+                    let o0 = *ip.add(p) as usize * c + j;
+                    let mut e = [$set1(0.0f32); BLK];
+                    for b in 0..BLK {
+                        e[b] = $mul(a0, $loadu(x.add(b * x_stride + o0)));
+                    }
+                    for t in 1..len {
+                        let at = $set1(*vp.add(p + t));
+                        let ot = *ip.add(p + t) as usize * c + j;
+                        for b in 0..BLK {
+                            e[b] = $add(e[b], $mul(at, $loadu(x.add(b * x_stride + ot))));
+                        }
+                    }
+                    for b in 0..BLK {
+                        acc[b] = $add(acc[b], e[b]);
+                    }
+                }
+                for b in 0..BLK {
+                    $storeu(out.add(b * out_stride + j), acc[b]);
+                }
+                j += $w;
+            }
+            // Scalar j tail.
+            while j < c {
+                let mut acc = [0.0f32; BLK];
+                for b in 0..BLK {
+                    acc[b] = *out.add(b * out_stride + j);
+                }
+                for &g in groups {
+                    let p = (g >> 3) as usize;
+                    let len = (g & 7) as usize;
+                    let a0 = *vp.add(p);
+                    let o0 = *ip.add(p) as usize * c + j;
+                    let mut e = [0.0f32; BLK];
+                    for b in 0..BLK {
+                        e[b] = a0 * *x.add(b * x_stride + o0);
+                    }
+                    for t in 1..len {
+                        let at = *vp.add(p + t);
+                        let ot = *ip.add(p + t) as usize * c + j;
+                        for b in 0..BLK {
+                            e[b] += at * *x.add(b * x_stride + ot);
+                        }
+                    }
+                    for b in 0..BLK {
+                        acc[b] += e[b];
+                    }
+                }
+                for b in 0..BLK {
+                    *out.add(b * out_stride + j) = acc[b];
+                }
+                j += 1;
+            }
+        }
+
+        /// All batch slabs of one CSR output row from pre-decoded
+        /// column groups, processed in register-resident batch blocks.
+        /// See the safety contract on the dispatch wrapper.
+        #[target_feature(enable = $feat)]
+        #[allow(clippy::too_many_arguments)]
+        pub unsafe fn spmm_row_grouped_batched(
+            groups: &[u64],
+            cols: &[u32],
+            vals: &[f32],
+            x: *const f32,
+            x_stride: usize,
+            out: *mut f32,
+            out_stride: usize,
+            batch: usize,
+            inner: usize,
+            c: usize,
+        ) {
+            let _ = inner;
+            let mut b0 = 0;
+            while b0 < batch {
+                let xb = x.add(b0 * x_stride);
+                let ob = out.add(b0 * out_stride);
+                match ($bb as usize).min(batch - b0) {
+                    1 => {
+                        grouped_batched_blk::<1>(
+                            groups, cols, vals, xb, x_stride, ob, out_stride, c,
+                        );
+                        b0 += 1;
+                    }
+                    2 | 3 => {
+                        grouped_batched_blk::<2>(
+                            groups, cols, vals, xb, x_stride, ob, out_stride, c,
+                        );
+                        b0 += 2;
+                    }
+                    _ => {
+                        grouped_batched_blk::<4>(
+                            groups, cols, vals, xb, x_stride, ob, out_stride, c,
+                        );
+                        b0 += 4;
+                    }
+                }
+            }
+        }
+    };
+}
+
 /// `Σ_b Σ_k dy[b,i,k] · x[b,j,k]` with the feature axis unrolled in
 /// 4-aligned groups (matching the dense GEMM accumulation order). The
 /// single reference for both adjacency-gradient kernels: `dadj_dense`
@@ -779,6 +1143,8 @@ macro_rules! blocked_matmul_impl {
 pub(crate) mod scalar {
     simd_impls!();
     spmm_row_portable_impl!();
+    spmm_row_grouped_portable_impl!();
+    spmm_row_grouped_batched_portable_impl!();
     dadj_row_portable_impl!();
     blocked_matmul_impl!();
 
@@ -794,6 +1160,8 @@ pub(crate) mod scalar {
 pub(crate) mod neon {
     simd_impls!(#[target_feature(enable = "neon")]);
     spmm_row_portable_impl!(#[target_feature(enable = "neon")]);
+    spmm_row_grouped_portable_impl!(#[target_feature(enable = "neon")]);
+    spmm_row_grouped_batched_portable_impl!(#[target_feature(enable = "neon")]);
     dadj_row_portable_impl!(#[target_feature(enable = "neon")]);
     blocked_matmul_impl!(#[target_feature(enable = "neon")]);
     pub use self::matmul_blocked as matmul;
@@ -810,6 +1178,27 @@ pub(crate) mod avx2 {
     spmm_row_x86_impl!(
         "avx2",
         8,
+        _mm256_loadu_ps,
+        _mm256_set1_ps,
+        _mm256_mul_ps,
+        _mm256_add_ps,
+        _mm256_storeu_ps
+    );
+    spmm_row_grouped_x86_impl!(
+        "avx2",
+        8,
+        _mm256_loadu_ps,
+        _mm256_set1_ps,
+        _mm256_mul_ps,
+        _mm256_add_ps,
+        _mm256_storeu_ps
+    );
+    // Batch block of 2: 2 slabs × 2 ymm of j is 4 live accumulators,
+    // leaving headroom in the 16 ymm registers for the group terms.
+    spmm_row_grouped_batched_x86_impl!(
+        "avx2",
+        8,
+        2,
         _mm256_loadu_ps,
         _mm256_set1_ps,
         _mm256_mul_ps,
@@ -903,6 +1292,27 @@ pub(crate) mod avx512 {
     spmm_row_x86_impl!(
         "avx512f",
         16,
+        _mm512_loadu_ps,
+        _mm512_set1_ps,
+        _mm512_mul_ps,
+        _mm512_add_ps,
+        _mm512_storeu_ps
+    );
+    spmm_row_grouped_x86_impl!(
+        "avx512f",
+        16,
+        _mm512_loadu_ps,
+        _mm512_set1_ps,
+        _mm512_mul_ps,
+        _mm512_add_ps,
+        _mm512_storeu_ps
+    );
+    // Batch block of 4: 4 slabs × 2 zmm of j is 8 live accumulators
+    // plus 8 group terms — comfortable in the 32 zmm registers.
+    spmm_row_grouped_batched_x86_impl!(
+        "avx512f",
+        16,
+        4,
         _mm512_loadu_ps,
         _mm512_set1_ps,
         _mm512_mul_ps,
@@ -1072,6 +1482,88 @@ pub fn entmax_backward_out(s: &[f64], grad_p: &[f32], mean: f64, out: &mut [f32]
 pub fn spmm_row(cols: &[u32], vals: &[f32], x: &[f32], c_row: &mut [f32], inner: usize, c: usize) {
     debug_assert_eq!(cols.len(), vals.len());
     tier_dispatch!(spmm_row(cols, vals, x, c_row, inner, c))
+}
+
+/// One CSR output row from pre-decoded column groups through the active
+/// tier. Each `groups` entry packs `(start << 3) | len` (`len` 1–4)
+/// over `cols`/`vals`; encode aligned-region runs sharing `⌊col/4⌋` as
+/// one group and remainder nonzeros as singletons — [`decode_groups`]
+/// produces exactly this — and the result is bit-identical to
+/// [`spmm_row`] on the same nonzeros. Callers amortize the decode
+/// across batches; the x86 tiers additionally keep the output chunk in
+/// a register across all groups.
+pub fn spmm_row_grouped(
+    groups: &[u64],
+    cols: &[u32],
+    vals: &[f32],
+    x: &[f32],
+    c_row: &mut [f32],
+    c: usize,
+) {
+    debug_assert_eq!(cols.len(), vals.len());
+    debug_assert!(groups
+        .iter()
+        .all(|&g| ((g >> 3) as usize) + ((g & 7) as usize).max(1) <= cols.len() && (g & 7) >= 1));
+    tier_dispatch!(spmm_row_grouped(groups, cols, vals, x, c_row, c))
+}
+
+/// All batch slabs of one CSR output row from pre-decoded column groups
+/// through the active tier: slab `b` of the output accumulates
+/// `Σ_groups vals · x[b]` exactly as [`spmm_row_grouped`] would, but the
+/// group walk and value broadcasts are amortized across batch blocks on
+/// the x86 tiers (the batch axis only selects independent output
+/// elements, so blocking cannot change any element's add sequence).
+///
+/// # Safety
+/// `x` must be valid for reads at `b * x_stride + col * c + j` and `out`
+/// valid for reads/writes at `b * out_stride + j` for all `b < batch`,
+/// referenced `col`, and `j < c`; `out` must not alias `x`, `cols`,
+/// `vals`, or `groups`. Callers running concurrently must own disjoint
+/// `out` rows.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn spmm_row_grouped_batched(
+    groups: &[u64],
+    cols: &[u32],
+    vals: &[f32],
+    x: *const f32,
+    x_stride: usize,
+    out: *mut f32,
+    out_stride: usize,
+    batch: usize,
+    inner: usize,
+    c: usize,
+) {
+    debug_assert_eq!(cols.len(), vals.len());
+    tier_dispatch!(spmm_row_grouped_batched(
+        groups, cols, vals, x, x_stride, out, out_stride, batch, inner, c
+    ))
+}
+
+/// Decodes the column groups of `cols[p0..p1]` for a contraction axis of
+/// `inner` rows into `out` (appending): runs of nonzeros sharing
+/// `⌊col/4⌋` within the 4-aligned region `[0, 4⌊inner/4⌋)` become one
+/// packed `(start << 3) | len` entry, remainder columns one singleton
+/// entry each — the exact grouping [`spmm_row`] decodes inline, in the
+/// format [`spmm_row_grouped`] consumes. `start` is relative to the
+/// same slice base as `cols` itself.
+pub fn decode_groups(cols: &[u32], p0: usize, p1: usize, inner: usize, out: &mut Vec<u64>) {
+    let k4 = inner & !3;
+    let mut p = p0;
+    while p < p1 {
+        let col = cols[p] as usize;
+        let len = if col < k4 {
+            let group_end = (col & !3) + 4;
+            let mut q = p + 1;
+            while q < p1 && (cols[q] as usize) < group_end {
+                q += 1;
+            }
+            q - p
+        } else {
+            1
+        };
+        out.push(((p as u64) << 3) | len as u64);
+        p += len;
+    }
 }
 
 /// Support-restricted adjacency-gradient row through the active tier:
@@ -1394,6 +1886,117 @@ mod tests {
             },
             "spmm_row",
         );
+    }
+
+    #[test]
+    fn spmm_row_grouped_tiers_bit_identical() {
+        // Same nonzero pattern family as `spmm_row_tiers_bit_identical`:
+        // group sizes 1..4, a k4-boundary straddle, remainder singles.
+        let inner = 17;
+        let cols: Vec<u32> = vec![0, 1, 2, 3, 5, 7, 8, 11, 12, 13, 14, 16];
+        let vals = rand_vec(cols.len(), 15);
+        let mut groups = Vec::new();
+        decode_groups(&cols, 0, cols.len(), inner, &mut groups);
+        // c spans sub-lane, odd, and multi-register widths.
+        for &c in &[1usize, 5, 33, 64] {
+            let x = rand_vec(inner * c, 16 + c as u64);
+            assert_all_tiers_match(
+                || {
+                    // The grouped walk must replay spmm_row's exact adds.
+                    let mut want = vec![0.0f32; c];
+                    spmm_row(&cols, &vals, &x, &mut want, inner, c);
+                    let mut row = vec![0.0f32; c];
+                    spmm_row_grouped(&groups, &cols, &vals, &x, &mut row, c);
+                    for (r, w) in row.iter().zip(&want) {
+                        assert_eq!(r.to_bits(), w.to_bits(), "grouped vs inline c={c}");
+                    }
+                    row
+                },
+                &format!("spmm_row_grouped c={c}"),
+            );
+        }
+    }
+
+    #[test]
+    fn spmm_row_grouped_batched_tiers_bit_identical() {
+        // Batch counts cross every batch-block width (1 / 2 / 4 / tail).
+        let inner = 21;
+        let cols: Vec<u32> = (0..inner as u32).filter(|j| j % 5 != 2).collect();
+        let vals = rand_vec(cols.len(), 17);
+        let mut groups = Vec::new();
+        decode_groups(&cols, 0, cols.len(), inner, &mut groups);
+        for &batch in &[1usize, 2, 3, 4, 7] {
+            for &c in &[3usize, 32] {
+                let x = rand_vec(batch * inner * c, 18 + (batch * c) as u64);
+                assert_all_tiers_match(
+                    || {
+                        let mut out = vec![0.0f32; batch * c];
+                        unsafe {
+                            spmm_row_grouped_batched(
+                                &groups,
+                                &cols,
+                                &vals,
+                                x.as_ptr(),
+                                inner * c,
+                                out.as_mut_ptr(),
+                                c,
+                                batch,
+                                inner,
+                                c,
+                            );
+                        }
+                        // Blocking over the batch axis must not change any
+                        // slab's add sequence vs the single-slab kernel.
+                        for b in 0..batch {
+                            let mut want = vec![0.0f32; c];
+                            spmm_row_grouped(
+                                &groups,
+                                &cols,
+                                &vals,
+                                &x[b * inner * c..(b + 1) * inner * c],
+                                &mut want,
+                                c,
+                            );
+                            for (j, w) in want.iter().enumerate() {
+                                assert_eq!(
+                                    out[b * c + j].to_bits(),
+                                    w.to_bits(),
+                                    "batched vs single b={b} j={j}"
+                                );
+                            }
+                        }
+                        out
+                    },
+                    &format!("spmm_row_grouped_batched batch={batch} c={c}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_groups_packing_invariants() {
+        // inner=14: aligned region [0,12), remainder columns 12..14.
+        let cols: Vec<u32> = vec![0, 1, 2, 3, 4, 6, 7, 9, 12, 13];
+        let mut groups = Vec::new();
+        decode_groups(&cols, 0, cols.len(), 14, &mut groups);
+        let decoded: Vec<(usize, usize)> = groups
+            .iter()
+            .map(|&g| ((g >> 3) as usize, (g & 7) as usize))
+            .collect();
+        // Runs sharing ⌊col/4⌋ fuse (max 4 per group); remainder columns
+        // (≥ 12) always come out as singletons.
+        assert_eq!(
+            decoded,
+            vec![(0, 4), (4, 3), (7, 1), (8, 1), (9, 1)],
+            "groups must cover {cols:?} in order"
+        );
+        // Groups partition the nonzeros exactly.
+        let covered: usize = decoded.iter().map(|&(_, len)| len).sum();
+        assert_eq!(covered, cols.len());
+        // Sub-range decode is relative to the same slice base.
+        let mut tail = Vec::new();
+        decode_groups(&cols, 7, cols.len(), 14, &mut tail);
+        assert_eq!(tail, groups[2..].to_vec());
     }
 
     #[test]

@@ -231,6 +231,29 @@ proptest! {
     }
 
     #[test]
+    fn sharded_csr_bit_matches_unsharded(
+        a in sparse_matrix(), seed in 0u64..500, batch in 1usize..3, c in odd_dim(),
+    ) {
+        use sagdfn_tensor::ShardedCsr;
+        let (n, m) = (a.dim(0), a.dim(1));
+        let mut rng = Rng64::new(seed);
+        let x = Tensor::rand_uniform([batch, m, c], -2.0, 2.0, &mut rng);
+        let g = Tensor::rand_uniform([batch, n, c], -2.0, 2.0, &mut rng);
+        let csr = Csr::from_dense(&a);
+        let (y0, dx0, da0) = (csr.spmm(&x), csr.spmm_t(&g), csr.dadj(&g, &x));
+        // Any shard count must replay the unsharded per-element operation
+        // sequence exactly (DESIGN.md §14), including counts past the
+        // 4-aligned boundary snap and past the row count itself.
+        for k in [1usize, 2, 5] {
+            let sh = ShardedCsr::from_dense(&a, k);
+            prop_assert_eq!(sh.nnz(), csr.nnz());
+            prop_assert_bits_eq!(sh.spmm(&x), y0, "sharded spmm");
+            prop_assert_bits_eq!(sh.spmm_t(&g), dx0, "sharded spmm_t");
+            prop_assert_bits_eq!(sh.dadj(&g, &x), da0, "sharded dadj");
+        }
+    }
+
+    #[test]
     fn fused_gru_chains_bit_match_unfused(seed in 0u64..1000, r in odd_dim(), c in odd_dim()) {
         use sagdfn_tensor::simd;
         let mut rng = Rng64::new(seed);

@@ -5,7 +5,7 @@
 # training-step allocation baseline (BENCH_train.json) and runs the
 # criterion pool benches for the detailed per-size picture.
 #
-# Usage: scripts/bench_baseline.sh [out_file] [train_out_file] [diffusion_out_file] [trace_out_file] [infer_out_file]
+# Usage: scripts/bench_baseline.sh [out_file] [train_out_file] [diffusion_out_file] [trace_out_file] [infer_out_file] [scale_out_file]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +14,7 @@ TRAIN_OUT="${2:-BENCH_train.json}"
 DIFF_OUT="${3:-BENCH_diffusion.json}"
 TRACE_OUT="${4:-BENCH_trace.json}"
 INFER_OUT="${5:-BENCH_infer.json}"
+SCALE_OUT="${6:-BENCH_scale.json}"
 
 echo "== building (release) =="
 cargo build --release -p sagdfn-bench
@@ -37,6 +38,10 @@ cargo run --release -q -p sagdfn-bench --bin bench_trace -- --out "$TRACE_OUT"
 echo
 echo "== inference-path baseline -> $INFER_OUT =="
 cargo run --release -q -p sagdfn-bench --bin bench_infer -- --out "$INFER_OUT"
+
+echo
+echo "== node-sharding scale baseline -> $SCALE_OUT =="
+cargo run --release -q -p sagdfn-bench --bin bench_scale -- --out "$SCALE_OUT"
 
 echo
 echo "== criterion pool benches =="

@@ -33,6 +33,14 @@ SAGDFN_PLAN=on cargo test -q --release --test plan_executor --test eval_mode
 SAGDFN_PLAN=off cargo test -q --release --test plan_executor --test eval_mode
 
 echo
+echo "== determinism matrix across forced shard counts (SAGDFN_SHARDS) =="
+# Node sharding is a memory-layout decision only (DESIGN.md §14): the
+# sparse/dense equivalence suite must hold bit-for-bit whatever shard
+# count the resolver is pinned to.
+SAGDFN_SHARDS=1 cargo test -q --release --test sparse_dense
+SAGDFN_SHARDS=4 cargo test -q --release --test sparse_dense
+
+echo
 echo "== bench_tensor smoke (SIMD + pool regression guard) =="
 TENSOR_OUT="$(mktemp)"
 trap 'rm -f "$TENSOR_OUT"' EXIT
@@ -77,9 +85,25 @@ else
 fi
 
 echo
+echo "== bench_scale smoke (node-sharding scale guard) =="
+SCALE_OUT="$(mktemp)"
+trap 'rm -f "$TENSOR_OUT" "$SMOKE_OUT" "$DIFF_OUT" "$SCALE_OUT"' EXIT
+if [ -f BENCH_scale.json ]; then
+    # Fails if any N stops completing train+eval, the N=20000 sharded
+    # plan stops fitting the V100 budget (or the dense baseline stops
+    # provably overflowing it), or seconds/step regresses past 1.5x.
+    cargo run --release -q -p sagdfn-bench --bin bench_scale -- \
+        --steps 2 --out "$SCALE_OUT" --check BENCH_scale.json
+else
+    echo "(no committed BENCH_scale.json; smoke run only)"
+    cargo run --release -q -p sagdfn-bench --bin bench_scale -- \
+        --steps 2 --out "$SCALE_OUT"
+fi
+
+echo
 echo "== bench_trace smoke (observability overhead guard) =="
 TRACE_OUT="$(mktemp)"
-trap 'rm -f "$TENSOR_OUT" "$SMOKE_OUT" "$DIFF_OUT" "$TRACE_OUT"' EXIT
+trap 'rm -f "$TENSOR_OUT" "$SMOKE_OUT" "$DIFF_OUT" "$SCALE_OUT" "$TRACE_OUT"' EXIT
 if [ -f BENCH_trace.json ]; then
     # Fails if counters-mode tracing costs more than 3% over off, or if
     # any trace mode perturbs training results.
@@ -94,7 +118,7 @@ fi
 echo
 echo "== bench_infer smoke (inference-path regression guard) =="
 INFER_OUT="$(mktemp)"
-trap 'rm -f "$TENSOR_OUT" "$SMOKE_OUT" "$DIFF_OUT" "$TRACE_OUT" "$INFER_OUT"' EXIT
+trap 'rm -f "$TENSOR_OUT" "$SMOKE_OUT" "$DIFF_OUT" "$SCALE_OUT" "$TRACE_OUT" "$INFER_OUT"' EXIT
 if [ -f BENCH_infer.json ]; then
     # Fails if the frozen-plan no-grad eval drops below 1.3x taped-eval
     # throughput, the no-grad tape falls behind the taped eval, the

@@ -6,7 +6,7 @@
 
 use sagdfn_repro::autodiff::Tape;
 use sagdfn_repro::obs::{self, Kernel, KernelStats, Snapshot, TraceMode};
-use sagdfn_repro::tensor::sparse::Csr;
+use sagdfn_repro::tensor::sparse::{DiffusePlan, ShardedCsr};
 use sagdfn_repro::tensor::{Rng64, Tensor};
 use std::rc::Rc;
 use std::sync::Once;
@@ -142,7 +142,7 @@ pub fn run_all() {
     assert_kernel(&d, Kernel::Entmax, 1, 2 * len, 4 * len, 4 * len);
 
     let base = obs::snapshot();
-    let csr = Rc::new(Csr::from_dense(&adj.value()));
+    let csr = Rc::new(ShardedCsr::from_dense(&adj.value(), 1));
     let nnz = csr.nnz() as u64;
     assert!(nnz < len, "entmax at alpha=1.5 should produce exact zeros");
     let d = obs::snapshot().since(&base);
@@ -150,7 +150,7 @@ pub fn run_all() {
     assert_kernel(&d, Kernel::CsrBuild, 1, 0, 4 * len, 8 * nnz);
 
     let base = obs::snapshot();
-    let y = adj.spmm_diffuse(&vx, Some(csr)).sum();
+    let y = adj.spmm_diffuse(&vx, DiffusePlan::Sparse(csr)).sum();
     let _grads = y.backward();
     let d = obs::snapshot().since(&base);
     let spmm_flops = 2 * (bb as u64) * nnz * cc as u64;

@@ -16,11 +16,20 @@ use sagdfn_repro::tensor::{alloc, pool, set_sparse_mode, SparseMode, Tensor};
 /// One forward + backward pass of the full model under the given sparse
 /// mode: returns the loss and every named parameter gradient.
 fn forward_backward(mode: SparseMode) -> (f32, Vec<(String, Tensor)>) {
+    forward_backward_sharded(mode, 0)
+}
+
+/// Same, with the node-shard count pinned (0 = the config default).
+fn forward_backward_sharded(mode: SparseMode, shards: usize) -> (f32, Vec<(String, Tensor)>) {
     let prev = set_sparse_mode(mode);
     let data = metr_la_like(Scale::Tiny);
     let n = data.dataset.nodes();
     let split = ThreeWaySplit::new(data.dataset, SplitSpec::paper(12, 12));
-    let model = Sagdfn::new(n, SagdfnConfig::for_scale(Scale::Tiny, n));
+    let mut cfg = SagdfnConfig::for_scale(Scale::Tiny, n);
+    if shards > 0 {
+        cfg.shards = shards;
+    }
+    let model = Sagdfn::new(n, cfg);
     let batch = split.train.make_batch(&[0, 1]);
 
     let tape = Tape::new();
@@ -61,9 +70,20 @@ fn sparse_and_dense_runs_agree_exactly() {
     let sparse = forward_backward(SparseMode::On);
     assert_same(&sparse, &dense, "sparse vs dense");
 
-    // Auto dispatch must agree with both (it picks one of the two paths).
+    // Auto dispatch must agree with both, whichever of the three
+    // pipelines (dense / hybrid / full CSR) the cost model picks.
     let auto = forward_backward(SparseMode::Auto);
     assert_same(&auto, &dense, "auto vs dense");
+}
+
+#[test]
+fn node_sharded_training_is_bit_identical() {
+    // Node sharding (DESIGN.md §14) is a memory-layout decision only:
+    // with the CSR path forced on, shards = 1 and shards = 4 must agree
+    // on the loss and every gradient end to end.
+    let unsharded = forward_backward_sharded(SparseMode::On, 1);
+    let sharded = forward_backward_sharded(SparseMode::On, 4);
+    assert_same(&sharded, &unsharded, "shards=4 vs shards=1");
 }
 
 #[test]
